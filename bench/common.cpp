@@ -1,0 +1,326 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "core/bfhrf.hpp"
+#include "core/hashrf.hpp"
+#include "core/sequential_rf.hpp"
+#include "util/string_util.hpp"
+#include "util/timer.hpp"
+
+namespace bfhrf::bench {
+
+Scale scale() {
+  static const Scale s = [] {
+    const char* env = std::getenv("BFHRF_SCALE");
+    if (env == nullptr) {
+      return Scale::Small;
+    }
+    if (std::strcmp(env, "smoke") == 0) {
+      return Scale::Smoke;
+    }
+    if (std::strcmp(env, "paper") == 0) {
+      return Scale::Paper;
+    }
+    return Scale::Small;
+  }();
+  return s;
+}
+
+const char* scale_name() {
+  switch (scale()) {
+    case Scale::Smoke:
+      return "smoke";
+    case Scale::Small:
+      return "small";
+    case Scale::Paper:
+      return "paper";
+  }
+  return "?";
+}
+
+std::size_t scaled(std::size_t paper_value) {
+  switch (scale()) {
+    case Scale::Smoke:
+      return std::max<std::size_t>(8, paper_value / 100);
+    case Scale::Small:
+      return std::max<std::size_t>(16, paper_value / 25);
+    case Scale::Paper:
+      return paper_value;
+  }
+  return paper_value;
+}
+
+const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::DS:
+      return "DS";
+    case Algo::DSMP8:
+      return "DSMP8";
+    case Algo::DSMP16:
+      return "DSMP16";
+    case Algo::HashRF:
+      return "HashRF";
+    case Algo::BFHRF8:
+      return "BFHRF8";
+    case Algo::BFHRF16:
+      return "BFHRF16";
+  }
+  return "?";
+}
+
+std::span<const Algo> all_algos() {
+  static constexpr Algo kAll[] = {Algo::DS,     Algo::DSMP8,  Algo::DSMP16,
+                                  Algo::HashRF, Algo::BFHRF8, Algo::BFHRF16};
+  return kAll;
+}
+
+RunBudget RunBudget::for_scale(Scale s) {
+  switch (s) {
+    case Scale::Smoke:
+      return {.ds_ops = 5e7,
+              .hashrf_matrix_bytes = std::size_t{64} << 20,
+              .hashrf_ops = 5e8};
+    case Scale::Small:
+      return {.ds_ops = 6e8,
+              .hashrf_matrix_bytes = std::size_t{512} << 20,
+              .hashrf_ops = 1e10};
+    case Scale::Paper:
+      // The paper's host had 96 GB; HashRF died at r = 100000 (Table V).
+      return {.ds_ops = 5e9,
+              .hashrf_matrix_bytes = std::size_t{16} << 30,
+              .hashrf_ops = 1e13};
+  }
+  return {};
+}
+
+namespace {
+
+std::size_t threads_of(Algo a) {
+  switch (a) {
+    case Algo::DS:
+    case Algo::HashRF:
+      return 1;
+    case Algo::DSMP8:
+    case Algo::BFHRF8:
+      return 8;
+    case Algo::DSMP16:
+    case Algo::BFHRF16:
+      return 16;
+  }
+  return 1;
+}
+
+/// Approximate per-query-vs-R op count for the sequential engines.
+double ds_work(std::size_t q, std::size_t r, std::size_t n) {
+  return static_cast<double>(q) * static_cast<double>(r) *
+         static_cast<double>(n);
+}
+
+Measurement run_sequential(Algo algo, std::span<const phylo::Tree> trees,
+                           std::size_t taxa_n, const RunBudget& budget) {
+  const std::size_t r = trees.size();
+  core::SequentialRfOptions opts;
+  opts.threads = threads_of(algo);
+
+  Measurement m;
+  const double full_work = ds_work(r, r, taxa_n);
+  std::size_t q = r;
+  if (full_work > budget.ds_ops) {
+    // Paper §VI: "we estimated the rate of trees per minute ... and
+    // estimated the total amount of time for Q trees."
+    q = std::max<std::size_t>(
+        8, static_cast<std::size_t>(
+               budget.ds_ops /
+               (static_cast<double>(r) * static_cast<double>(taxa_n))));
+    q = std::min(q, r);
+    m.estimated = (q < r);
+  }
+
+  util::WallTimer timer;
+  const auto result =
+      core::sequential_avg_rf(trees.subspan(0, q), trees, opts);
+  const double measured = timer.seconds();
+  m.seconds = m.estimated
+                  ? measured * static_cast<double>(r) / static_cast<double>(q)
+                  : measured;
+  m.engine_bytes = result.reference_memory_bytes;
+  return m;
+}
+
+Measurement run_hashrf(std::span<const phylo::Tree> trees, std::size_t taxa_n,
+                       const RunBudget& budget) {
+  const auto r = static_cast<double>(trees.size());
+  Measurement m;
+  const double matrix_bytes = r * (r - 1) / 2 * sizeof(std::uint32_t);
+  const double credit_ops = static_cast<double>(taxa_n) * r * r;
+  if (matrix_bytes > static_cast<double>(budget.hashrf_matrix_bytes) ||
+      credit_ops > budget.hashrf_ops) {
+    m.skipped = true;  // the paper's '-' / kernel-kill cells
+    return m;
+  }
+  util::WallTimer timer;
+  const auto result = core::hash_rf(trees);
+  m.seconds = timer.seconds();
+  m.engine_bytes = result.index_memory_bytes + result.matrix_memory_bytes;
+  return m;
+}
+
+Measurement run_bfhrf(Algo algo, std::span<const phylo::Tree> trees,
+                      std::size_t taxa_n) {
+  Measurement m;
+  util::WallTimer timer;
+  core::Bfhrf engine(taxa_n, {.threads = threads_of(algo)});
+  engine.build(trees);
+  const auto avg = engine.query(trees);
+  m.seconds = timer.seconds();
+  m.engine_bytes = engine.stats().hash_memory_bytes;
+  // Keep the result alive so the optimizer cannot elide the query loop.
+  if (!avg.empty() && avg.front() < -1.0) {
+    std::abort();
+  }
+  return m;
+}
+
+}  // namespace
+
+Measurement run_algo(Algo algo, std::span<const phylo::Tree> trees,
+                     std::size_t taxa_n, const RunBudget& budget) {
+  switch (algo) {
+    case Algo::DS:
+    case Algo::DSMP8:
+    case Algo::DSMP16:
+      return run_sequential(algo, trees, taxa_n, budget);
+    case Algo::HashRF:
+      return run_hashrf(trees, taxa_n, budget);
+    case Algo::BFHRF8:
+    case Algo::BFHRF16:
+      return run_bfhrf(algo, trees, taxa_n);
+  }
+  return {};
+}
+
+Results& Results::instance() {
+  static Results r;
+  return r;
+}
+
+void Results::record(const Cell& cell) { cells_.push_back(cell); }
+
+std::optional<Measurement> Results::find(const std::string& algo,
+                                         std::size_t n, std::size_t r) const {
+  for (const auto& c : cells_) {
+    if (c.algo == algo && c.n == n && c.r == r) {
+      return c.m;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string time_cell(const Measurement& m) {
+  if (m.skipped) {
+    return "-";
+  }
+  const double minutes = m.seconds / 60.0;
+  std::string s = minutes < 0.01 ? util::format_fixed(minutes, 4)
+                                 : util::format_fixed(minutes, 2);
+  if (m.estimated) {
+    s += "*";
+  }
+  return s;
+}
+
+std::string mem_cell(const Measurement& m) {
+  if (m.skipped) {
+    return "-";
+  }
+  const double mb = static_cast<double>(m.engine_bytes) / (1024.0 * 1024.0);
+  std::string s = mb < 0.1 ? util::format_fixed(mb, 3)
+                           : util::format_fixed(mb, 1);
+  if (m.estimated) {
+    s += "*";
+  }
+  return s;
+}
+
+double fit_exponent(std::span<const double> x, std::span<const double> y) {
+  // Slope of least-squares line through (log x, log y).
+  double sx = 0;
+  double sy = 0;
+  double sxx = 0;
+  double sxy = 0;
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0 || y[i] <= 0) {
+      continue;
+    }
+    const double lx = std::log(x[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++k;
+  }
+  if (k < 2) {
+    return 0;
+  }
+  const double kd = static_cast<double>(k);
+  return (kd * sxy - sx * sy) / (kd * sxx - sx * sx);
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  const std::size_t k = x.size();
+  if (k < 2) {
+    return {};
+  }
+  double sx = 0;
+  double sy = 0;
+  double sxx = 0;
+  double syy = 0;
+  double sxy = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    syy += y[i] * y[i];
+    sxy += x[i] * y[i];
+  }
+  const double kd = static_cast<double>(k);
+  const double cov = kd * sxy - sx * sy;
+  const double vx = kd * sxx - sx * sx;
+  const double vy = kd * syy - sy * sy;
+  if (vx <= 0 || vy <= 0) {
+    return {};
+  }
+  const double pearson = cov / std::sqrt(vx * vy);
+  return {.r_squared = pearson * pearson, .pearson = pearson};
+}
+
+void verdict(const std::string& name, bool pass, const std::string& detail) {
+  std::printf("VERDICT %-44s %s  %s\n", name.c_str(),
+              pass ? "PASS" : "WARN", detail.c_str());
+}
+
+void print_header(const std::string& experiment,
+                  const std::string& paper_ref) {
+  std::printf("\n============================================================"
+              "====\n");
+  std::printf("bfhrf reproduction — %s\n", experiment.c_str());
+  std::printf("paper: Chon et al., IPDPSW 2022 — %s\n", paper_ref.c_str());
+  std::printf("scale: %s (BFHRF_SCALE=smoke|small|paper)   hardware threads:"
+              " %u\n",
+              scale_name(), std::thread::hardware_concurrency());
+  std::printf("time cells: minutes ('*' = rate-extrapolated, as in the "
+              "paper); memory cells: engine data-structure MB ('-' = not "
+              "run / would exceed budget, as in the paper)\n");
+  std::printf("=============================================================="
+              "==\n\n");
+}
+
+}  // namespace bfhrf::bench

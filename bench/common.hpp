@@ -1,0 +1,125 @@
+// Shared benchmark harness for the paper-reproduction binaries.
+//
+// Each bench binary reproduces one table/figure: it registers one
+// google-benchmark cell per (algorithm, size) point, runs them, then prints
+// a paper-style table with our measured values beside the paper's published
+// numbers plus a shape verdict (scaling-exponent fits, ranking checks).
+//
+// Scale control: BFHRF_SCALE=smoke|small|paper (default small).
+//   smoke — seconds; CI-sized inputs.
+//   small — minutes; shapes reproduce, absolute sizes reduced.
+//   paper — the published n/r values; hours of CPU and GBs of RAM.
+//
+// Faithfulness devices mirroring the paper's §VI methodology:
+//   * DS/DSMP runs whose projected work exceeds a budget are measured on a
+//     query subset and extrapolated from the per-tree rate — the paper did
+//     exactly this ("estimated the rate of trees per minute"); such cells
+//     are marked with '*'.
+//   * HashRF cells whose r×r matrix would exceed the memory budget are
+//     skipped and printed as '-' — the paper's kernel-killed '-' cells.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "phylo/tree.hpp"
+
+namespace bfhrf::bench {
+
+enum class Scale { Smoke, Small, Paper };
+
+/// Parse BFHRF_SCALE (once); defaults to Small.
+[[nodiscard]] Scale scale();
+[[nodiscard]] const char* scale_name();
+
+/// Scale a paper-sized dimension down for smoke/small runs.
+[[nodiscard]] std::size_t scaled(std::size_t paper_value);
+
+// --- algorithms -------------------------------------------------------------
+
+/// The six configurations of the paper's experiments (Figs 1-2, Tables
+/// III-V). Thread counts keep the paper's labels even on narrower hosts.
+enum class Algo { DS, DSMP8, DSMP16, HashRF, BFHRF8, BFHRF16 };
+
+[[nodiscard]] const char* algo_name(Algo a);
+[[nodiscard]] std::span<const Algo> all_algos();
+
+struct Measurement {
+  double seconds = 0;
+  std::size_t engine_bytes = 0;  ///< exact data-structure footprint
+  bool estimated = false;        ///< extrapolated (paper's '*')
+  bool skipped = false;          ///< not run (paper's '-')
+};
+
+struct RunBudget {
+  /// Approximate op budget for quadratic engines before extrapolation.
+  double ds_ops = 0;
+  /// Matrix bytes above which HashRF is skipped (its kill condition).
+  std::size_t hashrf_matrix_bytes = 0;
+  /// Op budget for HashRF's pair-credit loop before skipping.
+  double hashrf_ops = 0;
+
+  [[nodiscard]] static RunBudget for_scale(Scale s);
+};
+
+/// Run one algorithm on collection Q == R (the paper's setting) and
+/// measure it. `taxa_n` is the taxon-universe width.
+[[nodiscard]] Measurement run_algo(Algo algo,
+                                   std::span<const phylo::Tree> trees,
+                                   std::size_t taxa_n,
+                                   const RunBudget& budget);
+
+// --- result collection and reporting ----------------------------------------
+
+struct Cell {
+  std::string algo;
+  std::size_t n = 0;
+  std::size_t r = 0;
+  Measurement m;
+};
+
+/// Global per-binary result store (bench binaries are single-threaded at
+/// the harness level).
+class Results {
+ public:
+  static Results& instance();
+
+  void record(const Cell& cell);
+  [[nodiscard]] const std::vector<Cell>& cells() const { return cells_; }
+
+  /// Find a cell by (algo, n, r).
+  [[nodiscard]] std::optional<Measurement> find(const std::string& algo,
+                                                std::size_t n,
+                                                std::size_t r) const;
+
+ private:
+  std::vector<Cell> cells_;
+};
+
+/// "12.34" minutes / "0.04" style cell text with paper markers.
+[[nodiscard]] std::string time_cell(const Measurement& m);
+[[nodiscard]] std::string mem_cell(const Measurement& m);
+
+/// Least-squares slope of log(y) on log(x): the empirical scaling exponent.
+[[nodiscard]] double fit_exponent(std::span<const double> x,
+                                  std::span<const double> y);
+
+/// Pearson correlation and R^2 of a linear fit (paper §VI-C reports both).
+struct LinearFit {
+  double r_squared = 0;
+  double pearson = 0;
+};
+[[nodiscard]] LinearFit linear_fit(std::span<const double> x,
+                                   std::span<const double> y);
+
+/// Print a "VERDICT name: PASS/WARN — detail" line.
+void verdict(const std::string& name, bool pass, const std::string& detail);
+
+/// Print the standard bench header (paper citation, scale, host info).
+void print_header(const std::string& experiment, const std::string& paper_ref);
+
+}  // namespace bfhrf::bench

@@ -1,0 +1,76 @@
+// Figure 1 reproduction: Avian dataset (n = 48, r up to 14446).
+// Top panel: wall runtime per algorithm over growing r prefixes.
+// Bottom panel: memory per algorithm.
+//
+// The paper's narrative values (§VI-A) are embedded for the full dataset
+// point; at reduced scale the same shape must hold: hash methods orders of
+// magnitude below the sequential ones, BFHRF below HashRF as r grows.
+#include "sweep.hpp"
+
+namespace bfhrf::bench {
+namespace {
+
+std::vector<std::size_t> r_points() {
+  switch (scale()) {
+    case Scale::Smoke:
+      return {100, 200};
+    case Scale::Small:
+      return {600, 1500, 3000, 6000};
+    case Scale::Paper:
+      return {1000, 5000, 10000, 14446};
+  }
+  return {};
+}
+
+const sim::Dataset& dataset() {
+  static const sim::Dataset ds = [] {
+    auto spec = sim::avian_like(r_points().back());
+    return sim::generate(spec);
+  }();
+  return ds;
+}
+
+PaperTable paper_values() {
+  // Fig 1 is a plot; §VI-A gives the full-dataset numbers in prose.
+  PaperTable t;
+  t[{"DS", 14446}] = {"226.06", "1311"};      // 1.28 GB
+  t[{"DSMP8", 14446}] = {"39.00", "1720"};    // 1.68 GB
+  t[{"DSMP16", 14446}] = {"27.20", "1720"};
+  t[{"HashRF", 14446}] = {"1.65", "461"};     // 0.45 GB
+  t[{"BFHRF16", 14446}] = {"0.33", "379"};    // 0.37 GB
+  t[{"DS", 1000}] = {"1.28", ""};
+  return t;
+}
+
+void report() {
+  const auto points = r_points();
+  print_sweep_table("Fig 1: Avian runtime & memory", 48, points,
+                    paper_values(),
+                    std::vector<std::size_t>{1000, 14446});
+  print_r_sweep_verdicts(points);
+
+  // Fig 1's headline dichotomy: hash-based beats sequential at max r.
+  const auto& res = Results::instance();
+  const std::size_t r_max = points.back();
+  const auto ds = res.find("DS", 48, r_max);
+  const auto hashrf = res.find("HashRF", 48, r_max);
+  const auto bfh = res.find("BFHRF16", 48, r_max);
+  if (ds && hashrf && !hashrf->skipped && bfh) {
+    verdict("hash methods beat sequential at max r (Fig 1)",
+            hashrf->seconds < ds->seconds && bfh->seconds < ds->seconds,
+            "DS=" + time_cell(*ds) + "m HashRF=" + time_cell(*hashrf) +
+                "m BFHRF16=" + time_cell(*bfh) + "m");
+  }
+}
+
+}  // namespace
+}  // namespace bfhrf::bench
+
+int main(int argc, char** argv) {
+  using namespace bfhrf::bench;
+  print_header("Figure 1 — Avian data set (n=48)",
+               "Fig. 1 and §VI-A; dataset per Table II (Jarvis et al. "
+               "2014), substituted per DESIGN.md");
+  register_r_sweep(dataset(), r_points(), RunBudget::for_scale(scale()));
+  return sweep_main(argc, argv, &report);
+}

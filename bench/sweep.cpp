@@ -1,0 +1,193 @@
+#include "sweep.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+#include "util/string_util.hpp"
+
+namespace bfhrf::bench {
+
+void register_r_sweep(const sim::Dataset& dataset,
+                      std::span<const std::size_t> r_points,
+                      const RunBudget& budget) {
+  const std::size_t n = dataset.taxa->size();
+  for (const std::size_t r : r_points) {
+    if (r > dataset.trees.size()) {
+      continue;
+    }
+    for (const Algo algo : all_algos()) {
+      const std::string name = std::string(algo_name(algo)) +
+                               "/n=" + std::to_string(n) +
+                               "/r=" + std::to_string(r);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [&dataset, algo, r, n, budget](benchmark::State& state) {
+            Measurement m;
+            for (auto _ : state) {
+              m = run_algo(
+                  algo,
+                  std::span<const phylo::Tree>(dataset.trees.data(), r), n,
+                  budget);
+            }
+            state.counters["mem_MB"] =
+                static_cast<double>(m.engine_bytes) / (1024.0 * 1024.0);
+            state.counters["minutes"] = m.seconds / 60.0;
+            state.counters["estimated"] = m.estimated ? 1 : 0;
+            state.counters["skipped"] = m.skipped ? 1 : 0;
+            if (!Results::instance().find(algo_name(algo), n, r)) {
+              Results::instance().record({algo_name(algo), n, r, m});
+            }
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+void print_sweep_table(const std::string& title, std::size_t taxa_n,
+                       std::span<const std::size_t> r_points,
+                       const PaperTable& paper,
+                       std::span<const std::size_t> paper_points) {
+  std::printf("\n--- %s (measured, scale=%s) ---\n", title.c_str(),
+              scale_name());
+  util::TextTable table(
+      {"Algorithm", "n", "R", "Time(m)", "Memory(MB)"});
+  for (const Algo algo : all_algos()) {
+    for (const std::size_t r : r_points) {
+      const auto m = Results::instance().find(algo_name(algo), taxa_n, r);
+      if (!m) {
+        continue;
+      }
+      table.add_row({algo_name(algo), std::to_string(taxa_n),
+                     std::to_string(r), time_cell(*m), mem_cell(*m)});
+    }
+  }
+  table.print(std::cout);
+
+  if (!paper.empty()) {
+    std::printf("\n--- %s (paper-published values, full scale) ---\n",
+                title.c_str());
+    util::TextTable ptable(
+        {"Algorithm", "R", "Time(m)", "Memory(MB)"});
+    for (const Algo algo : all_algos()) {
+      for (const std::size_t pr : paper_points) {
+        const auto it = paper.find({algo_name(algo), pr});
+        if (it == paper.end()) {
+          continue;
+        }
+        ptable.add_row({algo_name(algo), std::to_string(pr), it->second.time,
+                        it->second.mem});
+      }
+    }
+    ptable.print(std::cout);
+  }
+}
+
+void print_r_sweep_verdicts(std::span<const std::size_t> r_points) {
+  if (r_points.size() < 2) {
+    return;
+  }
+  const auto& results = Results::instance();
+  const std::size_t taxa_n = results.cells().empty()
+                                 ? 0
+                                 : results.cells().front().n;
+  const auto series = [&](const char* algo, auto field)
+      -> std::pair<std::vector<double>, std::vector<double>> {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const std::size_t r : r_points) {
+      const auto m = results.find(algo, taxa_n, r);
+      if (m && !m->skipped) {
+        xs.push_back(static_cast<double>(r));
+        ys.push_back(field(*m));
+      }
+    }
+    return {xs, ys};
+  };
+  const auto time_of = [](const Measurement& m) { return m.seconds; };
+  const auto mem_of = [](const Measurement& m) {
+    return static_cast<double>(m.engine_bytes);
+  };
+
+  std::printf("\n");
+  // Shape 1: BFHRF runtime ~linear in r (Table I: O(max(n^2 q, n^2 r))).
+  {
+    const auto [xs, ys] = series("BFHRF16", time_of);
+    if (xs.size() >= 2) {
+      const double e = fit_exponent(xs, ys);
+      verdict("BFHRF runtime scaling vs r (expect ~1)", e < 1.5,
+              "exponent=" + util::format_fixed(e, 2));
+    }
+  }
+  // Shape 2: DS runtime ~quadratic in r when q == r (O(n^2 q r)).
+  {
+    const auto [xs, ys] = series("DS", time_of);
+    if (xs.size() >= 2) {
+      const double e = fit_exponent(xs, ys);
+      verdict("DS runtime scaling vs r (expect ~2)", e > 1.5,
+              "exponent=" + util::format_fixed(e, 2));
+    }
+  }
+  // Shape 3: HashRF memory ~quadratic in r (the r x r matrix).
+  {
+    const auto [xs, ys] = series("HashRF", mem_of);
+    if (xs.size() >= 2) {
+      const double e = fit_exponent(xs, ys);
+      verdict("HashRF memory scaling vs r (expect ~2)", e > 1.5,
+              "exponent=" + util::format_fixed(e, 2));
+    }
+  }
+  // Shape 4: BFHRF memory sublinear in r (unique-split saturation).
+  {
+    const auto [xs, ys] = series("BFHRF16", mem_of);
+    if (xs.size() >= 2) {
+      const double e = fit_exponent(xs, ys);
+      verdict("BFHRF memory scaling vs r (expect <1)", e < 1.0,
+              "exponent=" + util::format_fixed(e, 2));
+    }
+  }
+  // Shape 5: at the largest r, BFHRF beats DS by a wide margin.
+  {
+    const std::size_t r_max = r_points.back();
+    const auto ds = results.find("DS", taxa_n, r_max);
+    const auto bfh = results.find("BFHRF16", taxa_n, r_max);
+    if (ds && bfh && !ds->skipped && !bfh->skipped && bfh->seconds > 0) {
+      const double speedup = ds->seconds / bfh->seconds;
+      verdict("BFHRF speedup over DS at largest r (expect >>1)",
+              speedup > 5.0, "speedup=" + util::format_fixed(speedup, 1) +
+                                 "x (paper: 8884x at full scale)");
+    }
+  }
+  // Shape 6: at the largest runnable HashRF point, BFHRF uses less memory.
+  {
+    std::size_t r_hash = 0;
+    for (const std::size_t r : r_points) {
+      const auto h = results.find("HashRF", taxa_n, r);
+      if (h && !h->skipped) {
+        r_hash = r;
+      }
+    }
+    const auto h = results.find("HashRF", taxa_n, r_hash);
+    const auto b = results.find("BFHRF16", taxa_n, r_hash);
+    if (r_hash != 0 && h && b && b->engine_bytes > 0) {
+      const double ratio = static_cast<double>(h->engine_bytes) /
+                           static_cast<double>(b->engine_bytes);
+      verdict("HashRF/BFHRF memory ratio at largest common r",
+              ratio > 1.0, "ratio=" + util::format_fixed(ratio, 1) +
+                               "x (paper: 22x reduction)");
+    }
+  }
+}
+
+int sweep_main(int argc, char** argv, void (*report)()) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  report();
+  return 0;
+}
+
+}  // namespace bfhrf::bench

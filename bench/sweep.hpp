@@ -1,0 +1,56 @@
+// Sweep driver shared by the table/figure reproduction binaries.
+//
+// Each binary:
+//   1. generates (or slices prefixes of) one dataset,
+//   2. registers one google-benchmark cell per (algorithm, r) point,
+//   3. runs google-benchmark,
+//   4. prints a paper-style table (our cells beside the published ones)
+//      and shape verdicts.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common.hpp"
+#include "sim/datasets.hpp"
+#include "util/table.hpp"
+
+namespace bfhrf::bench {
+
+/// Published cell values, keyed by (algorithm name, paper r or n).
+/// Values are verbatim strings from the paper ("-" and "*" included).
+struct PaperCell {
+  std::string time;
+  std::string mem;
+};
+using PaperTable = std::map<std::pair<std::string, std::size_t>, PaperCell>;
+
+/// Register one google-benchmark cell per (algo, prefix size r) over
+/// prefixes of `trees` (the paper uses "the first r trees"). The cell runs
+/// the engine once and stores the Measurement in Results.
+void register_r_sweep(const sim::Dataset& dataset,
+                      std::span<const std::size_t> r_points,
+                      const RunBudget& budget);
+
+/// Print the measured sweep as a paper-style table. `paper` supplies the
+/// published values at the paper's own sizes (printed on matching rows of a
+/// separate reference block when sizes differ, as they do at reduced
+/// scale).
+void print_sweep_table(const std::string& title, std::size_t taxa_n,
+                       std::span<const std::size_t> r_points,
+                       const PaperTable& paper,
+                       std::span<const std::size_t> paper_points);
+
+/// Standard shape verdicts for an r-sweep: BFHRF ~linear in r, HashRF
+/// superlinear, hash methods beat non-hash at the largest r.
+void print_r_sweep_verdicts(std::span<const std::size_t> r_points);
+
+/// Boilerplate main: init google-benchmark, run, call `report`.
+int sweep_main(int argc, char** argv, void (*report)());
+
+}  // namespace bfhrf::bench

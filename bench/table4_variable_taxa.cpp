@@ -1,0 +1,214 @@
+// Table IV reproduction: variable number of taxa
+// (n from 100 to 1000, r = 1000, simulated ASTRAL-II-style data).
+//
+// Also reproduces §VI-C's linearity analysis: the paper reports R² and
+// Pearson coefficients (>= 0.988) for BFHRF runtime as a function of n,
+// arguing the bitmask model's O(n²) behaves linearly in practice thanks to
+// word-packed kernels.
+#include "sweep.hpp"
+
+#include <iostream>
+
+#include "util/string_util.hpp"
+
+namespace bfhrf::bench {
+namespace {
+
+std::vector<std::size_t> n_points() {
+  switch (scale()) {
+    case Scale::Smoke:
+      return {50, 100};
+    case Scale::Small:
+      return {100, 250, 500, 750, 1000};
+    case Scale::Paper:
+      return {100, 250, 500, 750, 1000};
+  }
+  return {};
+}
+
+std::size_t r_trees() {
+  switch (scale()) {
+    case Scale::Smoke:
+      return 20;
+    case Scale::Small:
+      return 200;
+    case Scale::Paper:
+      return 1000;
+  }
+  return 0;
+}
+
+/// One dataset per n (generated lazily, kept alive for the whole run).
+const sim::Dataset& dataset_for(std::size_t n) {
+  static std::map<std::size_t, sim::Dataset> cache;
+  auto it = cache.find(n);
+  if (it == cache.end()) {
+    auto spec = sim::variable_species(n);
+    spec.n_trees = r_trees();
+    it = cache.emplace(n, sim::generate(spec)).first;
+  }
+  return it->second;
+}
+
+void register_n_sweep() {
+  const RunBudget budget = RunBudget::for_scale(scale());
+  for (const std::size_t n : n_points()) {
+    for (const Algo algo : all_algos()) {
+      const std::string name = std::string(algo_name(algo)) +
+                               "/n=" + std::to_string(n) +
+                               "/r=" + std::to_string(r_trees());
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [algo, n, budget](benchmark::State& state) {
+            const sim::Dataset& ds = dataset_for(n);
+            Measurement m;
+            for (auto _ : state) {
+              m = run_algo(algo, ds.trees, n, budget);
+            }
+            state.counters["mem_MB"] =
+                static_cast<double>(m.engine_bytes) / (1024.0 * 1024.0);
+            state.counters["minutes"] = m.seconds / 60.0;
+            if (!Results::instance().find(algo_name(algo), n, r_trees())) {
+              Results::instance().record(
+                  {algo_name(algo), n, r_trees(), m});
+            }
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+PaperTable paper_values() {
+  PaperTable t;  // keyed by (algo, n) here
+  t[{"DS", 100}] = {"3.72", "254"};
+  t[{"DS", 250}] = {"15.8", "605"};
+  t[{"DS", 500}] = {"46.04", "1165"};
+  t[{"DS", 750}] = {"99.49", "1634"};
+  t[{"DS", 1000}] = {"160.26", "2226"};
+  t[{"DSMP8", 100}] = {"0.66", "276"};
+  t[{"DSMP8", 250}] = {"2.48", "681"};
+  t[{"DSMP8", 500}] = {"7.17", "1454"};
+  t[{"DSMP8", 750}] = {"14.37", "2275"};
+  t[{"DSMP8", 1000}] = {"24.03", "3163"};
+  t[{"DSMP16", 100}] = {"0.66", "273"};
+  t[{"DSMP16", 250}] = {"1.95", "675"};
+  t[{"DSMP16", 500}] = {"5.56", "1425"};
+  t[{"DSMP16", 750}] = {"11.24", "2225"};
+  t[{"DSMP16", 1000}] = {"18.73", "3101"};
+  t[{"HashRF", 100}] = {"0.02", "9"};
+  t[{"HashRF", 250}] = {"0.02", "14"};
+  t[{"HashRF", 500}] = {"0.03", "23"};
+  t[{"HashRF", 750}] = {"0.06", "32"};
+  t[{"HashRF", 1000}] = {"0.11", "42"};
+  t[{"BFHRF8", 100}] = {"0.04", "44"};
+  t[{"BFHRF8", 250}] = {"0.09", "58"};
+  t[{"BFHRF8", 500}] = {"0.22", "87"};
+  t[{"BFHRF8", 750}] = {"0.39", "127"};
+  t[{"BFHRF8", 1000}] = {"0.57", "183"};
+  t[{"BFHRF16", 100}] = {"0.03", "46"};
+  t[{"BFHRF16", 250}] = {"0.08", "61"};
+  t[{"BFHRF16", 500}] = {"0.22", "92"};
+  t[{"BFHRF16", 750}] = {"0.35", "135"};
+  t[{"BFHRF16", 1000}] = {"0.47", "197"};
+  return t;
+}
+
+void report() {
+  const auto& res = Results::instance();
+  const auto points = n_points();
+  const auto paper = paper_values();
+
+  std::printf("\n--- Table IV: variable number of taxa (measured, scale=%s, "
+              "r=%zu) ---\n",
+              scale_name(), r_trees());
+  util::TextTable table({"Algorithm", "n", "R", "Time(m)", "Memory(MB)"});
+  for (const Algo algo : all_algos()) {
+    for (const std::size_t n : points) {
+      const auto m = res.find(algo_name(algo), n, r_trees());
+      if (m) {
+        table.add_row({algo_name(algo), std::to_string(n),
+                       std::to_string(r_trees()), time_cell(*m),
+                       mem_cell(*m)});
+      }
+    }
+  }
+  table.print(std::cout);
+
+  std::printf("\n--- Table IV (paper-published values, r=1000) ---\n");
+  util::TextTable ptable({"Algorithm", "n", "Time(m)", "Memory(MB)"});
+  for (const Algo algo : all_algos()) {
+    for (const std::size_t n : {100u, 250u, 500u, 750u, 1000u}) {
+      const auto it = paper.find({algo_name(algo), n});
+      if (it != paper.end()) {
+        ptable.add_row({algo_name(algo), std::to_string(n), it->second.time,
+                        it->second.mem});
+      }
+    }
+  }
+  ptable.print(std::cout);
+  std::printf("\n");
+
+  // §VI-C linearity analysis: BFHRF runtime vs n, R² and Pearson.
+  for (const char* algo : {"BFHRF8", "BFHRF16"}) {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const std::size_t n : points) {
+      const auto m = res.find(algo, n, r_trees());
+      if (m && !m->skipped) {
+        xs.push_back(static_cast<double>(n));
+        ys.push_back(m->seconds);
+      }
+    }
+    if (xs.size() >= 3) {
+      const LinearFit fit = linear_fit(xs, ys);
+      verdict(std::string(algo) + " runtime linear in n (§VI-C)",
+              fit.r_squared > 0.9,
+              "R2=" + util::format_fixed(fit.r_squared, 3) + " Pearson=" +
+                  util::format_fixed(fit.pearson, 3) +
+                  " (paper: R2>=0.988, Pearson>=0.994)");
+    }
+  }
+
+  // All methods' memory ~linear in n (§VI-C: "all methods showed a linear
+  // increase in memory usage"), with hash methods on smaller constants.
+  {
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (const std::size_t n : points) {
+      const auto m = res.find("BFHRF16", n, r_trees());
+      if (m) {
+        xs.push_back(static_cast<double>(n));
+        ys.push_back(static_cast<double>(m->engine_bytes));
+      }
+    }
+    if (xs.size() >= 3) {
+      const LinearFit fit = linear_fit(xs, ys);
+      verdict("BFHRF memory ~linear in n (§VI-C)", fit.r_squared > 0.85,
+              "R2=" + util::format_fixed(fit.r_squared, 3));
+    }
+  }
+  // HashRF is the fastest at this size class (paper Table IV shows HashRF
+  // beating even BFHRF at r=1000 — small-r is HashRF's sweet spot).
+  {
+    const std::size_t n0 = points.front();
+    const auto h = res.find("HashRF", n0, r_trees());
+    const auto d = res.find("DS", n0, r_trees());
+    if (h && d && !h->skipped) {
+      verdict("HashRF far below DS at small r (Table IV)",
+              h->seconds < d->seconds / 4,
+              "HashRF=" + time_cell(*h) + "m DS=" + time_cell(*d) + "m");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bfhrf::bench
+
+int main(int argc, char** argv) {
+  using namespace bfhrf::bench;
+  print_header("Table IV — variable number of taxa (r=1000)",
+               "Table IV and §VI-C");
+  register_n_sweep();
+  return sweep_main(argc, argv, &report);
+}

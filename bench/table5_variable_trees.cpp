@@ -1,0 +1,122 @@
+// Table V / Figure 2 reproduction: variable number of trees
+// (n = 100, r from 1000 to 100000, simulated ASTRAL-II-style data).
+//
+// This is the experiment where HashRF's O(r²) matrix blows up: the paper's
+// r = 100000 HashRF cell is a kernel kill ('*' at 7.80m/19822MB when it
+// died); our harness skips HashRF when the projected matrix exceeds the
+// memory budget, which reproduces the same cliff.
+#include "sweep.hpp"
+
+namespace bfhrf::bench {
+namespace {
+
+std::vector<std::size_t> r_points() {
+  switch (scale()) {
+    case Scale::Smoke:
+      return {50, 100, 200};
+    case Scale::Small:
+      return {500, 1000, 2000, 4000, 8000};
+    case Scale::Paper:
+      return {1000, 25000, 50000, 75000, 100000};
+  }
+  return {};
+}
+
+const sim::Dataset& dataset() {
+  static const sim::Dataset ds = [] {
+    auto spec = sim::variable_trees(r_points().back());
+    return sim::generate(spec);
+  }();
+  return ds;
+}
+
+PaperTable paper_values() {
+  PaperTable t;
+  t[{"DS", 1000}] = {"3.65", "254"};
+  t[{"DS", 25000}] = {"2221.19", "4526"};
+  t[{"DS", 50000}] = {"8466.61", "9007"};
+  t[{"DS", 75000}] = {"19190.46", "13488"};
+  t[{"DS", 100000}] = {"36508.66", "17970"};
+  t[{"DSMP8", 1000}] = {"0.87", "272"};
+  t[{"DSMP8", 25000}] = {"337.01", "6090"};
+  t[{"DSMP8", 50000}] = {"1354.28", "12141"};
+  t[{"DSMP8", 75000}] = {"13.75*", "18194*"};
+  t[{"DSMP8", 100000}] = {"17.99*", "24243*"};
+  t[{"DSMP16", 1000}] = {"0.69", "273"};
+  t[{"DSMP16", 25000}] = {"241.7", "6093"};
+  t[{"DSMP16", 50000}] = {"9.03*", "12145*"};
+  t[{"DSMP16", 75000}] = {"13.79*", "18199*"};
+  t[{"DSMP16", 100000}] = {"19.06*", "24247*"};
+  t[{"HashRF", 1000}] = {"0.01", "9"};
+  t[{"HashRF", 25000}] = {"5.61", "1299"};
+  t[{"HashRF", 50000}] = {"30.48", "5032"};
+  t[{"HashRF", 75000}] = {"84.33", "11206"};
+  t[{"HashRF", 100000}] = {"7.80*", "19822*"};
+  t[{"BFHRF8", 1000}] = {"0.04", "44"};
+  t[{"BFHRF8", 25000}] = {"0.93", "181"};
+  t[{"BFHRF8", 50000}] = {"1.85", "323"};
+  t[{"BFHRF8", 75000}] = {"2.81", "460"};
+  t[{"BFHRF8", 100000}] = {"3.96", "593"};
+  t[{"BFHRF16", 1000}] = {"0.03", "46"};
+  t[{"BFHRF16", 25000}] = {"0.72", "197"};
+  t[{"BFHRF16", 50000}] = {"1.42", "355"};
+  t[{"BFHRF16", 75000}] = {"2.16", "519"};
+  t[{"BFHRF16", 100000}] = {"2.90", "691"};
+  return t;
+}
+
+void report() {
+  const auto points = r_points();
+  print_sweep_table("Table V / Fig 2: variable number of trees", 100, points,
+                    paper_values(),
+                    std::vector<std::size_t>{1000, 25000, 50000, 75000,
+                                             100000});
+  print_r_sweep_verdicts(points);
+
+  // Fig 2's crossover: HashRF wins at the smallest r, loses (or dies) at
+  // the largest runnable r.
+  const auto& res = Results::instance();
+  const auto h_small = res.find("HashRF", 100, points.front());
+  const auto b_small = res.find("BFHRF16", 100, points.front());
+  if (h_small && b_small && !h_small->skipped) {
+    verdict("HashRF competitive at smallest r (Table IV/V pattern)",
+            h_small->seconds < 4 * b_small->seconds,
+            "HashRF=" + time_cell(*h_small) + "m BFHRF16=" +
+                time_cell(*b_small) + "m");
+  }
+  std::size_t r_big = 0;
+  for (const std::size_t r : points) {
+    const auto h = res.find("HashRF", 100, r);
+    if (h && !h->skipped) {
+      r_big = r;
+    }
+  }
+  if (r_big != 0) {
+    const auto h = res.find("HashRF", 100, r_big);
+    const auto b = res.find("BFHRF16", 100, r_big);
+    if (h && b) {
+      verdict("BFHRF overtakes HashRF at largest common r (Fig 2)",
+              b->seconds <= h->seconds,
+              "r=" + std::to_string(r_big) + " HashRF=" + time_cell(*h) +
+                  "m BFHRF16=" + time_cell(*b) + "m");
+    }
+  }
+  const auto h_max = res.find("HashRF", 100, points.back());
+  if (h_max) {
+    verdict("HashRF unstable at max r (paper: killed at r=100000)",
+            scale() != Scale::Paper || h_max->skipped,
+            h_max->skipped ? "skipped (matrix over budget)"
+                           : "ran within reduced-scale budget");
+  }
+}
+
+}  // namespace
+}  // namespace bfhrf::bench
+
+int main(int argc, char** argv) {
+  using namespace bfhrf::bench;
+  print_header("Table V / Figure 2 — variable number of trees (n=100)",
+               "Table V, Fig. 2 and §VI-D");
+  register_r_sweep(dataset(), r_points(), RunBudget::for_scale(scale()));
+  return sweep_main(argc, argv, &report);
+}

@@ -1,0 +1,259 @@
+// bfhrf_cli — the paper's tool as a command-line program.
+//
+// Mirrors the original's interface ("an easy to use installation and
+// interface for calculating the average RF of query trees against a
+// collection of reference trees", §I), streaming both files so memory
+// stays bounded by the frequency hash:
+//
+//   bfhrf_cli -r reference.nwk [-q query.nwk] [-t THREADS]
+//             [--normalized | --half] [--min-size K] [--max-size K]
+//             [--include-trivial] [--compressed-keys] [--stats]
+//
+// With no -q, the reference collection is scored against itself (Q is R,
+// the paper's experimental setting). Input files may be Newick (streamed)
+// or NEXUS (detected by the #NEXUS header; loaded via the TREES block).
+// Output: one line per query tree, "<index>\t<avg RF>".
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <fstream>
+
+#include "core/bfhrf.hpp"
+#include "core/serialize.hpp"
+#include "core/tree_source.hpp"
+#include "core/variants.hpp"
+#include "phylo/nexus.hpp"
+#include "phylo/taxon_set.hpp"
+#include "util/error.hpp"
+#include "util/string_util.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct CliOptions {
+  std::string reference_path;
+  std::string query_path;   // empty = Q is R
+  std::string save_index;   // write the built index here
+  std::string load_index;   // read a prebuilt index instead of -r
+  std::size_t threads = 1;
+  bfhrf::core::RfNorm norm = bfhrf::core::RfNorm::None;
+  std::optional<std::size_t> min_size;
+  std::optional<std::size_t> max_size;
+  bool include_trivial = false;
+  bool compressed_keys = false;
+  bool stats = false;
+};
+
+/// Sniff the file format: NEXUS files start with "#NEXUS".
+bool is_nexus(const std::string& path) {
+  std::ifstream in(path);
+  std::string word;
+  in >> word;
+  return word.size() >= 6 &&
+         (word[0] == '#') &&
+         (std::tolower(static_cast<unsigned char>(word[1])) == 'n');
+}
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s -r reference.nwk [-q query.nwk] [-t THREADS]\n"
+      "          [--normalized | --half] [--min-size K] [--max-size K]\n"
+      "          [--include-trivial] [--compressed-keys] [--stats]\n"
+      "          [--save-index FILE | --load-index FILE]\n"
+      "\n"
+      "Average Robinson-Foulds distance of each query tree against the\n"
+      "reference collection, via a bipartition frequency hash (BFHRF).\n"
+      "With no -q the reference collection is compared against itself.\n",
+      argv0);
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        throw bfhrf::InvalidArgument(std::string(flag) + " needs a value");
+      }
+      return argv[++i];
+    };
+    if (arg == "-r" || arg == "--reference") {
+      o.reference_path = need_value("-r");
+    } else if (arg == "-q" || arg == "--query") {
+      o.query_path = need_value("-q");
+    } else if (arg == "-t" || arg == "--threads") {
+      o.threads = bfhrf::util::parse_size(need_value("-t"));
+    } else if (arg == "--normalized") {
+      o.norm = bfhrf::core::RfNorm::MaxScaled;
+    } else if (arg == "--half") {
+      o.norm = bfhrf::core::RfNorm::HalfSum;
+    } else if (arg == "--min-size") {
+      o.min_size = bfhrf::util::parse_size(need_value("--min-size"));
+    } else if (arg == "--max-size") {
+      o.max_size = bfhrf::util::parse_size(need_value("--max-size"));
+    } else if (arg == "--include-trivial") {
+      o.include_trivial = true;
+    } else if (arg == "--compressed-keys") {
+      o.compressed_keys = true;
+    } else if (arg == "--save-index") {
+      o.save_index = need_value("--save-index");
+    } else if (arg == "--load-index") {
+      o.load_index = need_value("--load-index");
+    } else if (arg == "--stats") {
+      o.stats = true;
+    } else if (arg == "-h" || arg == "--help") {
+      usage(argv[0]);
+      std::exit(0);
+    } else {
+      throw bfhrf::InvalidArgument("unknown argument '" + arg + "'");
+    }
+  }
+  if (o.reference_path.empty() && o.load_index.empty()) {
+    usage(argv[0]);
+    throw bfhrf::InvalidArgument("missing -r reference file (or --load-index)");
+  }
+  if (!o.load_index.empty() && o.query_path.empty()) {
+    throw bfhrf::InvalidArgument("--load-index requires -q (the reference "
+                                 "trees are not stored in the index)");
+  }
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bfhrf;
+  try {
+    const CliOptions cli = parse_args(argc, argv);
+
+    auto taxa = std::make_shared<phylo::TaxonSet>();
+
+    // The size filter is the variant the paper ships (§VII-F).
+    std::unique_ptr<core::RfVariant> variant;
+    if (cli.min_size || cli.max_size) {
+      variant = std::make_unique<core::SizeFilteredRf>(
+          cli.min_size.value_or(0),
+          cli.max_size.value_or(std::size_t{1} << 30));
+    }
+
+    core::BfhrfOptions opts;
+    opts.threads = cli.threads;
+    opts.norm = cli.norm;
+    opts.include_trivial = cli.include_trivial;
+    opts.compressed_keys = cli.compressed_keys;
+    opts.variant = variant.get();
+
+    util::WallTimer timer;
+
+    // Phase 1: ingest R and build the frequency hash. Newick files are
+    // streamed (a first pass discovers the taxon namespace, which the
+    // engine needs up front); NEXUS files are loaded via their TREES
+    // block. The namespace is then frozen so a stray taxon in Q is a clean
+    // error rather than a silent widening.
+    std::vector<phylo::Tree> ref_trees;  // NEXUS path only
+    std::unique_ptr<core::FileTreeSource> ref_stream;
+    if (!cli.load_index.empty()) {
+      // Build-once / query-many: the reference hash comes off disk. The
+      // taxon namespace is rebuilt from the query file (widths checked by
+      // the engine).
+      core::Bfhrf engine = core::load_bfhrf_file(cli.load_index, opts);
+      util::WallTimer qtimer;
+      std::vector<double> avg_rf;
+      if (is_nexus(cli.query_path)) {
+        const auto data = phylo::read_nexus_file(cli.query_path, taxa);
+        avg_rf = engine.query(data.trees);
+      } else {
+        core::FileTreeSource queries(cli.query_path, taxa);
+        avg_rf = engine.query(queries);
+      }
+      for (std::size_t i = 0; i < avg_rf.size(); ++i) {
+        std::printf("%zu\t%.6f\n", i, avg_rf[i]);
+      }
+      if (cli.stats) {
+        const auto stats = engine.stats();
+        std::fprintf(stderr,
+                     "# loaded index: %zu reference trees, %zu unique "
+                     "bipartitions\n# query time: %.3f s\n",
+                     stats.reference_trees, stats.unique_bipartitions,
+                     qtimer.seconds());
+      }
+      return 0;
+    }
+    if (is_nexus(cli.reference_path)) {
+      ref_trees =
+          std::move(phylo::read_nexus_file(cli.reference_path, taxa).trees);
+    } else {
+      ref_stream =
+          std::make_unique<core::FileTreeSource>(cli.reference_path, taxa);
+      phylo::Tree t;
+      while (ref_stream->next(t)) {
+      }
+      ref_stream->reset();
+    }
+    taxa->freeze();
+
+    core::Bfhrf engine(taxa->size(), opts);
+    if (ref_stream) {
+      engine.build(*ref_stream);
+    } else {
+      engine.build(ref_trees);
+    }
+    const double build_seconds = timer.seconds();
+    if (!cli.save_index.empty()) {
+      core::save_bfhrf_file(engine, cli.save_index);
+      std::fprintf(stderr, "# index saved to %s\n", cli.save_index.c_str());
+    }
+
+    // Phase 2: run Q (or R again) through the hash.
+    timer.restart();
+    std::vector<double> avg_rf;
+    if (cli.query_path.empty()) {
+      if (ref_stream) {
+        ref_stream->reset();
+        avg_rf = engine.query(*ref_stream);
+      } else {
+        avg_rf = engine.query(ref_trees);
+      }
+    } else if (is_nexus(cli.query_path)) {
+      const auto data = phylo::read_nexus_file(cli.query_path, taxa);
+      avg_rf = engine.query(data.trees);
+    } else {
+      core::FileTreeSource queries(cli.query_path, taxa);
+      avg_rf = engine.query(queries);
+    }
+    const double query_seconds = timer.seconds();
+
+    for (std::size_t i = 0; i < avg_rf.size(); ++i) {
+      std::printf("%zu\t%.6f\n", i, avg_rf[i]);
+    }
+
+    if (cli.stats) {
+      const auto stats = engine.stats();
+      std::fprintf(stderr,
+                   "# taxa: %zu\n"
+                   "# reference trees: %zu\n"
+                   "# query trees: %zu\n"
+                   "# unique bipartitions: %zu\n"
+                   "# sumBFHR: %llu\n"
+                   "# hash memory: %.2f MB\n"
+                   "# build time: %.3f s\n"
+                   "# query time: %.3f s\n",
+                   taxa->size(), stats.reference_trees, avg_rf.size(),
+                   stats.unique_bipartitions,
+                   static_cast<unsigned long long>(stats.total_bipartitions),
+                   static_cast<double>(stats.hash_memory_bytes) /
+                       (1024.0 * 1024.0),
+                   build_seconds, query_seconds);
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

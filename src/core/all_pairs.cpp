@@ -1,0 +1,53 @@
+#include "core/all_pairs.hpp"
+
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "phylo/bipartition.hpp"
+#include "util/error.hpp"
+
+namespace bfhrf::core {
+
+RfMatrix all_pairs_rf(std::span<const phylo::Tree> trees,
+                      const AllPairsOptions& opts) {
+  if (trees.empty()) {
+    throw InvalidArgument("all_pairs_rf: empty collection");
+  }
+  const auto& taxa = trees.front().taxa();
+  for (const auto& t : trees) {
+    if (t.taxa() != taxa) {
+      throw InvalidArgument("all_pairs_rf: trees must share one TaxonSet");
+    }
+  }
+  const std::size_t r = trees.size();
+  const std::size_t threads = parallel::effective_threads(opts.threads);
+
+  // Precompute every tree's sorted bipartition set once (O(n²r/64)).
+  const phylo::BipartitionOptions bip_opts{.include_trivial =
+                                               opts.include_trivial};
+  std::vector<phylo::BipartitionSet> sets(r);
+  parallel::parallel_for(
+      0, r, threads,
+      [&](std::size_t i) {
+        sets[i] = phylo::extract_bipartitions(trees[i], bip_opts);
+      },
+      /*grain=*/8);
+
+  // Upper-triangular fill, parallel over rows. Rows near the top carry
+  // more cells, so a small grain keeps the load balanced.
+  RfMatrix matrix(r);
+  parallel::parallel_for(
+      0, r, threads,
+      [&](std::size_t i) {
+        for (std::size_t j = i + 1; j < r; ++j) {
+          matrix.set(i, j,
+                     static_cast<std::uint32_t>(
+                         phylo::BipartitionSet::symmetric_difference_size(
+                             sets[i], sets[j])));
+        }
+      },
+      /*grain=*/1);
+  return matrix;
+}
+
+}  // namespace bfhrf::core

@@ -1,0 +1,29 @@
+// Exact all-versus-all RF matrix, parallel.
+//
+// The paper positions the matrix as the product "useful for clustering
+// techniques" (§VIII) but its comparator, HashRF, computes it sequentially
+// and collision-prone. This module is the modern replacement: collision-
+// free (sorted bipartition sets, exact merges) and parallel over rows.
+// The O(r²) time/memory is inherent to the matrix itself — use Bfhrf when
+// only averages are needed.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/rf.hpp"
+#include "core/rf_matrix.hpp"
+#include "phylo/tree.hpp"
+
+namespace bfhrf::core {
+
+struct AllPairsOptions {
+  std::size_t threads = 1;  ///< 0 = hardware default
+  bool include_trivial = false;
+};
+
+/// RF distance matrix of one collection (exact; parallel over rows).
+[[nodiscard]] RfMatrix all_pairs_rf(std::span<const phylo::Tree> trees,
+                                    const AllPairsOptions& opts = {});
+
+}  // namespace bfhrf::core

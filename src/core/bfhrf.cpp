@@ -1,0 +1,192 @@
+#include "core/bfhrf.hpp"
+
+#include "core/compressed_hash.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/error.hpp"
+
+namespace bfhrf::core {
+
+Bfhrf::Bfhrf(std::size_t n_bits, BfhrfOptions opts)
+    : n_bits_(n_bits), opts_(opts) {
+  if (n_bits_ == 0) {
+    throw InvalidArgument("Bfhrf: empty taxon universe");
+  }
+  opts_.threads = parallel::effective_threads(opts_.threads);
+  if (opts_.batch_size == 0) {
+    opts_.batch_size = 1;
+  }
+  store_ = make_store();
+}
+
+std::unique_ptr<FrequencyStore> Bfhrf::make_store() const {
+  if (opts_.compressed_keys) {
+    return std::make_unique<CompressedFrequencyHash>(n_bits_);
+  }
+  return std::make_unique<FrequencyHash>(n_bits_);
+}
+
+void Bfhrf::add_tree(const phylo::Tree& tree, FrequencyStore& target) const {
+  if (!tree.taxa() || tree.taxa()->size() != n_bits_) {
+    throw InvalidArgument("Bfhrf: tree taxon universe width mismatch");
+  }
+  const phylo::BipartitionOptions bip_opts{.include_trivial =
+                                               opts_.include_trivial};
+  const auto bips = phylo::extract_bipartitions(tree, bip_opts);
+  const RfVariant& v = variant();
+  bips.for_each([&](util::ConstWordSpan words) {
+    const BipartitionRef ref{words, n_bits_, util::popcount_words(words)};
+    if (!v.keep(ref)) {
+      return;
+    }
+    target.add_weighted(words, 1, v.weight(ref));
+  });
+}
+
+void Bfhrf::build(std::span<const phylo::Tree> reference) {
+  if (opts_.threads <= 1 || reference.size() < 2) {
+    for (const auto& t : reference) {
+      add_tree(t, *store_);
+    }
+  } else {
+    // Per-worker private stores; merged in rank order (deterministic
+    // counts).
+    std::vector<std::unique_ptr<FrequencyStore>> partials;
+    partials.reserve(opts_.threads);
+    for (std::size_t i = 0; i < opts_.threads; ++i) {
+      partials.push_back(make_store());
+    }
+    parallel::parallel_for_ranked(
+        0, reference.size(), opts_.threads,
+        [&](std::size_t rank, std::size_t i) {
+          add_tree(reference[i], *partials[rank]);
+        });
+    for (const auto& p : partials) {
+      store_->merge_from(*p);
+    }
+  }
+  reference_trees_ += reference.size();
+}
+
+void Bfhrf::build(TreeSource& reference) {
+  std::vector<std::unique_ptr<FrequencyStore>> partials;
+  partials.reserve(opts_.threads);
+  for (std::size_t i = 0; i < opts_.threads; ++i) {
+    partials.push_back(make_store());
+  }
+  std::vector<phylo::Tree> batch;
+  batch.reserve(opts_.batch_size * opts_.threads);
+  std::size_t seen = 0;
+  while (true) {
+    batch.clear();
+    phylo::Tree t;
+    while (batch.size() < opts_.batch_size * opts_.threads &&
+           reference.next(t)) {
+      batch.push_back(std::move(t));
+    }
+    if (batch.empty()) {
+      break;
+    }
+    seen += batch.size();
+    parallel::parallel_for_ranked(
+        0, batch.size(), opts_.threads,
+        [&](std::size_t rank, std::size_t i) {
+          add_tree(batch[i], *partials[rank]);
+        });
+  }
+  for (const auto& p : partials) {
+    store_->merge_from(*p);
+  }
+  reference_trees_ += seen;
+}
+
+double Bfhrf::query_bipartitions(const phylo::BipartitionSet& bips) const {
+  if (reference_trees_ == 0) {
+    throw InvalidArgument("Bfhrf::query before build");
+  }
+  const auto r = static_cast<double>(reference_trees_);
+  const RfVariant& v = variant();
+
+  // Algorithm 2's two accumulators, generalized to weights.
+  double rf_left = store_->total_weight();  // sumBFHR
+  double rf_right = 0.0;
+  double query_weight_sum = 0.0;            // Σ w(b') for MaxScaled
+
+  bips.for_each([&](util::ConstWordSpan words) {
+    const BipartitionRef ref{words, n_bits_, util::popcount_words(words)};
+    if (!v.keep(ref)) {
+      return;
+    }
+    const double w = v.weight(ref);
+    const double freq = static_cast<double>(store_->frequency(words));
+    rf_left -= w * freq;
+    rf_right += w * (r - freq);
+    query_weight_sum += w;
+  });
+
+  const double avg = (rf_left + rf_right) / r;
+  const double max_avg = (store_->total_weight() / r) + query_weight_sum;
+  return apply_norm(avg, max_avg, opts_.norm);
+}
+
+double Bfhrf::query_one(const phylo::Tree& tree) const {
+  if (!tree.taxa() || tree.taxa()->size() != n_bits_) {
+    throw InvalidArgument("Bfhrf: tree taxon universe width mismatch");
+  }
+  const phylo::BipartitionOptions bip_opts{.include_trivial =
+                                               opts_.include_trivial};
+  return query_bipartitions(phylo::extract_bipartitions(tree, bip_opts));
+}
+
+std::vector<double> Bfhrf::query(
+    std::span<const phylo::Tree> queries) const {
+  std::vector<double> out(queries.size(), 0.0);
+  parallel::parallel_for(0, queries.size(), opts_.threads,
+                         [&](std::size_t i) { out[i] = query_one(queries[i]); });
+  return out;
+}
+
+std::vector<double> Bfhrf::query(TreeSource& queries) const {
+  std::vector<double> out;
+  std::vector<phylo::Tree> batch;
+  batch.reserve(opts_.batch_size * opts_.threads);
+  while (true) {
+    batch.clear();
+    phylo::Tree t;
+    while (batch.size() < opts_.batch_size * opts_.threads &&
+           queries.next(t)) {
+      batch.push_back(std::move(t));
+    }
+    if (batch.empty()) {
+      break;
+    }
+    const std::size_t base = out.size();
+    out.resize(base + batch.size());
+    parallel::parallel_for(
+        0, batch.size(), opts_.threads,
+        [&](std::size_t i) { out[base + i] = query_one(batch[i]); });
+  }
+  return out;
+}
+
+BfhrfStats Bfhrf::stats() const {
+  return BfhrfStats{
+      .reference_trees = reference_trees_,
+      .unique_bipartitions = store_->unique_count(),
+      .total_bipartitions = store_->total_count(),
+      .hash_memory_bytes = store_->memory_bytes(),
+  };
+}
+
+std::vector<double> bfhrf_average_rf(std::span<const phylo::Tree> queries,
+                                     std::span<const phylo::Tree> reference,
+                                     const BfhrfOptions& opts) {
+  if (reference.empty()) {
+    throw InvalidArgument("bfhrf_average_rf: empty reference collection");
+  }
+  const auto& taxa = reference.front().taxa();
+  Bfhrf engine(taxa->size(), opts);
+  engine.build(reference);
+  return engine.query(queries);
+}
+
+}  // namespace bfhrf::core

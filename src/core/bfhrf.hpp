@@ -1,0 +1,137 @@
+// BFHRF — Bipartition Frequency Hash Robinson-Foulds (paper §III, Alg. 2).
+//
+// The contribution: computing each query tree's *average* RF against a
+// reference collection R directly, replacing q·r tree-vs-tree comparisons
+// with r hash insertions + q tree-vs-hash comparisons.
+//
+// Phase 1 (build): stream R, inserting every canonical bipartition into the
+// frequency hash BFH_R and accumulating sumBFHR.
+//
+// Phase 2 (query): for each query tree T' with kept bipartitions B(T'):
+//
+//   RF_left  = sumBFHR − Σ_{b'∈B(T')} BFHR[b']      (Σ_T |B(T) \ B(T')|)
+//   RF_right = Σ_{b'∈B(T')} (r − BFHR[b'])           (Σ_T |B(T') \ B(T)|)
+//   avgRF(T') = (RF_left + RF_right) / r
+//
+// Under a weighted variant every term carries w(b'); sumBFHR becomes the
+// weighted total. Both phases parallelize at tree granularity: the build
+// uses per-worker private hashes merged once (no locks on the hot path),
+// the query is embarrassingly parallel (read-only hash).
+//
+// Complexity (Table I): time O(max(n²r, n²q)/64), space O(U·n/64) for U
+// unique bipartitions — and U saturates as r grows (§VII-C).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/frequency_hash.hpp"
+#include "core/frequency_store.hpp"
+#include "core/rf.hpp"
+#include "core/tree_source.hpp"
+#include "core/variants.hpp"
+#include "phylo/bipartition.hpp"
+#include "phylo/tree.hpp"
+
+namespace bfhrf::core {
+
+struct BfhrfOptions {
+  /// Worker threads for both phases (1 = sequential; 0 = hardware default).
+  std::size_t threads = 1;
+
+  /// Trees per streaming batch; bounds resident memory for TreeSource input.
+  std::size_t batch_size = 256;
+
+  /// RF variant hooks applied identically at build and query time.
+  /// nullptr selects classic RF. The pointee must outlive the engine.
+  const RfVariant* variant = nullptr;
+
+  /// Normalization applied to each per-tree average.
+  RfNorm norm = RfNorm::None;
+
+  /// Include trivial (leaf) bipartitions. They cancel for fixed taxa, so
+  /// the default matches the paper; enable for variable-taxa experiments.
+  bool include_trivial = false;
+
+  /// Store keys losslessly compressed (SparseKeyCodec) instead of as raw
+  /// bitmasks — the paper's §IX memory-reduction future work. Exactness
+  /// and all variants are unaffected; see bench_ablation_hash (A4c).
+  bool compressed_keys = false;
+};
+
+/// Build/query statistics surfaced to the bench harness.
+struct BfhrfStats {
+  std::size_t reference_trees = 0;
+  std::size_t unique_bipartitions = 0;
+  std::uint64_t total_bipartitions = 0;  ///< sumBFHR (unit weights)
+  std::size_t hash_memory_bytes = 0;
+};
+
+class Bfhrf {
+ public:
+  friend Bfhrf load_bfhrf(std::istream& in, BfhrfOptions opts);
+
+  /// `n_bits` is the taxon-universe width (TaxonSet::size()); all trees fed
+  /// to this engine must be over a taxon set of exactly that width.
+  explicit Bfhrf(std::size_t n_bits, BfhrfOptions opts = {});
+
+  // --- Phase 1: build BFH_R -----------------------------------------------
+
+  /// Build from an in-memory collection (parallel, zero-copy).
+  void build(std::span<const phylo::Tree> reference);
+
+  /// Build from a stream; at most `threads·batch_size` trees resident.
+  void build(TreeSource& reference);
+
+  // --- Phase 2: query ------------------------------------------------------
+
+  /// Average RF of each query tree against R (order preserved).
+  [[nodiscard]] std::vector<double> query(
+      std::span<const phylo::Tree> queries) const;
+
+  /// Streaming query; results are in stream order.
+  [[nodiscard]] std::vector<double> query(TreeSource& queries) const;
+
+  /// Average RF of a single tree against R. Thread-safe after build.
+  [[nodiscard]] double query_one(const phylo::Tree& tree) const;
+
+  // --- introspection --------------------------------------------------------
+
+  /// The underlying frequency store (raw or compressed, per options).
+  [[nodiscard]] const FrequencyStore& store() const noexcept {
+    return *store_;
+  }
+  [[nodiscard]] BfhrfStats stats() const;
+  [[nodiscard]] const BfhrfOptions& options() const noexcept { return opts_; }
+
+ private:
+  /// Create an empty store of the configured kind.
+  [[nodiscard]] std::unique_ptr<FrequencyStore> make_store() const;
+
+  /// Insert one tree's bipartitions into `target`.
+  void add_tree(const phylo::Tree& tree, FrequencyStore& target) const;
+
+  /// The Algorithm-2 inner loop for one query tree.
+  [[nodiscard]] double query_bipartitions(
+      const phylo::BipartitionSet& bips) const;
+
+  [[nodiscard]] const RfVariant& variant() const noexcept {
+    return opts_.variant != nullptr ? *opts_.variant : classic_rf();
+  }
+
+  std::size_t n_bits_;
+  BfhrfOptions opts_;
+  std::unique_ptr<FrequencyStore> store_;
+  std::size_t reference_trees_ = 0;
+};
+
+/// One-call convenience mirroring the paper's tool: average RF of every
+/// tree in Q against the collection R.
+[[nodiscard]] std::vector<double> bfhrf_average_rf(
+    std::span<const phylo::Tree> queries,
+    std::span<const phylo::Tree> reference, const BfhrfOptions& opts = {});
+
+}  // namespace bfhrf::core

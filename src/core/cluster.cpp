@@ -1,0 +1,250 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+/// Lance–Williams update of d(k, i∪j) from d(k,i), d(k,j).
+double lw_update(Linkage linkage, double dki, double dkj, std::size_t size_i,
+                 std::size_t size_j) {
+  switch (linkage) {
+    case Linkage::Single:
+      return std::min(dki, dkj);
+    case Linkage::Complete:
+      return std::max(dki, dkj);
+    case Linkage::Average:
+      return (static_cast<double>(size_i) * dki +
+              static_cast<double>(size_j) * dkj) /
+             static_cast<double>(size_i + size_j);
+  }
+  return dki;
+}
+
+}  // namespace
+
+Dendrogram hierarchical_cluster(const RfMatrix& matrix, Linkage linkage) {
+  const std::size_t r = matrix.size();
+  if (r == 0) {
+    throw InvalidArgument("hierarchical_cluster: empty matrix");
+  }
+  Dendrogram out;
+  out.num_leaves = r;
+  if (r == 1) {
+    return out;
+  }
+  out.merges.reserve(r - 1);
+
+  // Working distance matrix over slots (a slot holds one active cluster).
+  std::vector<double> dist(r * r, 0.0);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = i + 1; j < r; ++j) {
+      const auto d = static_cast<double>(matrix.at(i, j));
+      dist[i * r + j] = d;
+      dist[j * r + i] = d;
+    }
+  }
+  std::vector<std::uint8_t> active(r, 1);
+  std::vector<std::size_t> cluster_id(r);   // dendrogram id held by a slot
+  std::vector<std::size_t> cluster_size(r, 1);
+  std::iota(cluster_id.begin(), cluster_id.end(), std::size_t{0});
+  std::size_t next_id = r;
+  std::size_t remaining = r;
+
+  // Nearest-neighbor chain: follow nearest neighbors until a reciprocal
+  // pair appears, merge it, and continue from the chain's remnant. Exact
+  // for reducible linkages (single/complete/average all are).
+  std::vector<std::size_t> chain;
+  chain.reserve(r);
+  while (remaining > 1) {
+    if (chain.empty()) {
+      for (std::size_t s = 0; s < r; ++s) {
+        if (active[s] != 0) {
+          chain.push_back(s);
+          break;
+        }
+      }
+    }
+    while (true) {
+      const std::size_t top = chain.back();
+      // Nearest active neighbor of `top` (lowest index breaks ties, so the
+      // procedure is deterministic).
+      std::size_t nearest = r;
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t s = 0; s < r; ++s) {
+        if (s == top || active[s] == 0) {
+          continue;
+        }
+        const double d = dist[top * r + s];
+        if (d < best) {
+          best = d;
+          nearest = s;
+        }
+      }
+      BFHRF_ASSERT(nearest < r);
+      if (chain.size() >= 2 && nearest == chain[chain.size() - 2]) {
+        // Reciprocal pair: merge chain[-1] and chain[-2].
+        const std::size_t a = chain[chain.size() - 2];
+        const std::size_t b = chain.back();
+        chain.pop_back();
+        chain.pop_back();
+
+        out.merges.push_back({cluster_id[a], cluster_id[b], best});
+        // Merged cluster occupies slot a.
+        for (std::size_t s = 0; s < r; ++s) {
+          if (active[s] == 0 || s == a || s == b) {
+            continue;
+          }
+          const double updated =
+              lw_update(linkage, dist[s * r + a], dist[s * r + b],
+                        cluster_size[a], cluster_size[b]);
+          dist[s * r + a] = updated;
+          dist[a * r + s] = updated;
+        }
+        active[b] = 0;
+        cluster_size[a] += cluster_size[b];
+        cluster_id[a] = next_id++;
+        --remaining;
+        break;
+      }
+      chain.push_back(nearest);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> Dendrogram::cut(std::size_t k) const {
+  if (k == 0 || k > num_leaves) {
+    throw InvalidArgument("Dendrogram::cut: k out of range");
+  }
+  const std::size_t r = num_leaves;
+
+  // Undo the k-1 highest merges. For monotone (reducible-linkage)
+  // hierarchies the top-(k-1) set is upward-closed when height ties prefer
+  // the later merge (a consumer always follows its producer in merge
+  // order), so the kept merges never reference a cut cluster.
+  std::vector<std::size_t> order(merges.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (merges[a].height != merges[b].height) {
+      return merges[a].height > merges[b].height;
+    }
+    return a > b;
+  });
+  std::vector<std::uint8_t> cut_flag(merges.size(), 0);
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    cut_flag[order[i]] = 1;
+  }
+
+  // Union-find over dendrogram ids.
+  std::vector<std::size_t> parent(r + merges.size());
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  const auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (std::size_t m = 0; m < merges.size(); ++m) {
+    if (cut_flag[m] != 0) {
+      continue;
+    }
+    const std::size_t a = find(merges[m].left);
+    const std::size_t b = find(merges[m].right);
+    const std::size_t id = r + m;
+    parent[a] = id;
+    parent[b] = id;
+  }
+
+  std::vector<std::uint32_t> labels(r, 0);
+  std::vector<std::size_t> rep_of;  // first-seen component representatives
+  for (std::size_t leaf = 0; leaf < r; ++leaf) {
+    const std::size_t rep = find(leaf);
+    std::size_t idx = rep_of.size();
+    for (std::size_t i = 0; i < rep_of.size(); ++i) {
+      if (rep_of[i] == rep) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == rep_of.size()) {
+      rep_of.push_back(rep);
+    }
+    labels[leaf] = static_cast<std::uint32_t>(idx);
+  }
+  BFHRF_ASSERT(rep_of.size() == k);
+  return labels;
+}
+
+KMedoidsResult k_medoids(const RfMatrix& matrix, std::size_t k,
+                         util::Rng& rng, std::size_t max_iterations) {
+  const std::size_t r = matrix.size();
+  if (k == 0 || k > r) {
+    throw InvalidArgument("k_medoids: k out of range");
+  }
+  KMedoidsResult result;
+  // Distinct random initial medoids (Floyd's sampling via shuffle prefix).
+  std::vector<std::size_t> indices(r);
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  rng.shuffle(indices);
+  result.medoids.assign(indices.begin(),
+                        indices.begin() + static_cast<std::ptrdiff_t>(k));
+  std::sort(result.medoids.begin(), result.medoids.end());
+  result.labels.assign(r, 0);
+
+  for (result.iterations = 0; result.iterations < max_iterations;
+       ++result.iterations) {
+    // Assignment step.
+    result.total_cost = 0;
+    for (std::size_t i = 0; i < r; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::uint32_t label = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const auto d = static_cast<double>(matrix.at(i, result.medoids[c]));
+        if (d < best) {
+          best = d;
+          label = static_cast<std::uint32_t>(c);
+        }
+      }
+      result.labels[i] = label;
+      result.total_cost += best;
+    }
+    // Update step: each cluster's new medoid minimizes intra-cluster cost.
+    bool changed = false;
+    for (std::size_t c = 0; c < k; ++c) {
+      double best_cost = std::numeric_limits<double>::infinity();
+      std::size_t best_medoid = result.medoids[c];
+      for (std::size_t cand = 0; cand < r; ++cand) {
+        if (result.labels[cand] != c) {
+          continue;
+        }
+        double cost = 0;
+        for (std::size_t other = 0; other < r; ++other) {
+          if (result.labels[other] == c) {
+            cost += static_cast<double>(matrix.at(cand, other));
+          }
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_medoid = cand;
+        }
+      }
+      if (best_medoid != result.medoids[c]) {
+        result.medoids[c] = best_medoid;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      ++result.iterations;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace bfhrf::core

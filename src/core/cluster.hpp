@@ -1,0 +1,59 @@
+// Tree clustering on RF matrices — the analysis the paper says the
+// all-vs-all matrix exists for ("useful for clustering techniques", §VIII).
+//
+// Two standard methods over a precomputed RfMatrix:
+//  * agglomerative hierarchical clustering (single / complete / average
+//    linkage) via the nearest-neighbor-chain algorithm — O(r²) time,
+//    O(r) extra space, exact for these reducible linkages;
+//  * k-medoids (PAM-style alternating assignment/update) for flat
+//    partitions with representative trees.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/rf_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::core {
+
+enum class Linkage { Single, Complete, Average };
+
+/// One agglomerative merge step. Leaves are numbered 0..r-1; internal
+/// clusters r..2r-2 in merge order (the scipy convention).
+struct Merge {
+  std::size_t left;
+  std::size_t right;
+  double height;  ///< linkage distance at which the pair merged
+};
+
+/// Full dendrogram: r-1 merges, heights non-decreasing for reducible
+/// linkages (single/complete/average all are).
+struct Dendrogram {
+  std::size_t num_leaves = 0;
+  std::vector<Merge> merges;
+
+  /// Flat clustering with exactly `k` clusters (1 <= k <= num_leaves):
+  /// undo the last k-1 merges. Returns a label in [0, k) per leaf.
+  [[nodiscard]] std::vector<std::uint32_t> cut(std::size_t k) const;
+};
+
+/// Agglomerative clustering of the matrix's items.
+[[nodiscard]] Dendrogram hierarchical_cluster(const RfMatrix& matrix,
+                                              Linkage linkage);
+
+struct KMedoidsResult {
+  std::vector<std::size_t> medoids;        ///< tree index per cluster
+  std::vector<std::uint32_t> labels;       ///< cluster id per tree
+  double total_cost = 0;                   ///< Σ d(tree, its medoid)
+  std::size_t iterations = 0;
+};
+
+/// PAM-style k-medoids on a distance matrix. Deterministic given the rng
+/// seed (used for the initial medoid draw).
+[[nodiscard]] KMedoidsResult k_medoids(const RfMatrix& matrix, std::size_t k,
+                                       util::Rng& rng,
+                                       std::size_t max_iterations = 50);
+
+}  // namespace bfhrf::core

@@ -1,0 +1,131 @@
+#include "core/compressed_hash.hpp"
+
+#include <cstring>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+std::size_t table_size_for(std::size_t expected_unique) {
+  std::size_t want = 16;
+  while (static_cast<double>(expected_unique) >
+         0.7 * static_cast<double>(want)) {
+    want <<= 1;
+  }
+  return want;
+}
+
+/// Scratch buffer for encodings on the read path; thread-local so
+/// concurrent lookups after the build are safe.
+std::vector<std::byte>& tl_scratch() {
+  thread_local std::vector<std::byte> scratch;
+  return scratch;
+}
+
+}  // namespace
+
+CompressedFrequencyHash::CompressedFrequencyHash(std::size_t n_bits,
+                                                 std::size_t expected_unique)
+    : codec_(n_bits), slots_(table_size_for(expected_unique)) {}
+
+std::size_t CompressedFrequencyHash::probe(ByteSpan encoded,
+                                           std::uint64_t fp) const noexcept {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t idx = static_cast<std::size_t>(fp) & mask;
+  while (true) {
+    const Slot& s = slots_[idx];
+    if (s.count == 0) {
+      return idx;
+    }
+    if (s.fingerprint == fp && s.length == encoded.size() &&
+        std::memcmp(arena_.data() + s.offset, encoded.data(),
+                    encoded.size()) == 0) {
+      return idx;
+    }
+    idx = (idx + 1) & mask;
+  }
+}
+
+void CompressedFrequencyHash::add_weighted(util::ConstWordSpan key,
+                                           std::uint32_t count,
+                                           double weight) {
+  BFHRF_ASSERT(key.size() == util::words_for_bits(codec_.n_bits()));
+  BFHRF_ASSERT(count > 0);
+  if (static_cast<double>(size_ + 1) >
+      kMaxLoad * static_cast<double>(slots_.size())) {
+    grow();
+  }
+  auto& scratch = tl_scratch();
+  scratch.clear();
+  codec_.encode(key, scratch);
+  // Fingerprint the raw words (identical to what lookups compute).
+  const std::uint64_t fp = util::hash_words(key);
+  const std::size_t idx = probe(scratch, fp);
+  Slot& s = slots_[idx];
+  if (s.count == 0) {
+    s.fingerprint = fp;
+    s.offset = static_cast<std::uint32_t>(arena_.size());
+    s.length = static_cast<std::uint32_t>(scratch.size());
+    arena_.insert(arena_.end(), scratch.begin(), scratch.end());
+    ++size_;
+  }
+  s.count += count;
+  total_ += count;
+  total_weight_ += static_cast<double>(count) * weight;
+}
+
+std::uint32_t CompressedFrequencyHash::frequency(
+    util::ConstWordSpan key) const {
+  BFHRF_ASSERT(key.size() == util::words_for_bits(codec_.n_bits()));
+  auto& scratch = tl_scratch();
+  scratch.clear();
+  codec_.encode(key, scratch);
+  const std::uint64_t fp = util::hash_words(key);
+  return slots_[probe(scratch, fp)].count;
+}
+
+void CompressedFrequencyHash::merge_from(const FrequencyStore& other) {
+  const auto* o = dynamic_cast<const CompressedFrequencyHash*>(&other);
+  if (o == nullptr || o->n_bits() != n_bits()) {
+    throw InvalidArgument(
+        "CompressedFrequencyHash::merge_from: incompatible store");
+  }
+  o->for_each_key([this](util::ConstWordSpan key, std::uint32_t count) {
+    add(key, count);
+  });
+  // add() accumulated unit weights; restore the true weighted mass.
+  total_weight_ += o->total_weight_ - static_cast<double>(o->total_);
+}
+
+void CompressedFrequencyHash::for_each_key(
+    const std::function<void(util::ConstWordSpan, std::uint32_t)>& fn) const {
+  util::DynamicBitset decoded(codec_.n_bits());
+  for (const Slot& s : slots_) {
+    if (s.count == 0) {
+      continue;
+    }
+    (void)codec_.decode(ByteSpan{arena_.data() + s.offset, s.length},
+                        decoded);
+    fn(decoded.words(), s.count);
+  }
+}
+
+void CompressedFrequencyHash::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  const std::size_t mask = slots_.size() - 1;
+  for (const Slot& s : old) {
+    if (s.count == 0) {
+      continue;
+    }
+    std::size_t idx = static_cast<std::size_t>(s.fingerprint) & mask;
+    while (slots_[idx].count != 0) {
+      idx = (idx + 1) & mask;
+    }
+    slots_[idx] = s;
+  }
+}
+
+}  // namespace bfhrf::core

@@ -1,0 +1,82 @@
+// CompressedFrequencyHash — the frequency hash with losslessly compressed
+// keys (paper §IX future work). Same collision-free, reversible semantics
+// as FrequencyHash; keys live in a byte arena as SparseKeyCodec encodings
+// instead of fixed-width bitmasks.
+//
+// Trade-off (quantified in bench_ablation_hash A4c): key bytes shrink by
+// the ratio of n/8 to the smaller side's varint cost — large for big n and
+// shallow splits — at the price of an encode per insert/lookup.
+//
+// Concurrency model matches FrequencyHash: single writer, thread-safe
+// concurrent readers after the build (lookups use thread-local scratch).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/frequency_store.hpp"
+#include "core/key_codec.hpp"
+
+namespace bfhrf::core {
+
+class CompressedFrequencyHash final : public FrequencyStore {
+ public:
+  explicit CompressedFrequencyHash(std::size_t n_bits,
+                                   std::size_t expected_unique = 0);
+
+  [[nodiscard]] std::size_t n_bits() const override { return codec_.n_bits(); }
+  [[nodiscard]] std::size_t unique_count() const override { return size_; }
+  [[nodiscard]] std::uint64_t total_count() const override { return total_; }
+  [[nodiscard]] double total_weight() const override { return total_weight_; }
+
+  void add_weighted(util::ConstWordSpan key, std::uint32_t count,
+                    double weight) override;
+
+  [[nodiscard]] std::uint32_t frequency(
+      util::ConstWordSpan key) const override;
+
+  void merge_from(const FrequencyStore& other) override;
+
+  void set_total_weight(double w) override { total_weight_ = w; }
+
+  void for_each_key(const std::function<void(util::ConstWordSpan,
+                                             std::uint32_t)>& fn)
+      const override;
+
+  [[nodiscard]] std::size_t memory_bytes() const override {
+    return slots_.capacity() * sizeof(Slot) + arena_.capacity();
+  }
+
+  /// Average encoded key size in bytes (diagnostics / ablation A4c).
+  [[nodiscard]] double mean_key_bytes() const noexcept {
+    return size_ == 0 ? 0.0
+                      : static_cast<double>(arena_.size()) /
+                            static_cast<double>(size_);
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t fingerprint = 0;
+    std::uint32_t offset = 0;  ///< byte offset of the encoding in arena_
+    std::uint32_t length = 0;  ///< encoding length in bytes
+    std::uint32_t count = 0;   ///< 0 marks an empty slot
+  };
+
+  /// Probe for the slot matching (`fp`, encoded bytes), or the empty slot
+  /// where it belongs.
+  [[nodiscard]] std::size_t probe(ByteSpan encoded,
+                                  std::uint64_t fp) const noexcept;
+
+  void grow();
+
+  static constexpr double kMaxLoad = 0.7;
+
+  SparseKeyCodec codec_;
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+  double total_weight_ = 0.0;
+  std::vector<Slot> slots_;
+  std::vector<std::byte> arena_;
+};
+
+}  // namespace bfhrf::core

@@ -1,0 +1,277 @@
+#include "core/day.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+using phylo::kNoNode;
+using phylo::NodeId;
+using phylo::TaxonId;
+using phylo::Tree;
+
+/// Flat (CSR) undirected adjacency of an arena tree: one offsets array and
+/// one neighbors array — two allocations per scan instead of one per node.
+struct FlatAdjacency {
+  std::vector<std::int32_t> offsets;    // num_nodes + 1
+  std::vector<NodeId> neighbors;
+
+  explicit FlatAdjacency(const Tree& t) {
+    const auto nodes = static_cast<std::int32_t>(t.num_nodes());
+    std::vector<std::int32_t> degree(t.num_nodes(), 0);
+    for (NodeId id = 0; id < nodes; ++id) {
+      const NodeId p = t.node(id).parent;
+      if (p != kNoNode) {
+        ++degree[static_cast<std::size_t>(id)];
+        ++degree[static_cast<std::size_t>(p)];
+      }
+    }
+    offsets.assign(t.num_nodes() + 1, 0);
+    for (NodeId id = 0; id < nodes; ++id) {
+      offsets[static_cast<std::size_t>(id) + 1] =
+          offsets[static_cast<std::size_t>(id)] +
+          degree[static_cast<std::size_t>(id)];
+    }
+    neighbors.resize(static_cast<std::size_t>(offsets.back()));
+    std::vector<std::int32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (NodeId id = 0; id < nodes; ++id) {
+      const NodeId p = t.node(id).parent;
+      if (p != kNoNode) {
+        neighbors[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(id)]++)] = p;
+        neighbors[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(p)]++)] = id;
+      }
+    }
+  }
+
+  [[nodiscard]] std::span<const NodeId> of(NodeId id) const {
+    return {neighbors.data() + offsets[static_cast<std::size_t>(id)],
+            static_cast<std::size_t>(offsets[static_cast<std::size_t>(id) + 1] -
+                                     offsets[static_cast<std::size_t>(id)])};
+  }
+};
+
+/// Node id of the leaf carrying `taxon`.
+NodeId find_leaf(const Tree& t, TaxonId taxon) {
+  for (NodeId id = 0; id < static_cast<NodeId>(t.num_nodes()); ++id) {
+    if (t.is_leaf(id) && t.node(id).taxon == taxon) {
+      return id;
+    }
+  }
+  throw InvalidArgument("DayTable: pivot taxon missing from tree");
+}
+
+/// Per-node aggregates from the pivot-rooted DFS.
+struct NodeAgg {
+  std::int32_t min_rank = std::numeric_limits<std::int32_t>::max();
+  std::int32_t max_rank = -1;
+  std::int32_t leaves = 0;
+};
+
+/// Iterative postorder DFS of `t` viewed as rooted at the neighbor of leaf
+/// `pivot_leaf`, with that leaf removed. Invokes, in postorder,
+///   on_leaf(node, taxon, agg)         for each leaf except the pivot;
+///   on_internal(node, agg, is_last)   for each internal (>= 2 DFS
+///                                     children) node except the DFS root.
+/// Pass-through nodes (exactly 1 DFS child — a rooted-degree-2 root seen
+/// from below) carry their child's cluster and are skipped so clusters stay
+/// distinct.
+template <typename OnLeaf, typename OnInternal>
+void pivot_dfs(const Tree& t, NodeId pivot_leaf, const FlatAdjacency& adj,
+               std::vector<NodeAgg>& agg, OnLeaf&& on_leaf,
+               OnInternal&& on_internal) {
+  const auto pivot_nbrs = adj.of(pivot_leaf);
+  BFHRF_ASSERT(pivot_nbrs.size() == 1);
+  const NodeId dfs_root = pivot_nbrs[0];
+
+  struct Frame {
+    NodeId node;
+    NodeId from;
+    std::uint32_t next_nbr = 0;
+    std::int32_t child_count = 0;
+    bool is_last_child = false;
+  };
+  std::vector<Frame> stack;
+  stack.reserve(t.num_nodes());
+  stack.push_back({dfs_root, pivot_leaf, 0, 0, true});
+
+  while (!stack.empty()) {
+    // push_back below may reallocate; index instead of holding a Frame&.
+    const std::size_t fi = stack.size() - 1;
+    const auto nb = adj.of(stack[fi].node);
+
+    bool descended = false;
+    while (stack[fi].next_nbr < nb.size()) {
+      const NodeId child = nb[stack[fi].next_nbr++];
+      if (child == stack[fi].from) {
+        continue;
+      }
+      bool last = true;
+      for (std::size_t k = stack[fi].next_nbr; k < nb.size(); ++k) {
+        if (nb[k] != stack[fi].from) {
+          last = false;
+          break;
+        }
+      }
+      ++stack[fi].child_count;
+      stack.push_back({child, stack[fi].node, 0, 0, last});
+      descended = true;
+      break;
+    }
+    if (descended) {
+      continue;
+    }
+
+    // Postorder position for stack[fi].
+    const Frame done = stack[fi];
+    NodeAgg& a = agg[static_cast<std::size_t>(done.node)];
+    if (done.child_count == 0) {
+      const TaxonId taxon = t.node(done.node).taxon;
+      BFHRF_ASSERT(taxon != phylo::kNoTaxon);
+      on_leaf(done.node, taxon, a);
+      a.leaves = 1;
+    } else if (done.node != dfs_root && done.child_count >= 2) {
+      on_internal(done.node, a, done.is_last_child);
+    }
+    stack.pop_back();
+    if (!stack.empty()) {
+      NodeAgg& p = agg[static_cast<std::size_t>(done.from)];
+      p.min_rank = std::min(p.min_rank, a.min_rank);
+      p.max_rank = std::max(p.max_rank, a.max_rank);
+      p.leaves += a.leaves;
+    }
+  }
+}
+
+}  // namespace
+
+DayTable::DayTable(const phylo::Tree& base_in, bool include_trivial)
+    : include_trivial_(include_trivial) {
+  if (base_in.empty() || !base_in.taxa()) {
+    throw InvalidArgument("DayTable: empty tree");
+  }
+  // Canonical unrooted form: a rooted-degree-2 root would be a pass-through
+  // node in the pivot view. pivot_dfs skips pass-throughs during scans, but
+  // for the BASE tree the slot-uniqueness argument assumes none exist, so
+  // dissolve the root up front (one-time cost per table).
+  Tree base = base_in;
+  base.deroot();
+
+  base_taxa_sorted_ = base.leaf_taxa_sorted();
+  n_tree_ = base_taxa_sorted_.size();
+  if (n_tree_ < 2) {
+    throw InvalidArgument("DayTable: need at least 2 leaves");
+  }
+  pivot_ = base_taxa_sorted_.front();
+
+  rank_of_taxon_.assign(base.taxa()->size(), -1);
+  const std::size_t m = n_tree_ - 1;  // ranked leaves (pivot excluded)
+  table_l_.assign(m, -1);
+  table_r_.assign(m, -1);
+
+  const FlatAdjacency adj(base);
+  std::vector<NodeAgg> agg(base.num_nodes());
+  std::int32_t next_rank = 0;
+
+  pivot_dfs(
+      base, find_leaf(base, pivot_), adj, agg,
+      [&](NodeId /*node*/, TaxonId taxon, NodeAgg& a) {
+        const std::int32_t rank = next_rank++;
+        rank_of_taxon_[static_cast<std::size_t>(taxon)] = rank;
+        a.min_rank = rank;
+        a.max_rank = rank;
+      },
+      [&](NodeId /*node*/, const NodeAgg& a, bool is_last_child) {
+        // Non-trivial clusters only: side size in [2, n_tree - 2].
+        const auto size = static_cast<std::size_t>(a.leaves);
+        if (size < 2 || size > n_tree_ - 2) {
+          return;
+        }
+        BFHRF_ASSERT(a.max_rank - a.min_rank + 1 == a.leaves);
+        ++base_clusters_;
+        // Chain argument for slot uniqueness: clusters sharing a right
+        // endpoint form a chain of last-children, so at most one of them is
+        // a non-last child (unique per table_r_ slot); clusters sharing a
+        // left endpoint form a chain of first-children, of which at most
+        // one can also be a last child (unique per table_l_ slot).
+        if (is_last_child) {
+          table_l_[static_cast<std::size_t>(a.min_rank)] = a.max_rank;
+        } else {
+          table_r_[static_cast<std::size_t>(a.max_rank)] = a.min_rank;
+        }
+      });
+  BFHRF_ASSERT(static_cast<std::size_t>(next_rank) == m);
+}
+
+DayTable::OtherScan DayTable::scan_other(const phylo::Tree& other) const {
+  // Hot path (called once per pair): no tree copy, no sorting. Leaf-set
+  // equality is validated inline — every leaf must carry a ranked taxon and
+  // the leaf count must match (equal-size subsets of a shared universe with
+  // no duplicates are equal sets).
+  if (other.empty() || !other.taxa() ||
+      other.taxa()->size() != rank_of_taxon_.size()) {
+    throw InvalidArgument("DayTable: tree universe mismatch");
+  }
+  if (other.num_leaves() != n_tree_) {
+    throw InvalidArgument("DayTable: trees have different leaf sets");
+  }
+  OtherScan out;
+  const FlatAdjacency adj(other);
+  std::vector<NodeAgg> agg(other.num_nodes());
+
+  pivot_dfs(
+      other, find_leaf(other, pivot_), adj, agg,
+      [&](NodeId /*node*/, TaxonId taxon, NodeAgg& a) {
+        const std::int32_t rank =
+            rank_of_taxon_[static_cast<std::size_t>(taxon)];
+        if (rank < 0) {
+          throw InvalidArgument("DayTable: trees have different leaf sets");
+        }
+        a.min_rank = rank;
+        a.max_rank = rank;
+      },
+      [&](NodeId /*node*/, const NodeAgg& a, bool /*is_last_child*/) {
+        const auto size = static_cast<std::size_t>(a.leaves);
+        if (size < 2 || size > n_tree_ - 2) {
+          return;
+        }
+        ++out.clusters;
+        if (a.max_rank - a.min_rank + 1 != a.leaves) {
+          return;  // not contiguous in base ranks -> cannot be shared
+        }
+        const auto l = static_cast<std::size_t>(a.min_rank);
+        const auto r = static_cast<std::size_t>(a.max_rank);
+        if (table_l_[l] == a.max_rank || table_r_[r] == a.min_rank) {
+          ++out.shared;
+        }
+      });
+  return out;
+}
+
+std::pair<std::size_t, std::size_t> DayTable::rf_and_max(
+    const phylo::Tree& other) const {
+  const OtherScan scan = scan_other(other);
+  const std::size_t rf =
+      (base_clusters_ - scan.shared) + (scan.clusters - scan.shared);
+  std::size_t max = base_clusters_ + scan.clusters;
+  if (include_trivial_) {
+    // Trivial splits are identical across same-taxa trees: they add to the
+    // set sizes but never to the distance.
+    max += 2 * n_tree_;
+  }
+  return {rf, max};
+}
+
+std::size_t DayTable::rf_against(const phylo::Tree& other) const {
+  return rf_and_max(other).first;
+}
+
+std::size_t DayTable::max_rf_against(const phylo::Tree& other) const {
+  return rf_and_max(other).second;
+}
+
+}  // namespace bfhrf::core

@@ -1,0 +1,75 @@
+// Day's algorithm (Day 1985, the paper's reference [26]) — O(n) pairwise RF.
+//
+// The paper analyses RF in the bitmask model (O(n²/64) per pair) but cites
+// Day's cluster-table method as the linear-time alternative; we implement
+// it both as an independent test oracle and as the ablation-A3 engine for
+// SequentialRF.
+//
+// Method: pick the lowest shared taxon x as pivot and view both trees as
+// rooted at x's neighbor with leaf x removed. The base tree's leaves are
+// ranked by DFS order, making every base cluster a contiguous rank interval
+// [L, R]. Intervals are recorded in two direct-index tables (keyed by L for
+// rightmost children, by R otherwise — at most one entry per slot, see the
+// chain argument in day.cpp). A cluster of the other tree is shared iff its
+// rank span is contiguous (max-min+1 == leaf count) and one table confirms
+// the interval. RF = (c1 - shared) + (c2 - shared).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "phylo/tree.hpp"
+
+namespace bfhrf::core {
+
+class DayTable {
+ public:
+  /// Preprocess `base` (O(n)). `include_trivial` only affects max-RF
+  /// accounting: trivial splits are always shared between same-taxa trees,
+  /// so the distance itself is unchanged.
+  explicit DayTable(const phylo::Tree& base, bool include_trivial = false);
+
+  /// RF(base, other). O(n). Throws InvalidArgument if the leaf sets differ.
+  [[nodiscard]] std::size_t rf_against(const phylo::Tree& other) const;
+
+  /// |B(base)| + |B(other)| under the trivial-split convention chosen at
+  /// construction — the maximum possible RF for this pair.
+  [[nodiscard]] std::size_t max_rf_against(const phylo::Tree& other) const;
+
+  /// {RF, maxRF} in one pass.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> rf_and_max(
+      const phylo::Tree& other) const;
+
+  /// Non-trivial bipartition count of the base tree.
+  [[nodiscard]] std::size_t base_bipartitions() const noexcept {
+    return base_clusters_;
+  }
+
+ private:
+  struct OtherScan {
+    std::size_t shared = 0;    ///< clusters common with base
+    std::size_t clusters = 0;  ///< non-trivial clusters in other
+  };
+  [[nodiscard]] OtherScan scan_other(const phylo::Tree& other) const;
+
+  std::size_t n_tree_ = 0;           ///< shared leaf count
+  bool include_trivial_ = false;
+  phylo::TaxonId pivot_ = phylo::kNoTaxon;
+  std::vector<phylo::TaxonId> base_taxa_sorted_;
+  std::vector<std::int32_t> rank_of_taxon_;  ///< -1 for absent taxa / pivot
+  // Interval tables: table_l_[L] == R for clusters stored by left endpoint,
+  // table_r_[R] == L for the rest; -1 marks empty.
+  std::vector<std::int32_t> table_l_;
+  std::vector<std::int32_t> table_r_;
+  std::size_t base_clusters_ = 0;
+};
+
+/// Convenience: one-shot Day RF between two trees.
+[[nodiscard]] inline std::size_t day_rf(const phylo::Tree& a,
+                                        const phylo::Tree& b) {
+  return DayTable(a).rf_against(b);
+}
+
+}  // namespace bfhrf::core

@@ -1,0 +1,115 @@
+#include "core/frequency_hash.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+std::size_t table_size_for(std::size_t expected_unique) {
+  // Smallest power of two keeping the expected load under kMaxLoad,
+  // with a small floor so tiny hashes don't grow immediately.
+  std::size_t want = 16;
+  while (static_cast<double>(expected_unique) >
+         0.7 * static_cast<double>(want)) {
+    want <<= 1;
+  }
+  return want;
+}
+
+}  // namespace
+
+FrequencyHash::FrequencyHash(std::size_t n_bits, std::size_t expected_unique)
+    : n_bits_(n_bits),
+      words_per_(util::words_for_bits(n_bits)),
+      slots_(table_size_for(expected_unique)) {
+  keys_.reserve(expected_unique * words_per_);
+}
+
+std::size_t FrequencyHash::probe(util::ConstWordSpan key,
+                                 std::uint64_t fp) const noexcept {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t idx = static_cast<std::size_t>(fp) & mask;
+  while (true) {
+    const Slot& s = slots_[idx];
+    if (s.count == 0) {
+      return idx;  // empty: insertion point / not found
+    }
+    // Fingerprint fast-path, then full-key verification: collision-free.
+    if (s.fingerprint == fp && util::equal_words(key_at(s.key_index), key)) {
+      return idx;
+    }
+    idx = (idx + 1) & mask;
+  }
+}
+
+void FrequencyHash::add_weighted(util::ConstWordSpan key, std::uint32_t count,
+                                 double weight) {
+  BFHRF_ASSERT(key.size() == words_per_);
+  BFHRF_ASSERT(count > 0);
+  if (static_cast<double>(size_ + 1) >
+      kMaxLoad * static_cast<double>(slots_.size())) {
+    grow();
+  }
+  const std::uint64_t fp = util::hash_words(key);
+  const std::size_t idx = probe(key, fp);
+  Slot& s = slots_[idx];
+  if (s.count == 0) {
+    s.fingerprint = fp;
+    s.key_index = static_cast<std::uint32_t>(keys_.size() / words_per_);
+    keys_.insert(keys_.end(), key.begin(), key.end());
+    ++size_;
+  }
+  s.count += count;
+  total_ += count;
+  total_weight_ += static_cast<double>(count) * weight;
+}
+
+std::uint32_t FrequencyHash::frequency(util::ConstWordSpan key) const {
+  BFHRF_ASSERT(key.size() == words_per_);
+  const std::uint64_t fp = util::hash_words(key);
+  return slots_[probe(key, fp)].count;
+}
+
+void FrequencyHash::merge(const FrequencyHash& other) {
+  if (other.n_bits_ != n_bits_) {
+    throw InvalidArgument("FrequencyHash::merge: universe width mismatch");
+  }
+  // Weighted totals must be preserved exactly, so replay each unique key
+  // with its aggregate weight contribution. Since weight is a pure function
+  // of the key, other's per-key average weight equals the true weight.
+  other.for_each([this, &other](util::ConstWordSpan key, std::uint32_t count) {
+    (void)other;
+    add(key, count);
+  });
+  // add() accumulated unit weights; fix total_weight_ to account for the
+  // true weighted mass moved over.
+  total_weight_ += other.total_weight_ - static_cast<double>(other.total_);
+}
+
+void FrequencyHash::merge_from(const FrequencyStore& other) {
+  const auto* o = dynamic_cast<const FrequencyHash*>(&other);
+  if (o == nullptr) {
+    throw InvalidArgument("FrequencyHash::merge_from: incompatible store");
+  }
+  merge(*o);
+}
+
+void FrequencyHash::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  const std::size_t mask = slots_.size() - 1;
+  for (const Slot& s : old) {
+    if (s.count == 0) {
+      continue;
+    }
+    std::size_t idx = static_cast<std::size_t>(s.fingerprint) & mask;
+    while (slots_[idx].count != 0) {
+      idx = (idx + 1) & mask;
+    }
+    slots_[idx] = s;
+  }
+}
+
+}  // namespace bfhrf::core

@@ -1,0 +1,137 @@
+// FrequencyHash: the Bipartition Frequency Hash BFH_R (paper §III-A).
+//
+// Maps canonical bipartition bitmasks to their frequency across the
+// reference collection R. Three properties the paper's argument depends on,
+// and which this implementation guarantees:
+//
+//  1. COLLISION-FREE. Open addressing with a stored 64-bit fingerprint
+//     fast-path *and* full-key verification on every probe; distinct
+//     bipartitions can never merge (unlike HashRF's compressed scheme,
+//     whose collisions make RF values approximate — §III-C).
+//  2. NON-TRANSFORMATIVE. Full keys are retained in an arena, so the hash
+//     is reversible: variants can re-examine, filter, or re-weight real
+//     bipartitions after the fact (for_each), and a consensus tree can be
+//     read straight out of it (core/consensus.hpp).
+//  3. BOUNDED BY UNIQUE SPLITS. Memory is O(U · n/64) words for U unique
+//     bipartitions — independent of r once the split distribution
+//     saturates, which is the paper's sub-linear memory observation
+//     (§VII-C).
+//
+// Concurrency model: a FrequencyHash is single-writer. Parallel builds give
+// each worker a private hash and merge() them afterwards (src/core/bfhrf).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/frequency_store.hpp"
+#include "util/bitset.hpp"
+#include "util/hash.hpp"
+
+namespace bfhrf::core {
+
+class FrequencyHash final : public FrequencyStore {
+ public:
+  /// `n_bits` = taxon universe width; `expected_unique` pre-sizes the table.
+  explicit FrequencyHash(std::size_t n_bits, std::size_t expected_unique = 0);
+
+  [[nodiscard]] std::size_t n_bits() const noexcept override {
+    return n_bits_;
+  }
+  [[nodiscard]] std::size_t words_per_key() const noexcept {
+    return words_per_;
+  }
+
+  /// Number of distinct bipartitions stored.
+  [[nodiscard]] std::size_t unique_count() const noexcept override {
+    return size_;
+  }
+
+  /// Σ frequencies — the paper's `sumBFHR` (unit-weight case).
+  [[nodiscard]] std::uint64_t total_count() const noexcept override {
+    return total_;
+  }
+
+  /// Σ weight·frequency — `sumBFHR` under a weighted variant. The weight of
+  /// each key is supplied at insertion time and must be consistent across
+  /// calls (it is a function of the key).
+  [[nodiscard]] double total_weight() const noexcept override {
+    return total_weight_;
+  }
+
+  /// Add `count` occurrences with an explicit per-key weight (`add(key)`
+  /// from the base class is the unit-weight shorthand).
+  void add_weighted(util::ConstWordSpan key, std::uint32_t count,
+                    double weight) override;
+
+  /// Frequency of a bipartition (0 if absent).
+  [[nodiscard]] std::uint32_t frequency(
+      util::ConstWordSpan key) const override;
+
+  /// Fold another hash into this one (used to combine per-thread builds).
+  void merge(const FrequencyHash& other);
+
+  void merge_from(const FrequencyStore& other) override;
+
+  void for_each_key(const std::function<void(util::ConstWordSpan,
+                                             std::uint32_t)>& fn)
+      const override {
+    for_each(fn);
+  }
+
+  void set_total_weight(double w) override { total_weight_ = w; }
+
+  /// Visit every (key, frequency) pair. Order is unspecified.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.count != 0) {
+        fn(key_at(s.key_index), s.count);
+      }
+    }
+  }
+
+  /// Exact bytes held by the table and key arena.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept override {
+    return slots_.capacity() * sizeof(Slot) +
+           keys_.capacity() * sizeof(std::uint64_t);
+  }
+
+  /// Occupied fraction of the slot table (diagnostics/ablation).
+  [[nodiscard]] double load_factor() const noexcept {
+    return slots_.empty()
+               ? 0.0
+               : static_cast<double>(size_) /
+                     static_cast<double>(slots_.size());
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t fingerprint = 0;
+    std::uint32_t key_index = 0;  ///< key lives at keys_[key_index*words_per_]
+    std::uint32_t count = 0;      ///< 0 marks an empty slot
+  };
+
+  [[nodiscard]] util::ConstWordSpan key_at(std::uint32_t index) const noexcept {
+    return {keys_.data() + static_cast<std::size_t>(index) * words_per_,
+            words_per_};
+  }
+
+  /// Find the slot holding `key` (or the empty slot where it belongs).
+  [[nodiscard]] std::size_t probe(util::ConstWordSpan key,
+                                  std::uint64_t fp) const noexcept;
+
+  void grow();
+
+  static constexpr double kMaxLoad = 0.7;
+
+  std::size_t n_bits_ = 0;
+  std::size_t words_per_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t total_ = 0;
+  double total_weight_ = 0.0;
+  std::vector<Slot> slots_;            ///< power-of-two sized
+  std::vector<std::uint64_t> keys_;    ///< arena of full keys
+};
+
+}  // namespace bfhrf::core

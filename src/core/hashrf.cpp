@@ -1,0 +1,131 @@
+#include "core/hashrf.hpp"
+
+#include <unordered_map>
+
+#include "phylo/bipartition.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+/// One inverted-index entry: the trees containing a (possibly fingerprint-
+/// merged) bipartition. Tree ids are appended in increasing order because
+/// trees are processed in order, so the pair loop below needs no sort.
+struct IndexEntry {
+  std::vector<std::uint32_t> tree_ids;
+  // Exact mode: offset of the verified full key in the key arena.
+  std::uint32_t key_index = 0;
+};
+
+}  // namespace
+
+HashRfResult hash_rf(std::span<const phylo::Tree> trees,
+                     const HashRfOptions& opts) {
+  if (trees.empty()) {
+    throw InvalidArgument("hash_rf: empty collection");
+  }
+  const auto& taxa = trees.front().taxa();
+  for (const auto& t : trees) {
+    if (t.taxa() != taxa) {
+      throw InvalidArgument("hash_rf: all trees must share one TaxonSet");
+    }
+  }
+  const std::size_t r = trees.size();
+  const std::size_t words_per = util::words_for_bits(taxa->size());
+  const util::SeededWordHash h1(opts.seed);
+  const util::SeededWordHash h2(opts.seed ^ 0xabcdef1234567890ULL);
+  const std::uint64_t fp_mask =
+      opts.fingerprint_bits >= 64
+          ? ~std::uint64_t{0}
+          : ((std::uint64_t{1} << opts.fingerprint_bits) - 1);
+
+  // Inverted index. Exact mode chains same-h1 entries and verifies full
+  // keys stored in an arena; Compressed mode trusts the masked h2
+  // fingerprint (collisions silently merge, as in the original).
+  std::unordered_map<std::uint64_t, std::vector<IndexEntry>> index;
+  std::vector<std::uint64_t> key_arena;
+  std::vector<std::uint32_t> bip_counts(r, 0);
+
+  const phylo::BipartitionOptions bip_opts{.include_trivial =
+                                               opts.include_trivial};
+  for (std::uint32_t i = 0; i < r; ++i) {
+    const auto bips = phylo::extract_bipartitions(trees[i], bip_opts);
+    bip_counts[i] = static_cast<std::uint32_t>(bips.size());
+    bips.for_each([&](util::ConstWordSpan words) {
+      const std::uint64_t bucket =
+          opts.mode == HashRfOptions::Mode::Compressed ? (h2(words) & fp_mask)
+                                                       : h1(words);
+      auto& chain = index[bucket];
+      if (opts.mode == HashRfOptions::Mode::Compressed) {
+        // Fingerprint is the identity; one entry per bucket.
+        if (chain.empty()) {
+          chain.emplace_back();
+        }
+        auto& ids = chain.front().tree_ids;
+        if (ids.empty() || ids.back() != i) {
+          ids.push_back(i);
+        }
+        return;
+      }
+      // Exact: resolve h1 collisions by full-key comparison.
+      for (auto& entry : chain) {
+        const util::ConstWordSpan stored{
+            key_arena.data() +
+                static_cast<std::size_t>(entry.key_index) * words_per,
+            words_per};
+        if (util::equal_words(stored, words)) {
+          if (entry.tree_ids.back() != i) {
+            entry.tree_ids.push_back(i);
+          }
+          return;
+        }
+      }
+      IndexEntry entry;
+      entry.key_index =
+          static_cast<std::uint32_t>(key_arena.size() / words_per);
+      key_arena.insert(key_arena.end(), words.begin(), words.end());
+      entry.tree_ids.push_back(i);
+      chain.push_back(std::move(entry));
+    });
+  }
+
+  // Shared-bipartition credit: every pair on an entry's list shares it.
+  // This nested pair loop is the Θ(Σ|list|²) = O(r²) step.
+  HashRfResult result;
+  result.matrix = RfMatrix(r);
+  for (const auto& [bucket, chain] : index) {
+    (void)bucket;
+    for (const auto& entry : chain) {
+      ++result.unique_bipartitions;
+      const auto& ids = entry.tree_ids;
+      for (std::size_t a = 0; a < ids.size(); ++a) {
+        for (std::size_t b = a + 1; b < ids.size(); ++b) {
+          result.matrix.add(ids[a], ids[b], 1);  // shared count, for now
+        }
+      }
+      result.index_memory_bytes +=
+          sizeof(IndexEntry) + ids.capacity() * sizeof(std::uint32_t);
+    }
+  }
+  result.index_memory_bytes += key_arena.capacity() * sizeof(std::uint64_t);
+
+  // Convert shared counts to RF distances and average the rows.
+  result.avg_rf.assign(r, 0.0);
+  for (std::size_t i = 0; i < r; ++i) {
+    for (std::size_t j = i + 1; j < r; ++j) {
+      const std::uint32_t shared = result.matrix.at(i, j);
+      const std::uint32_t rf = bip_counts[i] + bip_counts[j] - 2 * shared;
+      result.matrix.set(i, j, rf);
+      result.avg_rf[i] += rf;
+      result.avg_rf[j] += rf;
+    }
+  }
+  for (auto& v : result.avg_rf) {
+    v /= static_cast<double>(r);
+  }
+  result.matrix_memory_bytes = result.matrix.memory_bytes();
+  return result;
+}
+
+}  // namespace bfhrf::core

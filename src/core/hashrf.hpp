@@ -1,0 +1,60 @@
+// HashRF baseline (Sul & Williams 2008) — the "fast current method" the
+// paper compares against.
+//
+// HashRF computes the *all-versus-all* RF matrix of one collection: every
+// bipartition is hashed into an inverted index (bipartition -> list of tree
+// ids); each index entry then contributes +1 shared-bipartition credit to
+// every pair of trees on its list; RF(i,j) = |B_i| + |B_j| - 2·shared(i,j).
+//
+// Two fidelity-relevant properties of the original are modeled:
+//  * Mode::Compressed keeps only an m-bit double-hash fingerprint per
+//    bipartition, exactly the collision-prone scheme the paper criticizes
+//    (§III-C): colliding bipartitions merge and RF is underestimated.
+//    Mode::Exact verifies full keys (used for correctness baselines).
+//  * The r×r matrix is materialized (RfMatrix), reproducing the O(r²)
+//    memory growth that kills HashRF at r = 100000 in Table V / Fig 2.
+//
+// Like the original tool, this engine accepts ONE collection (Q is R) and
+// is single-threaded.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/rf_matrix.hpp"
+#include "phylo/tree.hpp"
+
+namespace bfhrf::core {
+
+struct HashRfOptions {
+  enum class Mode {
+    Exact,       ///< full-key verification; collision-free
+    Compressed,  ///< fingerprint-only; collisions possible (original scheme)
+  };
+  Mode mode = Mode::Exact;
+
+  /// Bits of fingerprint kept in Compressed mode (the original's h2 range;
+  /// smaller -> more collisions -> more RF error).
+  unsigned fingerprint_bits = 32;
+
+  /// Seed of the two-member hash family (h1 bucket, h2 fingerprint).
+  std::uint64_t seed = 0x9e3779b9;
+
+  bool include_trivial = false;
+};
+
+struct HashRfResult {
+  RfMatrix matrix;              ///< all-vs-all RF distances
+  std::vector<double> avg_rf;   ///< row means over r (self included, = 0)
+  std::size_t unique_bipartitions = 0;
+  std::size_t index_memory_bytes = 0;   ///< inverted index footprint
+  std::size_t matrix_memory_bytes = 0;  ///< the O(r²) matrix footprint
+};
+
+/// Run HashRF over one collection. Throws InvalidArgument on empty input or
+/// mixed taxon sets.
+[[nodiscard]] HashRfResult hash_rf(std::span<const phylo::Tree> trees,
+                                   const HashRfOptions& opts = {});
+
+}  // namespace bfhrf::core

@@ -1,0 +1,49 @@
+#include "core/matrix_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace bfhrf::core {
+
+void write_phylip_matrix(std::ostream& out, const RfMatrix& matrix,
+                         std::span<const std::string> names,
+                         const PhylipWriteOptions& opts) {
+  const std::size_t r = matrix.size();
+  if (!names.empty() && names.size() != r) {
+    throw InvalidArgument("write_phylip_matrix: name count mismatch");
+  }
+  out << r << '\n';
+  out << std::fixed << std::setprecision(opts.precision);
+  for (std::size_t i = 0; i < r; ++i) {
+    std::string name = (i < names.size() && !names[i].empty())
+                           ? names[i]
+                           : "t" + std::to_string(i);
+    if (opts.strict_names) {
+      name.resize(10, ' ');
+    }
+    out << name;
+    for (std::size_t j = 0; j < r; ++j) {
+      out << (j == 0 && !opts.strict_names ? "\t" : " ")
+          << static_cast<double>(matrix.at(i, j));
+    }
+    out << '\n';
+  }
+  if (!out) {
+    throw Error("write_phylip_matrix: stream write failed");
+  }
+}
+
+void write_phylip_matrix_file(const std::string& path, const RfMatrix& matrix,
+                              std::span<const std::string> names,
+                              const PhylipWriteOptions& opts) {
+  std::ofstream out(path);
+  if (!out) {
+    throw Error("write_phylip_matrix: cannot open '" + path + "'");
+  }
+  write_phylip_matrix(out, matrix, names, opts);
+}
+
+}  // namespace bfhrf::core

@@ -1,0 +1,37 @@
+// Distance-matrix output in PHYLIP format — the interchange format
+// downstream clustering/visualisation tools (neighbor, R's ape, scipy)
+// consume, making the all-vs-all matrix (§VIII) usable outside this
+// library.
+//
+// Layout: first line is the item count; each following line is a name
+// (10-character classic convention optionally relaxed) followed by the
+// full row of distances.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "core/rf_matrix.hpp"
+
+namespace bfhrf::core {
+
+struct PhylipWriteOptions {
+  /// Pad/truncate names to the strict 10-character PHYLIP field. Off by
+  /// default (relaxed format, which every modern reader accepts).
+  bool strict_names = false;
+  int precision = 0;  ///< decimals per cell (RF distances are integral)
+};
+
+/// Write `matrix` with one name per row. `names` must match the matrix
+/// size; empty names are replaced by "tN".
+void write_phylip_matrix(std::ostream& out, const RfMatrix& matrix,
+                         std::span<const std::string> names,
+                         const PhylipWriteOptions& opts = {});
+
+/// File convenience.
+void write_phylip_matrix_file(const std::string& path, const RfMatrix& matrix,
+                              std::span<const std::string> names,
+                              const PhylipWriteOptions& opts = {});
+
+}  // namespace bfhrf::core

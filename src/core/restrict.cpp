@@ -1,0 +1,170 @@
+#include "core/restrict.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bfhrf::core {
+
+util::DynamicBitset common_taxa(std::span<const phylo::Tree> trees) {
+  if (trees.empty()) {
+    throw InvalidArgument("common_taxa: empty collection");
+  }
+  const std::size_t n = trees.front().taxa()->size();
+  util::DynamicBitset acc(n);
+  acc.flip_all();  // start from the full universe
+  util::DynamicBitset mask(n);
+  for (const auto& t : trees) {
+    if (t.taxa()->size() != n) {
+      throw InvalidArgument("common_taxa: mixed taxon universes");
+    }
+    mask.clear();
+    for (const auto leaf : t.leaves()) {
+      mask.set(static_cast<std::size_t>(t.node(leaf).taxon));
+    }
+    acc &= mask;
+  }
+  return acc;
+}
+
+util::DynamicBitset union_taxa(std::span<const phylo::Tree> trees) {
+  if (trees.empty()) {
+    throw InvalidArgument("union_taxa: empty collection");
+  }
+  const std::size_t n = trees.front().taxa()->size();
+  util::DynamicBitset acc(n);
+  for (const auto& t : trees) {
+    for (const auto leaf : t.leaves()) {
+      acc.set(static_cast<std::size_t>(t.node(leaf).taxon));
+    }
+  }
+  return acc;
+}
+
+phylo::Tree restrict_to_taxa(const phylo::Tree& tree,
+                             const util::DynamicBitset& keep) {
+  using phylo::kNoNode;
+  using phylo::NodeId;
+
+  if (keep.size() != tree.taxa()->size()) {
+    throw InvalidArgument("restrict_to_taxa: mask width mismatch");
+  }
+
+  // Postorder survivor count: a node survives if it keeps >= 1 leaf below.
+  const auto order = tree.postorder();
+  std::vector<std::uint8_t> survives(tree.num_nodes(), 0);
+  std::size_t kept_leaves = 0;
+  for (const NodeId id : order) {
+    if (tree.is_leaf(id)) {
+      const bool k = keep.test(static_cast<std::size_t>(tree.node(id).taxon));
+      survives[static_cast<std::size_t>(id)] = k ? 1 : 0;
+      kept_leaves += k ? 1 : 0;
+    } else {
+      std::uint8_t s = 0;
+      tree.for_each_child(id, [&](NodeId c) {
+        s |= survives[static_cast<std::size_t>(c)];
+      });
+      survives[static_cast<std::size_t>(id)] = s;
+    }
+  }
+  if (kept_leaves < 2) {
+    throw InvalidArgument("restrict_to_taxa: fewer than 2 taxa remain");
+  }
+
+  // Rebuild top-down over surviving nodes (unary chains merged as we go).
+  phylo::Tree out(tree.taxa());
+  out.reserve(2 * kept_leaves);
+
+  struct Item {
+    NodeId old_id;
+    NodeId new_parent;
+    double carried_len;
+    bool carried_has_len;
+  };
+
+  // Surviving children of `id`, descending through dead subtrees' siblings.
+  const auto surviving_children = [&](NodeId id) {
+    std::vector<NodeId> kids;
+    tree.for_each_child(id, [&](NodeId c) {
+      if (survives[static_cast<std::size_t>(c)] != 0) {
+        kids.push_back(c);
+      }
+    });
+    return kids;
+  };
+
+  // Find the effective root: descend while exactly one surviving child.
+  NodeId eff_root = tree.root();
+  while (!tree.is_leaf(eff_root)) {
+    const auto kids = surviving_children(eff_root);
+    BFHRF_ASSERT(!kids.empty());
+    if (kids.size() > 1) {
+      break;
+    }
+    eff_root = kids.front();
+  }
+
+  std::vector<Item> stack;
+  const NodeId new_root = out.add_root();
+  if (tree.is_leaf(eff_root)) {
+    out.set_taxon(new_root, tree.node(eff_root).taxon);
+  } else {
+    auto kids = surviving_children(eff_root);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, new_root, 0.0, false});
+    }
+  }
+
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    // Descend through unary survivors, accumulating branch lengths.
+    NodeId cur = item.old_id;
+    double len = item.carried_len + tree.node(cur).length;
+    bool has_len = item.carried_has_len || tree.node(cur).has_length;
+    while (!tree.is_leaf(cur)) {
+      const auto kids = surviving_children(cur);
+      BFHRF_ASSERT(!kids.empty());
+      if (kids.size() > 1) {
+        break;
+      }
+      cur = kids.front();
+      len += tree.node(cur).length;
+      has_len = has_len || tree.node(cur).has_length;
+    }
+    NodeId nid;
+    if (tree.is_leaf(cur)) {
+      nid = out.add_leaf(item.new_parent, tree.node(cur).taxon);
+    } else {
+      nid = out.add_child(item.new_parent);
+    }
+    if (has_len) {
+      out.set_length(nid, len);
+    }
+    if (!tree.is_leaf(cur)) {
+      auto kids = surviving_children(cur);
+      for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+        stack.push_back({*it, nid, 0.0, false});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<phylo::Tree> restrict_to_common_taxa(
+    std::span<const phylo::Tree> trees) {
+  const auto shared = common_taxa(trees);
+  if (shared.count() < 4) {
+    throw InvalidArgument(
+        "restrict_to_common_taxa: fewer than 4 shared taxa (" +
+        std::to_string(shared.count()) + ")");
+  }
+  std::vector<phylo::Tree> out;
+  out.reserve(trees.size());
+  for (const auto& t : trees) {
+    out.push_back(restrict_to_taxa(t, shared));
+  }
+  return out;
+}
+
+}  // namespace bfhrf::core

@@ -1,0 +1,38 @@
+// Variable-taxa support (paper §VII-E).
+//
+// The paper's core experiments fix the taxa across all trees, but real
+// collections don't; the common supertree-style reduction compares trees
+// after restricting each to the taxa they share. Because the frequency
+// hash is non-transformative, this is a pure preprocessing step: restrict,
+// then run any engine unchanged.
+#pragma once
+
+#include <span>
+
+#include "phylo/tree.hpp"
+#include "util/bitset.hpp"
+
+namespace bfhrf::core {
+
+/// Taxa present in every tree of the collection (bitmask over the TaxonSet).
+[[nodiscard]] util::DynamicBitset common_taxa(
+    std::span<const phylo::Tree> trees);
+
+/// Taxa present in at least one tree.
+[[nodiscard]] util::DynamicBitset union_taxa(
+    std::span<const phylo::Tree> trees);
+
+/// Copy of `tree` pruned to the taxa in `keep` (bits indexed by TaxonId),
+/// with resulting unary nodes suppressed and branch lengths summed across
+/// suppressed nodes. The TaxonSet is shared, unchanged. Throws
+/// InvalidArgument if fewer than 2 kept taxa remain in the tree.
+[[nodiscard]] phylo::Tree restrict_to_taxa(const phylo::Tree& tree,
+                                           const util::DynamicBitset& keep);
+
+/// Restrict every tree in the collection to their common taxa — the
+/// standard reduction for variable-taxa RF. Throws if fewer than 4 taxa
+/// are shared (no non-trivial splits would remain).
+[[nodiscard]] std::vector<phylo::Tree> restrict_to_common_taxa(
+    std::span<const phylo::Tree> trees);
+
+}  // namespace bfhrf::core

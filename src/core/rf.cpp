@@ -1,0 +1,33 @@
+#include "core/rf.hpp"
+
+#include "util/error.hpp"
+
+namespace bfhrf::core {
+
+std::size_t rf_distance(const phylo::Tree& a, const phylo::Tree& b) {
+  if (a.taxa() != b.taxa()) {
+    throw InvalidArgument("rf_distance: trees must share one TaxonSet");
+  }
+  const auto ba = phylo::extract_bipartitions(a);
+  const auto bb = phylo::extract_bipartitions(b);
+  return rf_distance(ba, bb);
+}
+
+std::size_t max_rf(const phylo::BipartitionSet& a,
+                   const phylo::BipartitionSet& b) {
+  return a.size() + b.size();
+}
+
+double apply_norm(double raw, double max_possible, RfNorm norm) {
+  switch (norm) {
+    case RfNorm::None:
+      return raw;
+    case RfNorm::HalfSum:
+      return raw / 2.0;
+    case RfNorm::MaxScaled:
+      return max_possible > 0 ? raw / max_possible : 0.0;
+  }
+  return raw;
+}
+
+}  // namespace bfhrf::core

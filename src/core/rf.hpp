@@ -1,0 +1,42 @@
+// Pairwise Robinson-Foulds distance (paper §II-C).
+//
+//   RF(T, T') = |B(T) \ B(T')| + |B(T') \ B(T)|
+//
+// over canonical non-trivial bipartition sets. Implementations commonly
+// divide by 2 or normalize by the maximum; RfNorm captures those
+// conventions (§III-C "we also account for an occasional division by 2").
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "phylo/bipartition.hpp"
+#include "phylo/tree.hpp"
+
+namespace bfhrf::core {
+
+enum class RfNorm {
+  None,       ///< raw symmetric-difference count
+  HalfSum,    ///< divide by 2 (the "matching splits" convention)
+  MaxScaled,  ///< divide by the maximum possible RF for the pair
+};
+
+/// Raw RF between two precomputed bipartition sets.
+[[nodiscard]] inline std::size_t rf_distance(
+    const phylo::BipartitionSet& a, const phylo::BipartitionSet& b) {
+  return phylo::BipartitionSet::symmetric_difference_size(a, b);
+}
+
+/// Raw RF between two trees over the same TaxonSet.
+/// Cost: O(n^2/64) dominated by bipartition extraction.
+[[nodiscard]] std::size_t rf_distance(const phylo::Tree& a,
+                                      const phylo::Tree& b);
+
+/// Maximum possible RF for two trees: |B(a)| + |B(b)| (disjoint sets).
+[[nodiscard]] std::size_t max_rf(const phylo::BipartitionSet& a,
+                                 const phylo::BipartitionSet& b);
+
+/// Apply a normalization convention to a raw RF value.
+[[nodiscard]] double apply_norm(double raw, double max_possible, RfNorm norm);
+
+}  // namespace bfhrf::core

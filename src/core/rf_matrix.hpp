@@ -1,0 +1,78 @@
+// Symmetric r×r distance matrix with triangular storage.
+//
+// This is HashRF's output object; its O(r^2) footprint is exactly the
+// memory wall the paper's Table V / Fig 2 exhibit, so memory_bytes() is
+// exposed for the benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bfhrf::core {
+
+class RfMatrix {
+ public:
+  RfMatrix() = default;
+
+  /// r×r symmetric matrix, zero diagonal, all entries zero-initialized.
+  explicit RfMatrix(std::size_t r)
+      : r_(r), cells_(r >= 2 ? r * (r - 1) / 2 : 0, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return r_; }
+
+  [[nodiscard]] std::uint32_t at(std::size_t i, std::size_t j) const {
+    if (i == j) {
+      return 0;
+    }
+    return cells_[index(i, j)];
+  }
+
+  void set(std::size_t i, std::size_t j, std::uint32_t v) {
+    BFHRF_ASSERT(i != j);
+    cells_[index(i, j)] = v;
+  }
+
+  void add(std::size_t i, std::size_t j, std::uint32_t v) {
+    BFHRF_ASSERT(i != j);
+    cells_[index(i, j)] += v;
+  }
+
+  /// Mean of row i over the other r-1 entries — the paper averages the
+  /// all-vs-all matrix to get per-tree average RF. `include_self` divides
+  /// by r instead (self-distance 0), matching engines where Q == R and the
+  /// query tree is also a reference tree.
+  [[nodiscard]] double row_mean(std::size_t i, bool include_self) const {
+    if (r_ <= 1) {
+      return 0.0;
+    }
+    double sum = 0.0;
+    for (std::size_t j = 0; j < r_; ++j) {
+      if (j != i) {
+        sum += at(i, j);
+      }
+    }
+    return sum / static_cast<double>(include_self ? r_ : r_ - 1);
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return cells_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t i, std::size_t j) const {
+    BFHRF_ASSERT(i < r_ && j < r_ && i != j);
+    if (i > j) {
+      std::swap(i, j);
+    }
+    // Row-major upper triangle, row i holds (r-1-i) cells.
+    return i * r_ - i * (i + 1) / 2 + (j - i - 1);
+  }
+
+  std::size_t r_ = 0;
+  std::vector<std::uint32_t> cells_;
+};
+
+}  // namespace bfhrf::core

@@ -1,0 +1,48 @@
+// Persistence for built BFHRF engines.
+//
+// A reference collection's frequency hash is expensive to build once r is
+// large but tiny on disk (unique splits only); saving it turns the CLI and
+// library into a build-once / query-many system — the natural production
+// deployment of the paper's two-phase design:
+//
+//   Bfhrf engine(n); engine.build(reference);
+//   save_bfhrf(engine, out);                    // once
+//   ...
+//   Bfhrf engine = load_bfhrf(in, {.threads = 8});  // per query batch
+//
+// Format (little-endian, versioned): header {magic "BFHv", u32 version,
+// u8 store-kind, u8 include-trivial, u64 n_bits, u64 reference_trees,
+// u64 unique, u64 total, f64 total_weight}, then per unique key
+// {u32 count, raw key words}. Keys are written in raw bitmask form for
+// both store kinds; a compressed store re-encodes on load. Integrity is
+// checked on load (magic, version, counts, totals).
+//
+// NOTE: if the engine was built under a filter/weight variant, the stored
+// keys are the filtered ones and total_weight is the weighted sum; load
+// with the SAME variant in the options or query results will be
+// inconsistent (this is documented, not detectable, because variants are
+// arbitrary code).
+#pragma once
+
+#include <iosfwd>
+
+#include "core/bfhrf.hpp"
+
+namespace bfhrf::core {
+
+/// Serialize a built engine to a binary stream. Throws InvalidArgument if
+/// the engine has not been built, Error on stream failure.
+void save_bfhrf(const Bfhrf& engine, std::ostream& out);
+
+/// Reconstruct a saved engine. Runtime options (threads, variant, norm)
+/// come from `opts`; the store kind, trivial-split convention, universe
+/// width and contents come from the stream. Throws ParseError on a
+/// malformed or truncated stream.
+[[nodiscard]] Bfhrf load_bfhrf(std::istream& in, BfhrfOptions opts = {});
+
+/// File-path conveniences.
+void save_bfhrf_file(const Bfhrf& engine, const std::string& path);
+[[nodiscard]] Bfhrf load_bfhrf_file(const std::string& path,
+                                    BfhrfOptions opts = {});
+
+}  // namespace bfhrf::core

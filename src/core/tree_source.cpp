@@ -1,0 +1,34 @@
+#include "core/tree_source.hpp"
+
+#include "util/error.hpp"
+
+namespace bfhrf::core {
+
+FileTreeSource::FileTreeSource(std::string path, phylo::TaxonSetPtr taxa,
+                               phylo::NewickParseOptions opts)
+    : path_(std::move(path)), taxa_(std::move(taxa)), opts_(opts) {
+  open();
+}
+
+void FileTreeSource::open() {
+  in_.close();
+  in_.clear();
+  in_.open(path_);
+  if (!in_) {
+    throw ParseError("cannot open '" + path_ + "'");
+  }
+  reader_ = std::make_unique<phylo::NewickReader>(in_, taxa_, opts_);
+}
+
+bool FileTreeSource::next(phylo::Tree& out) {
+  auto t = reader_->next();
+  if (!t) {
+    return false;
+  }
+  out = std::move(*t);
+  return true;
+}
+
+void FileTreeSource::reset() { open(); }
+
+}  // namespace bfhrf::core

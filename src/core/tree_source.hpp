@@ -1,0 +1,83 @@
+// TreeSource: a resettable forward stream of trees.
+//
+// The paper's memory argument (Table I) hinges on *dynamically* loading
+// tree collections — only one tree resident at a time. TreeSource is that
+// abstraction: engines that accept a TreeSource never materialize the
+// collection; engines that accept std::span<const Tree> trade memory for
+// zero re-parsing. Both paths are benchmarked.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "phylo/newick.hpp"
+#include "phylo/tree.hpp"
+
+namespace bfhrf::core {
+
+class TreeSource {
+ public:
+  virtual ~TreeSource() = default;
+
+  /// Move the next tree into `out`; false at end of stream.
+  virtual bool next(phylo::Tree& out) = 0;
+
+  /// Rewind to the first tree (re-opens files; re-iterates spans).
+  virtual void reset() = 0;
+
+  /// Total tree count if cheaply known (spans: yes; files: no).
+  [[nodiscard]] virtual std::optional<std::size_t> size_hint() const {
+    return std::nullopt;
+  }
+};
+
+/// Adapts an in-memory collection. next() copies (callers that can work
+/// over the span directly should; this adapter exists so the streaming
+/// engines can be tested against in-memory data).
+class SpanTreeSource final : public TreeSource {
+ public:
+  explicit SpanTreeSource(std::span<const phylo::Tree> trees)
+      : trees_(trees) {}
+
+  bool next(phylo::Tree& out) override {
+    if (pos_ >= trees_.size()) {
+      return false;
+    }
+    out = trees_[pos_++];
+    return true;
+  }
+
+  void reset() override { pos_ = 0; }
+
+  [[nodiscard]] std::optional<std::size_t> size_hint() const override {
+    return trees_.size();
+  }
+
+ private:
+  std::span<const phylo::Tree> trees_;
+  std::size_t pos_ = 0;
+};
+
+/// Streams trees from a Newick file; holds one parsed tree at a time.
+class FileTreeSource final : public TreeSource {
+ public:
+  FileTreeSource(std::string path, phylo::TaxonSetPtr taxa,
+                 phylo::NewickParseOptions opts = {});
+
+  bool next(phylo::Tree& out) override;
+  void reset() override;
+
+ private:
+  void open();
+
+  std::string path_;
+  phylo::TaxonSetPtr taxa_;
+  phylo::NewickParseOptions opts_;
+  std::ifstream in_;
+  std::unique_ptr<phylo::NewickReader> reader_;
+};
+
+}  // namespace bfhrf::core

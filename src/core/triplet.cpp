@@ -1,0 +1,108 @@
+#include "core/triplet.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+using phylo::NodeId;
+using phylo::TaxonId;
+using phylo::Tree;
+
+/// Resolution of {a,b,c}: 0 = ab|c, 1 = ac|b, 2 = bc|a, 3 = unresolved.
+int resolve(const LcaDepthTable& t, TaxonId a, TaxonId b, TaxonId c) {
+  const std::int32_t dab = t.lca_depth(a, b);
+  const std::int32_t dac = t.lca_depth(a, c);
+  const std::int32_t dbc = t.lca_depth(b, c);
+  // Exactly one of the three is strictly deepest in a resolved triplet;
+  // in any tree the two shallower ones are equal.
+  if (dab > dac && dab > dbc) {
+    return 0;
+  }
+  if (dac > dab && dac > dbc) {
+    return 1;
+  }
+  if (dbc > dab && dbc > dac) {
+    return 2;
+  }
+  return 3;
+}
+
+}  // namespace
+
+LcaDepthTable::LcaDepthTable(const Tree& tree) {
+  if (tree.empty() || !tree.taxa()) {
+    throw InvalidArgument("LcaDepthTable: empty tree");
+  }
+  n_ = tree.taxa()->size();
+  taxa_sorted_ = tree.leaf_taxa_sorted();
+  table_.assign(n_ * n_, -1);
+
+  // Node depths.
+  std::vector<std::int32_t> depth(tree.num_nodes(), 0);
+  const auto order = tree.postorder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId id = *it;
+    if (!tree.is_root(id)) {
+      depth[static_cast<std::size_t>(id)] =
+          depth[static_cast<std::size_t>(tree.node(id).parent)] + 1;
+    }
+  }
+
+  // For each internal node v: every cross-child leaf pair has lca v.
+  // Total cross-product work over all nodes is O(n²) exactly.
+  std::vector<std::vector<TaxonId>> below(tree.num_nodes());
+  for (const NodeId id : order) {
+    if (tree.is_leaf(id)) {
+      below[static_cast<std::size_t>(id)] = {tree.node(id).taxon};
+      continue;
+    }
+    std::vector<TaxonId> mine;
+    tree.for_each_child(id, [&](NodeId c) {
+      auto& child_leaves = below[static_cast<std::size_t>(c)];
+      for (const TaxonId x : mine) {
+        for (const TaxonId y : child_leaves) {
+          const auto xi = static_cast<std::size_t>(x);
+          const auto yi = static_cast<std::size_t>(y);
+          table_[xi * n_ + yi] = depth[static_cast<std::size_t>(id)];
+          table_[yi * n_ + xi] = depth[static_cast<std::size_t>(id)];
+        }
+      }
+      mine.insert(mine.end(), child_leaves.begin(), child_leaves.end());
+      child_leaves.clear();
+      child_leaves.shrink_to_fit();
+    });
+    below[static_cast<std::size_t>(id)] = std::move(mine);
+  }
+}
+
+TripletDistanceResult triplet_distance(const Tree& a, const Tree& b) {
+  if (a.taxa() != b.taxa()) {
+    throw InvalidArgument("triplet_distance: trees must share one TaxonSet");
+  }
+  const LcaDepthTable ta(a);
+  const LcaDepthTable tb(b);
+  if (ta.taxa_sorted() != tb.taxa_sorted()) {
+    throw InvalidArgument("triplet_distance: trees have different leaf sets");
+  }
+  const auto& taxa = ta.taxa_sorted();
+  const std::size_t n = taxa.size();
+
+  TripletDistanceResult out;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      for (std::size_t k = j + 1; k < n; ++k) {
+        ++out.total;
+        if (resolve(ta, taxa[i], taxa[j], taxa[k]) !=
+            resolve(tb, taxa[i], taxa[j], taxa[k])) {
+          ++out.different;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bfhrf::core

@@ -1,0 +1,63 @@
+// Rooted triplet distance (Critchlow, Pearl & Qian 1996) — the paper's
+// §I "alternative metrics" reference [4], provided so RF results can be
+// sanity-checked against an independent topology metric.
+//
+// For every 3-subset {a,b,c} of the shared taxa, a rooted tree resolves
+// the triplet as ab|c, ac|b, bc|a (whichever pair has the deepest LCA) or
+// leaves it unresolved (all three LCAs coincide, multifurcations only).
+// The distance counts triplets the two trees resolve differently
+// (resolved-vs-unresolved counts as different).
+//
+// Complexity: O(n²) preprocessing (pairwise LCA depths via postorder
+// cross-products) + O(n³) enumeration with O(1) per triplet. Fine for the
+// moderate n this library targets as a cross-check metric; sub-quadratic
+// algorithms exist but are not needed here. NOTE this is a rooted metric:
+// the trees' stored rootings are used as-is.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phylo/tree.hpp"
+
+namespace bfhrf::core {
+
+struct TripletDistanceResult {
+  std::uint64_t different = 0;  ///< triplets resolved differently
+  std::uint64_t total = 0;      ///< C(n, 3)
+
+  [[nodiscard]] double normalized() const noexcept {
+    return total == 0 ? 0.0
+                      : static_cast<double>(different) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Triplet distance between two rooted trees over the same taxa.
+/// Throws InvalidArgument on mismatched leaf sets.
+[[nodiscard]] TripletDistanceResult triplet_distance(const phylo::Tree& a,
+                                                     const phylo::Tree& b);
+
+/// Pairwise-LCA-depth table of one rooted tree: reusable across many
+/// triplet_distance-style comparisons against the same base.
+class LcaDepthTable {
+ public:
+  explicit LcaDepthTable(const phylo::Tree& tree);
+
+  /// Depth (root = 0) of lca(leaf of taxon x, leaf of taxon y); x != y.
+  [[nodiscard]] std::int32_t lca_depth(phylo::TaxonId x,
+                                       phylo::TaxonId y) const {
+    return table_[static_cast<std::size_t>(x) * n_ + static_cast<std::size_t>(y)];
+  }
+
+  [[nodiscard]] const std::vector<phylo::TaxonId>& taxa_sorted() const {
+    return taxa_sorted_;
+  }
+
+ private:
+  std::size_t n_ = 0;  ///< taxon-universe width
+  std::vector<std::int32_t> table_;
+  std::vector<phylo::TaxonId> taxa_sorted_;
+};
+
+}  // namespace bfhrf::core

@@ -1,0 +1,42 @@
+#include "core/variants.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace bfhrf::core {
+
+std::string SizeFilteredRf::name() const {
+  return "size-filtered[" + std::to_string(min_size_) + "," +
+         std::to_string(max_size_) + "]";
+}
+
+InformationWeightedRf::InformationWeightedRf(std::size_t n_taxa)
+    : n_taxa_(n_taxa) {
+  if (n_taxa < 4) {
+    throw InvalidArgument("information weighting needs >= 4 taxa");
+  }
+  // log_ddf_[k] = log2((2k-3)!!), the log count of rooted binary trees on k
+  // leaves; (-1)!! = 1!! = 1 so entries 0..2 are 0.
+  log_ddf_.assign(n_taxa + 1, 0.0);
+  for (std::size_t k = 3; k <= n_taxa; ++k) {
+    log_ddf_[k] =
+        log_ddf_[k - 1] + std::log2(static_cast<double>(2 * k - 3));
+  }
+}
+
+double InformationWeightedRf::weight(const BipartitionRef& b) const {
+  // P(a | n-a split present in a uniform unrooted binary topology)
+  //   = (2a-3)!! (2(n-a)-3)!! / (2n-5)!!,  and (2n-5)!! = (2(n-1)-3)!!.
+  const std::size_t a = b.ones;
+  const std::size_t c = n_taxa_ - a;
+  BFHRF_ASSERT(a >= 1 && c >= 1);
+  return log_ddf_[n_taxa_ - 1] - log_ddf_[a] - log_ddf_[c];
+}
+
+const RfVariant& classic_rf() {
+  static const ClassicRf instance;
+  return instance;
+}
+
+}  // namespace bfhrf::core

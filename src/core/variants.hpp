@@ -1,0 +1,128 @@
+// RF variants framework (paper §VII-F / §IX).
+//
+// Because the frequency hash is "non-transformative" — it stores real,
+// uncompressed bipartitions — any generalized RF that is expressible as a
+// per-bipartition *filter* (drop some splits) and/or *weight* (score each
+// split) plugs into every engine unchanged, applied identically on the
+// reference (hash-build) side and the query side:
+//
+//   RF_v(T, T') = Σ_{b ∈ B(T) \ B(T')} w(b)  +  Σ_{b ∈ B(T') \ B(T)} w(b)
+//                 over bipartitions passing the filter.
+//
+// Classic RF is filter ≡ true, w ≡ 1. The paper demonstrates bipartition
+// size filtering; we additionally ship clade-information weighting (after
+// Smith 2020's information-theoretic generalized RF family).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/bitset.hpp"
+
+namespace bfhrf::core {
+
+/// A bipartition, as seen by variant hooks: the canonical side mask plus
+/// the universe width. `ones` (the side's popcount) is precomputed because
+/// every shipped variant needs it.
+struct BipartitionRef {
+  util::ConstWordSpan words;
+  std::size_t n_bits;
+  std::size_t ones;
+};
+
+class RfVariant {
+ public:
+  virtual ~RfVariant() = default;
+
+  /// Human-readable name for tables and CLI output.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Keep this bipartition? Applied on both the reference and query side.
+  [[nodiscard]] virtual bool keep(const BipartitionRef& b) const {
+    (void)b;
+    return true;
+  }
+
+  /// Contribution of this bipartition to a symmetric-difference term.
+  [[nodiscard]] virtual double weight(const BipartitionRef& b) const {
+    (void)b;
+    return 1.0;
+  }
+};
+
+/// Classic RF: keep everything, unit weights.
+class ClassicRf final : public RfVariant {
+ public:
+  [[nodiscard]] std::string name() const override { return "classic"; }
+};
+
+/// Bipartition size filter (the variant the paper implements): keep only
+/// splits whose smaller side has size in [min_size, max_size].
+class SizeFilteredRf final : public RfVariant {
+ public:
+  SizeFilteredRf(std::size_t min_size, std::size_t max_size)
+      : min_size_(min_size), max_size_(max_size) {}
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool keep(const BipartitionRef& b) const override {
+    const std::size_t small = std::min(b.ones, b.n_bits - b.ones);
+    return small >= min_size_ && small <= max_size_;
+  }
+
+ private:
+  std::size_t min_size_;
+  std::size_t max_size_;
+};
+
+/// Clade-information weighting: w(b) = -log2 P(split sizes), where P is the
+/// fraction of unrooted binary topologies containing a split with the same
+/// side sizes. Rare (balanced) splits carry more information than splits
+/// near the trivial edge. A practical member of the information-theoretic
+/// generalized-RF family (Smith 2020).
+class InformationWeightedRf final : public RfVariant {
+ public:
+  explicit InformationWeightedRf(std::size_t n_taxa);
+
+  [[nodiscard]] std::string name() const override {
+    return "information-weighted";
+  }
+  [[nodiscard]] double weight(const BipartitionRef& b) const override;
+
+ private:
+  std::size_t n_taxa_;
+  std::vector<double> log_ddf_;  ///< log2 double-factorial table
+};
+
+/// Custom variant from lambdas — the one-liner extensibility pitch.
+class LambdaRf final : public RfVariant {
+ public:
+  using KeepFn = std::function<bool(const BipartitionRef&)>;
+  using WeightFn = std::function<double(const BipartitionRef&)>;
+
+  LambdaRf(std::string name, KeepFn keep, WeightFn weight)
+      : name_(std::move(name)),
+        keep_(std::move(keep)),
+        weight_(std::move(weight)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] bool keep(const BipartitionRef& b) const override {
+    return !keep_ || keep_(b);
+  }
+  [[nodiscard]] double weight(const BipartitionRef& b) const override {
+    return weight_ ? weight_(b) : 1.0;
+  }
+
+ private:
+  std::string name_;
+  KeepFn keep_;
+  WeightFn weight_;
+};
+
+/// The shared default instance used when callers pass no variant.
+[[nodiscard]] const RfVariant& classic_rf();
+
+}  // namespace bfhrf::core

@@ -1,0 +1,144 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace bfhrf::parallel {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  threads = std::max<std::size_t>(1, threads);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back(
+        [this](const std::stop_token& st) { worker_loop(st); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  for (auto& w : workers_) {
+    w.request_stop();
+  }
+  cv_task_.notify_all();
+  // jthread joins on destruction.
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard lock(mu_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    const std::exception_ptr e = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::worker_loop(const std::stop_token& st) {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_task_.wait(lock, st, [this] { return !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stop requested and queue drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    try {
+      task();
+    } catch (...) {
+      const std::lock_guard lock(mu_);
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+    }
+    {
+      const std::lock_guard lock(mu_);
+      if (--in_flight_ == 0) {
+        cv_idle_.notify_all();
+      }
+    }
+  }
+}
+
+std::size_t effective_threads(std::size_t requested) noexcept {
+  if (requested != 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for_ranked(
+    std::size_t begin, std::size_t end, std::size_t threads,
+    const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t grain) {
+  if (begin >= end) {
+    return;
+  }
+  const std::size_t t =
+      std::min(effective_threads(threads), (end - begin + grain - 1) / grain);
+  if (t <= 1) {
+    for (std::size_t i = begin; i < end; ++i) {
+      fn(0, i);
+    }
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{begin};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+
+  const auto body = [&](std::size_t rank) {
+    try {
+      while (true) {
+        const std::size_t chunk_begin =
+            cursor.fetch_add(grain, std::memory_order_relaxed);
+        if (chunk_begin >= end) {
+          return;
+        }
+        const std::size_t chunk_end = std::min(end, chunk_begin + grain);
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+          fn(rank, i);
+        }
+      }
+    } catch (...) {
+      const std::lock_guard lock(err_mu);
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  };
+
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(t - 1);
+    for (std::size_t rank = 1; rank < t; ++rank) {
+      workers.emplace_back([&body, rank] { body(rank); });
+    }
+    body(0);
+    // workers join here
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t threads,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  parallel_for_ranked(
+      begin, end, threads,
+      [&fn](std::size_t, std::size_t i) { fn(i); }, grain);
+}
+
+}  // namespace bfhrf::parallel

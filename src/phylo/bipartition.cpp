@@ -1,0 +1,222 @@
+#include "phylo/bipartition.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bfhrf::phylo {
+
+bool BipartitionSet::contains(util::ConstWordSpan words) const noexcept {
+  std::size_t lo = 0;
+  std::size_t hi = count_;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    const int c = util::compare_words((*this)[mid], words);
+    if (c == 0) {
+      return true;
+    }
+    if (c < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return false;
+}
+
+void BipartitionSet::append(util::ConstWordSpan words) {
+  BFHRF_ASSERT(words.size() == words_per_);
+  BFHRF_ASSERT(values_.empty());  // value mode is all-or-nothing
+  arena_.insert(arena_.end(), words.begin(), words.end());
+  ++count_;
+  finalized_ = false;
+}
+
+void BipartitionSet::append(util::ConstWordSpan words, double value) {
+  BFHRF_ASSERT(words.size() == words_per_);
+  BFHRF_ASSERT(values_.size() == count_);  // value mode is all-or-nothing
+  arena_.insert(arena_.end(), words.begin(), words.end());
+  values_.push_back(value);
+  ++count_;
+  finalized_ = false;
+}
+
+void BipartitionSet::finalize() {
+  if (finalized_ || count_ <= 1) {
+    finalized_ = true;
+    return;
+  }
+  // Sort indices, then rebuild the arena in sorted, deduplicated order.
+  std::vector<std::uint32_t> order(count_);
+  for (std::uint32_t i = 0; i < count_; ++i) {
+    order[i] = i;
+  }
+  const auto view = [this](std::uint32_t i) { return (*this)[i]; };
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return util::compare_words(view(a), view(b)) < 0;
+  });
+
+  const bool with_values = !values_.empty();
+  std::vector<std::uint64_t> sorted;
+  sorted.reserve(arena_.size());
+  std::vector<double> sorted_values;
+  if (with_values) {
+    sorted_values.reserve(values_.size());
+  }
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto w = view(order[i]);
+    if (kept > 0) {
+      const util::ConstWordSpan prev{sorted.data() + (kept - 1) * words_per_,
+                                     words_per_};
+      if (util::equal_words(prev, w)) {
+        if (with_values) {
+          // The two halves of a subdivided root edge describe one unrooted
+          // edge: lengths sum back together, supports keep the max.
+          if (value_merge_ == ValueMerge::Sum) {
+            sorted_values[kept - 1] += values_[order[i]];
+          } else {
+            sorted_values[kept - 1] =
+                std::max(sorted_values[kept - 1], values_[order[i]]);
+          }
+        }
+        continue;
+      }
+    }
+    sorted.insert(sorted.end(), w.begin(), w.end());
+    if (with_values) {
+      sorted_values.push_back(values_[order[i]]);
+    }
+    ++kept;
+  }
+  arena_ = std::move(sorted);
+  values_ = std::move(sorted_values);
+  count_ = kept;
+  finalized_ = true;
+}
+
+std::size_t BipartitionSet::intersection_size(const BipartitionSet& a,
+                                              const BipartitionSet& b) {
+  BFHRF_ASSERT(a.words_per_ == b.words_per_);
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t common = 0;
+  while (i < a.size() && j < b.size()) {
+    const int c = util::compare_words(a[i], b[j]);
+    if (c == 0) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (c < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return common;
+}
+
+std::size_t BipartitionSet::symmetric_difference_size(
+    const BipartitionSet& a, const BipartitionSet& b) {
+  const std::size_t common = intersection_size(a, b);
+  return (a.size() - common) + (b.size() - common);
+}
+
+void canonicalize_bipartition(util::DynamicBitset& mask,
+                              const util::DynamicBitset& leaf_mask) {
+  const std::size_t lowest = leaf_mask.find_first();
+  BFHRF_ASSERT(lowest < leaf_mask.size());
+  if (mask.test(lowest)) {
+    mask ^= leaf_mask;  // complement within the tree's own leaf universe
+  }
+}
+
+BipartitionSet extract_bipartitions(const Tree& tree,
+                                    const BipartitionOptions& opts) {
+  if (tree.empty() || !tree.taxa()) {
+    throw InvalidArgument("extract_bipartitions: empty tree or no taxa");
+  }
+  const std::size_t n_bits = tree.taxa()->size();
+  const std::size_t words = util::words_for_bits(n_bits);
+  const std::size_t n_tree = tree.num_leaves();
+
+  BipartitionSet out(n_bits);
+  if (opts.value == SplitValue::Support) {
+    out.set_value_merge(BipartitionSet::ValueMerge::Max);
+  }
+
+  // Postorder accumulation: every node's mask is the OR of its children.
+  const std::vector<NodeId> order = tree.postorder();
+  std::vector<std::uint64_t> masks(tree.num_nodes() * words, 0);
+  const auto mask_of = [&](NodeId id) {
+    return std::span<std::uint64_t>(
+        masks.data() + static_cast<std::size_t>(id) * words, words);
+  };
+
+  util::DynamicBitset scratch(n_bits);
+  util::DynamicBitset leaf_mask(n_bits);
+
+  for (const NodeId id : order) {
+    auto m = mask_of(id);
+    if (tree.is_leaf(id)) {
+      const auto taxon = static_cast<std::size_t>(tree.node(id).taxon);
+      m[taxon >> 6] |= (std::uint64_t{1} << (taxon & 63));
+    } else {
+      tree.for_each_child(id, [&](NodeId c) {
+        const auto cm = mask_of(c);
+        for (std::size_t w = 0; w < words; ++w) {
+          m[w] |= cm[w];
+        }
+      });
+    }
+  }
+  {
+    const auto rm = mask_of(tree.root());
+    std::copy(rm.begin(), rm.end(), leaf_mask.mutable_words().begin());
+  }
+
+  const std::size_t min_side = opts.include_trivial ? 1 : 2;
+  for (const NodeId id : order) {
+    if (tree.is_root(id)) {
+      continue;
+    }
+    const auto m = mask_of(id);
+    const std::size_t ones = util::popcount_words(m);
+    // A side of size < min_side, or its complement, is trivial/degenerate.
+    if (ones < min_side || ones > n_tree - min_side) {
+      continue;
+    }
+    std::copy(m.begin(), m.end(), scratch.mutable_words().begin());
+    canonicalize_bipartition(scratch, leaf_mask);
+    switch (opts.value) {
+      case SplitValue::None:
+        out.append(scratch.words());
+        break;
+      case SplitValue::BranchLength:
+        out.append(scratch.words(), tree.node(id).length);
+        break;
+      case SplitValue::Support:
+        out.append(scratch.words(), tree.node(id).support);
+        break;
+    }
+  }
+
+  out.set_leaf_mask(std::move(leaf_mask));
+  out.finalize();  // sorts and removes the rooted-edge duplicate, if any
+  return out;
+}
+
+bool bipartitions_compatible(const util::DynamicBitset& a,
+                             const util::DynamicBitset& b,
+                             const util::DynamicBitset& leaf_mask) {
+  // Sides A/~A and B/~B (complements within leaf_mask) are compatible iff
+  // at least one of the four pairwise intersections is empty.
+  if (a.is_disjoint_with(b) || a.is_subset_of(b) || b.is_subset_of(a)) {
+    return true;
+  }
+  // Remaining case: A ∪ B == universe (their complements are disjoint).
+  util::DynamicBitset uni = a;
+  uni |= b;
+  return uni == leaf_mask;
+}
+
+}  // namespace bfhrf::phylo

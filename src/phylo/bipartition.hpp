@@ -1,0 +1,158 @@
+// Bipartition extraction and canonical encoding (paper §II-B).
+//
+// A bipartition of a tree T is the two-way split of T's taxa induced by
+// removing one edge. We encode it as a bitmask over the TaxonSet's index
+// space, canonicalized to be complement-invariant: the side NOT containing
+// the lowest-indexed taxon present in the tree is stored (i.e. the bit of
+// that taxon is always 0). This is the Dendropy scheme up to polarity.
+//
+// Trivial bipartitions (a single leaf vs the rest) are excluded by default,
+// so a binary tree on n taxa yields n-3 bipartitions (2n-3 with trivial
+// ones included), matching the counts in the paper §IV-A.
+//
+// BipartitionSet stores a tree's bipartitions in one contiguous arena,
+// sorted and deduplicated, enabling O(k·w) merge-based set operations —
+// this is the "B(T)" object that every RF engine consumes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "phylo/tree.hpp"
+#include "util/bitset.hpp"
+
+namespace bfhrf::phylo {
+
+/// Which per-edge quantity to attach to each split as its value.
+enum class SplitValue {
+  None,          ///< presence-only splits (classic RF)
+  BranchLength,  ///< the inducing edge's length (branch-score distance)
+  Support,       ///< the inducing node's support value (bootstrap etc.)
+};
+
+struct BipartitionOptions {
+  /// Include the n trivial leaf splits. The paper (and HashRF) exclude them;
+  /// they cancel in RF whenever both trees share the same taxa.
+  bool include_trivial = false;
+
+  /// Attach a per-split value (BipartitionSet::value). The two half-edges
+  /// of a rooted-degree-2 representation merge by summing for lengths and
+  /// by max for supports (they describe the same unrooted edge). Used by
+  /// the generalized engines (core/branch_score.hpp).
+  SplitValue value = SplitValue::None;
+};
+
+/// A tree's bipartitions: sorted, deduplicated, arena-backed bitmasks of a
+/// fixed width (the TaxonSet size at extraction time).
+class BipartitionSet {
+ public:
+  BipartitionSet() = default;
+
+  /// `n_bits` is the universe width (TaxonSet size).
+  explicit BipartitionSet(std::size_t n_bits)
+      : n_bits_(n_bits), words_per_(util::words_for_bits(n_bits)) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] std::size_t n_bits() const noexcept { return n_bits_; }
+  [[nodiscard]] std::size_t words_per_bipartition() const noexcept {
+    return words_per_;
+  }
+
+  /// Word view of the i-th bipartition (sorted order).
+  [[nodiscard]] util::ConstWordSpan operator[](std::size_t i) const noexcept {
+    return {arena_.data() + i * words_per_, words_per_};
+  }
+
+  /// Copy the i-th bipartition into an owning bitset.
+  [[nodiscard]] util::DynamicBitset bitset(std::size_t i) const {
+    return util::DynamicBitset(n_bits_, (*this)[i]);
+  }
+
+  /// Membership test by binary search. `words` must have the same width.
+  [[nodiscard]] bool contains(util::ConstWordSpan words) const noexcept;
+
+  /// Append a bipartition (unsorted); call `finalize()` once after appends.
+  void append(util::ConstWordSpan words);
+
+  /// Append a bipartition with an attached value (e.g. branch length).
+  /// A set must be built either entirely with values or entirely without.
+  void append(util::ConstWordSpan words, double value);
+
+  /// How duplicate splits' values combine in finalize(): lengths of the
+  /// two halves of a subdivided root edge sum; supports take the max (they
+  /// annotate the same unrooted edge).
+  enum class ValueMerge { Sum, Max };
+  void set_value_merge(ValueMerge m) noexcept { value_merge_ = m; }
+
+  /// Sort + deduplicate the arena (duplicate values combine per
+  /// ValueMerge). Idempotent.
+  void finalize();
+
+  /// True if this set carries per-bipartition values.
+  [[nodiscard]] bool has_values() const noexcept { return !values_.empty(); }
+
+  /// Value attached to the i-th bipartition (0.0 for value-less sets).
+  [[nodiscard]] double value(std::size_t i) const noexcept {
+    return values_.empty() ? 0.0 : values_[i];
+  }
+
+  /// Union of all leaves present in the source tree (width n_bits).
+  [[nodiscard]] const util::DynamicBitset& leaf_mask() const noexcept {
+    return leaf_mask_;
+  }
+  void set_leaf_mask(util::DynamicBitset mask) {
+    leaf_mask_ = std::move(mask);
+  }
+
+  /// |A \ B| + |B \ A| over the sorted arenas — the RF numerator.
+  [[nodiscard]] static std::size_t symmetric_difference_size(
+      const BipartitionSet& a, const BipartitionSet& b);
+
+  /// |A ∩ B| over the sorted arenas.
+  [[nodiscard]] static std::size_t intersection_size(const BipartitionSet& a,
+                                                     const BipartitionSet& b);
+
+  /// Invoke `fn(ConstWordSpan)` per bipartition in sorted order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+      fn((*this)[i]);
+    }
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return arena_.capacity() * sizeof(std::uint64_t) +
+           values_.capacity() * sizeof(double) + leaf_mask_.memory_bytes();
+  }
+
+ private:
+  std::size_t n_bits_ = 0;
+  std::size_t words_per_ = 0;
+  std::size_t count_ = 0;
+  bool finalized_ = true;  // empty set is trivially sorted
+  ValueMerge value_merge_ = ValueMerge::Sum;
+  std::vector<std::uint64_t> arena_;
+  std::vector<double> values_;  // empty, or one value per bipartition
+  util::DynamicBitset leaf_mask_;
+};
+
+/// Extract the canonical bipartition set of `tree`.
+/// Cost: O(n^2 / 64) — O(n) edges, each masked over O(n/64) words.
+[[nodiscard]] BipartitionSet extract_bipartitions(
+    const Tree& tree, const BipartitionOptions& opts = {});
+
+/// Canonicalize one raw side-mask in place: flip to the side avoiding the
+/// lowest taxon of `leaf_mask`. Exposed for the variants framework.
+void canonicalize_bipartition(util::DynamicBitset& mask,
+                              const util::DynamicBitset& leaf_mask);
+
+/// True if two canonical bipartitions over the same leaf universe are
+/// compatible (can coexist in one tree): one side-pair is nested or disjoint.
+[[nodiscard]] bool bipartitions_compatible(const util::DynamicBitset& a,
+                                           const util::DynamicBitset& b,
+                                           const util::DynamicBitset&
+                                               leaf_mask);
+
+}  // namespace bfhrf::phylo

@@ -1,0 +1,441 @@
+#include "phylo/newick.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace bfhrf::phylo {
+namespace {
+
+/// Character-level cursor with comment and whitespace skipping.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  /// Current character after skipping whitespace/comments; '\0' at end.
+  char peek() {
+    skip();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  char take() {
+    const char c = peek();
+    if (pos_ < text_.size()) {
+      ++pos_;
+    }
+    return c;
+  }
+
+  void expect(char c) {
+    const char got = take();
+    if (got != c) {
+      fail(std::string("expected '") + c + "', got " +
+           (got == '\0' ? std::string("end of input")
+                        : "'" + std::string(1, got) + "'"));
+    }
+  }
+
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError("newick parse error at offset " + std::to_string(pos_) +
+                     ": " + msg);
+  }
+
+  /// Parse a (possibly quoted) label. Returns empty for no label.
+  std::string label() {
+    skip();
+    if (pos_ >= text_.size()) {
+      return {};
+    }
+    if (text_[pos_] == '\'') {
+      ++pos_;
+      std::string out;
+      while (true) {
+        if (pos_ >= text_.size()) {
+          fail("unterminated quoted label");
+        }
+        const char c = text_[pos_++];
+        if (c == '\'') {
+          if (pos_ < text_.size() && text_[pos_] == '\'') {
+            out.push_back('\'');  // '' escapes a quote
+            ++pos_;
+          } else {
+            return out;
+          }
+        } else {
+          out.push_back(c);
+        }
+      }
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '(' || c == ')' || c == ',' || c == ':' || c == ';' ||
+          c == '[' ||
+          std::isspace(static_cast<unsigned char>(c)) != 0) {
+        break;
+      }
+      out.push_back(c);
+      ++pos_;
+    }
+    return out;
+  }
+
+  /// Parse a branch length after ':'.
+  double length() {
+    skip();
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    double v = 0;
+    const auto [ptr, ec] = std::from_chars(begin, end, v);
+    if (ec != std::errc{} || ptr == begin) {
+      fail("bad branch length");
+    }
+    pos_ += static_cast<std::size_t>(ptr - begin);
+    return v;
+  }
+
+ private:
+  void skip() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+      } else if (c == '[') {
+        int depth = 0;
+        while (pos_ < text_.size()) {
+          if (text_[pos_] == '[') {
+            ++depth;
+          } else if (text_[pos_] == ']') {
+            if (--depth == 0) {
+              ++pos_;
+              break;
+            }
+          }
+          ++pos_;
+        }
+        if (depth != 0) {
+          fail("unterminated [comment]");
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Tree parse_newick(std::string_view text, const TaxonSetPtr& taxa,
+                  const NewickParseOptions& opts) {
+  if (!taxa) {
+    throw InvalidArgument("parse_newick: null taxon set");
+  }
+  Cursor cur(text);
+  Tree tree(taxa);
+
+  if (cur.peek() == '\0') {
+    cur.fail("empty input");
+  }
+
+  // Iterative descent: the stack holds the open '(' ancestors.
+  std::vector<NodeId> stack;
+  const NodeId root = tree.add_root();
+  NodeId current = root;  // node whose label/length we are about to read
+
+  if (cur.peek() == '(') {
+    cur.take();
+    stack.push_back(root);
+    current = kNoNode;
+  } else {
+    // Degenerate single-leaf tree, e.g. "A;" or "A:1.0;".
+    const std::string lbl = cur.label();
+    if (lbl.empty()) {
+      cur.fail("expected '(' or a label");
+    }
+    tree.set_taxon(root, taxa->add_or_get(lbl));
+    if (cur.peek() == ':') {
+      cur.take();
+      tree.set_length(root, cur.length());
+    }
+    if (cur.peek() == ';') {
+      cur.take();
+    }
+    if (cur.peek() != '\0') {
+      cur.fail("trailing characters after tree");
+    }
+    return tree;
+  }
+
+  // After this point: whenever current == kNoNode we are at the start of a
+  // subtree inside stack.back().
+  while (true) {
+    if (current == kNoNode) {
+      if (cur.peek() == '(') {
+        cur.take();
+        const NodeId nd = tree.add_child(stack.back());
+        stack.push_back(nd);
+        continue;
+      }
+      // A leaf (or an empty label, which is an error for leaves).
+      const std::string lbl = cur.label();
+      if (lbl.empty()) {
+        cur.fail("expected a leaf label");
+      }
+      current = tree.add_leaf(stack.back(), taxa->add_or_get(lbl));
+    }
+
+    // Optional ":length" for the node just completed.
+    if (cur.peek() == ':') {
+      cur.take();
+      tree.set_length(current, cur.length());
+    }
+
+    const char c = cur.peek();
+    if (c == ',') {
+      cur.take();
+      if (stack.empty()) {
+        cur.fail("',' outside parentheses");
+      }
+      current = kNoNode;
+      continue;
+    }
+    if (c == ')') {
+      cur.take();
+      if (stack.empty()) {
+        cur.fail("unbalanced ')'");
+      }
+      current = stack.back();
+      stack.pop_back();
+      // Optional internal label; numeric ones are support values (the
+      // common bootstrap/posterior convention), others are ignored.
+      const std::string internal_label = cur.label();
+      if (!internal_label.empty()) {
+        double support = 0;
+        const char* begin = internal_label.data();
+        const char* end = begin + internal_label.size();
+        const auto [ptr, ec] = std::from_chars(begin, end, support);
+        if (ec == std::errc{} && ptr == end) {
+          tree.set_support(current, support);
+        }
+      }
+      continue;
+    }
+    if (c == ';' || c == '\0') {
+      if (c == ';') {
+        cur.take();
+      }
+      if (!stack.empty()) {
+        cur.fail("missing ')': " + std::to_string(stack.size()) +
+                 " group(s) still open");
+      }
+      break;
+    }
+    cur.fail(std::string("unexpected character '") + c + "'");
+  }
+
+  if (tree.num_leaves() == 0) {
+    throw ParseError("newick tree has no leaves");
+  }
+  for (NodeId id = 0; id < static_cast<NodeId>(tree.num_nodes()); ++id) {
+    if (!tree.is_leaf(id) && tree.num_children(id) == 1) {
+      tree.suppress_unary();
+      break;
+    }
+  }
+  if (opts.require_full_taxon_set && tree.num_leaves() != taxa->size()) {
+    throw ParseError("tree has " + std::to_string(tree.num_leaves()) +
+                     " leaves but the taxon set has " +
+                     std::to_string(taxa->size()));
+  }
+  return tree;
+}
+
+namespace {
+
+bool needs_quoting(const std::string& label) {
+  if (label.empty()) {
+    return true;
+  }
+  for (const char c : label) {
+    if (c == '(' || c == ')' || c == ',' || c == ':' || c == ';' ||
+        c == '[' || c == ']' || c == '\'' ||
+        std::isspace(static_cast<unsigned char>(c)) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void write_label(std::ostream& os, const std::string& label) {
+  if (!needs_quoting(label)) {
+    os << label;
+    return;
+  }
+  os << '\'';
+  for (const char c : label) {
+    if (c == '\'') {
+      os << "''";
+    } else {
+      os << c;
+    }
+  }
+  os << '\'';
+}
+
+}  // namespace
+
+std::string write_newick(const Tree& tree, const NewickWriteOptions& opts) {
+  if (tree.empty()) {
+    throw InvalidArgument("cannot serialize an empty tree");
+  }
+  std::ostringstream os;
+  os.precision(opts.length_precision);
+
+  // Iterative serialization: frames carry the remaining children.
+  struct Frame {
+    NodeId id;
+    std::vector<NodeId> kids;
+    std::size_t next = 0;
+  };
+  std::vector<Frame> stack;
+
+  const auto open = [&](NodeId id) {
+    if (tree.is_leaf(id)) {
+      write_label(os, tree.taxa()->label_of(tree.node(id).taxon));
+      return false;
+    }
+    os << '(';
+    stack.push_back({id, tree.children(id), 0});
+    return true;
+  };
+
+  const auto close = [&](NodeId id, bool internal) {
+    if (internal && opts.write_support && tree.node(id).has_support) {
+      os << tree.node(id).support;
+    }
+    if (opts.write_lengths && tree.node(id).has_length) {
+      os << ':' << tree.node(id).length;
+    }
+  };
+
+  if (!open(tree.root())) {
+    close(tree.root(), false);
+    os << ';';
+    return std::move(os).str();
+  }
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next < f.kids.size()) {
+      if (f.next > 0) {
+        os << ',';
+      }
+      const NodeId child = f.kids[f.next++];
+      if (!open(child)) {
+        close(child, false);
+      }
+    } else {
+      os << ')';
+      close(f.id, true);
+      stack.pop_back();
+    }
+  }
+  os << ';';
+  return std::move(os).str();
+}
+
+NewickReader::NewickReader(std::istream& in, TaxonSetPtr taxa,
+                           NewickParseOptions opts)
+    : in_(in), taxa_(std::move(taxa)), opts_(opts) {
+  if (!taxa_) {
+    throw InvalidArgument("NewickReader: null taxon set");
+  }
+}
+
+std::optional<Tree> NewickReader::next() {
+  buffer_.clear();
+  char c = 0;
+  bool in_quote = false;
+  int comment_depth = 0;
+  while (in_.get(c)) {
+    if (in_quote) {
+      buffer_.push_back(c);
+      if (c == '\'') {
+        in_quote = false;  // handles '' escapes as two toggles, harmless
+      }
+      continue;
+    }
+    if (comment_depth > 0) {
+      buffer_.push_back(c);
+      if (c == '[') {
+        ++comment_depth;
+      } else if (c == ']') {
+        --comment_depth;
+      }
+      continue;
+    }
+    switch (c) {
+      case '\'':
+        in_quote = true;
+        buffer_.push_back(c);
+        break;
+      case '[':
+        comment_depth = 1;
+        buffer_.push_back(c);
+        break;
+      case ';': {
+        buffer_.push_back(c);
+        ++count_;
+        return parse_newick(buffer_, taxa_, opts_);
+      }
+      default:
+        buffer_.push_back(c);
+        break;
+    }
+  }
+  if (!util::trim(buffer_).empty()) {
+    // Trailing record without ';' — accept it for robustness.
+    ++count_;
+    return parse_newick(buffer_, taxa_, opts_);
+  }
+  return std::nullopt;
+}
+
+std::vector<Tree> read_newick_file(const std::string& path,
+                                   const TaxonSetPtr& taxa,
+                                   const NewickParseOptions& opts) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ParseError("cannot open '" + path + "'");
+  }
+  std::vector<Tree> trees;
+  NewickReader reader(in, taxa, opts);
+  while (auto t = reader.next()) {
+    trees.push_back(std::move(*t));
+  }
+  if (trees.empty()) {
+    throw ParseError("no trees in '" + path + "'");
+  }
+  return trees;
+}
+
+void write_newick_file(const std::string& path, std::span<const Tree> trees,
+                       const NewickWriteOptions& opts) {
+  std::ofstream out(path);
+  if (!out) {
+    throw ParseError("cannot open '" + path + "' for writing");
+  }
+  for (const Tree& t : trees) {
+    out << write_newick(t, opts) << '\n';
+  }
+}
+
+}  // namespace bfhrf::phylo

@@ -1,0 +1,82 @@
+// Newick parsing and writing.
+//
+// Grammar supported (a superset of what the paper's datasets need):
+//   tree       := subtree [label] [":" length] ";"
+//   subtree    := "(" subtree ("," subtree)* ")" [label] [":" length]
+//               | label [":" length]
+//   label      := unquoted | "'" quoted-with-''-escapes "'"
+//   comments   := "[" ... "]"   (ignored, nestable)
+// Multifurcations, internal labels (ignored), missing branch lengths
+// (the Insect dataset is unweighted), and arbitrary whitespace are handled.
+//
+// The parser is iterative (explicit stack), so pathological caterpillar
+// trees cannot overflow the call stack.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "phylo/tree.hpp"
+
+namespace bfhrf::phylo {
+
+struct NewickParseOptions {
+  /// Reject trees whose leaves are not exactly the full taxon set. The
+  /// paper's core experiments assume fixed taxa (§II-A); variable-taxa
+  /// workflows disable this and go through core/restrict.
+  bool require_full_taxon_set = false;
+};
+
+/// Parse a single Newick string into a tree over `taxa` (new labels are
+/// added unless the set is frozen). Throws ParseError on malformed input.
+[[nodiscard]] Tree parse_newick(std::string_view text, const TaxonSetPtr& taxa,
+                                const NewickParseOptions& opts = {});
+
+struct NewickWriteOptions {
+  bool write_lengths = true;   ///< emit ":len" where a length was present
+  bool write_support = false;  ///< emit internal support values as labels
+  int length_precision = 6;
+};
+
+/// Serialize a tree to Newick (with terminating ';').
+[[nodiscard]] std::string write_newick(const Tree& tree,
+                                       const NewickWriteOptions& opts = {});
+
+/// Streaming reader: yields one tree per ';'-terminated record from a
+/// stream. This is how the algorithms "dynamically load" collections —
+/// only one tree is resident at a time.
+class NewickReader {
+ public:
+  NewickReader(std::istream& in, TaxonSetPtr taxa,
+               NewickParseOptions opts = {});
+
+  /// Next tree, or std::nullopt at end of stream.
+  [[nodiscard]] std::optional<Tree> next();
+
+  /// Number of trees yielded so far.
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+
+  [[nodiscard]] const TaxonSetPtr& taxa() const noexcept { return taxa_; }
+
+ private:
+  std::istream& in_;
+  TaxonSetPtr taxa_;
+  NewickParseOptions opts_;
+  std::string buffer_;
+  std::size_t count_ = 0;
+};
+
+/// Read every tree from a Newick file (one or more trees, ';'-separated).
+[[nodiscard]] std::vector<Tree> read_newick_file(const std::string& path,
+                                                 const TaxonSetPtr& taxa,
+                                                 const NewickParseOptions&
+                                                     opts = {});
+
+/// Write trees to a file, one per line.
+void write_newick_file(const std::string& path, std::span<const Tree> trees,
+                       const NewickWriteOptions& opts = {});
+
+}  // namespace bfhrf::phylo

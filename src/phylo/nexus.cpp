@@ -1,0 +1,313 @@
+#include "phylo/nexus.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <unordered_map>
+
+#include "phylo/newick.hpp"
+#include "util/error.hpp"
+
+namespace bfhrf::phylo {
+namespace {
+
+/// Case-insensitive ASCII equality for keywords.
+bool ieq(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// NEXUS tokenizer: words, quoted strings, and single-char punctuation.
+/// [comments] are skipped transparently.
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::istream& in) : in_(in) {}
+
+  /// Next token; empty string at end of input. Quoted tokens are returned
+  /// unquoted with `was_quoted` set.
+  std::string next(bool* was_quoted = nullptr) {
+    if (was_quoted != nullptr) {
+      *was_quoted = false;
+    }
+    skip_space_and_comments();
+    int c = in_.peek();
+    if (c == EOF) {
+      return {};
+    }
+    if (c == '\'') {
+      in_.get();
+      if (was_quoted != nullptr) {
+        *was_quoted = true;
+      }
+      return quoted();
+    }
+    if (is_punct(static_cast<char>(c))) {
+      in_.get();
+      return std::string(1, static_cast<char>(c));
+    }
+    std::string word;
+    while ((c = in_.peek()) != EOF) {
+      const char ch = static_cast<char>(c);
+      if (std::isspace(static_cast<unsigned char>(ch)) != 0 ||
+          is_punct(ch) || ch == '[' || ch == '\'') {
+        break;
+      }
+      word.push_back(ch);
+      in_.get();
+    }
+    return word;
+  }
+
+  /// Raw capture until the next top-level ';' (quotes and comments
+  /// respected) — used for TREE definitions so the Newick text reaches the
+  /// Newick parser verbatim (minus the trailing ';').
+  std::string raw_until_semicolon() {
+    std::string out;
+    int c;
+    while ((c = in_.get()) != EOF) {
+      const char ch = static_cast<char>(c);
+      if (ch == ';') {
+        return out;
+      }
+      out.push_back(ch);
+      if (ch == '\'') {
+        // copy quoted span verbatim
+        while ((c = in_.get()) != EOF) {
+          out.push_back(static_cast<char>(c));
+          if (static_cast<char>(c) == '\'') {
+            if (in_.peek() == '\'') {
+              out.push_back(static_cast<char>(in_.get()));
+            } else {
+              break;
+            }
+          }
+        }
+      } else if (ch == '[') {
+        int depth = 1;
+        while (depth > 0 && (c = in_.get()) != EOF) {
+          out.push_back(static_cast<char>(c));
+          if (static_cast<char>(c) == '[') {
+            ++depth;
+          } else if (static_cast<char>(c) == ']') {
+            --depth;
+          }
+        }
+      }
+    }
+    throw ParseError("nexus: unterminated statement (missing ';')");
+  }
+
+ private:
+  static bool is_punct(char c) {
+    return c == ';' || c == '=' || c == ',';
+  }
+
+  std::string quoted() {
+    std::string out;
+    int c;
+    while ((c = in_.get()) != EOF) {
+      const char ch = static_cast<char>(c);
+      if (ch == '\'') {
+        if (in_.peek() == '\'') {
+          out.push_back('\'');
+          in_.get();
+        } else {
+          return out;
+        }
+      } else {
+        out.push_back(ch);
+      }
+    }
+    throw ParseError("nexus: unterminated quoted label");
+  }
+
+  void skip_space_and_comments() {
+    int c;
+    while ((c = in_.peek()) != EOF) {
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        in_.get();
+      } else if (c == '[') {
+        in_.get();
+        int depth = 1;
+        while (depth > 0 && (c = in_.get()) != EOF) {
+          if (c == '[') {
+            ++depth;
+          } else if (c == ']') {
+            --depth;
+          }
+        }
+        if (depth != 0) {
+          throw ParseError("nexus: unterminated [comment]");
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::istream& in_;
+};
+
+/// Strip the leading [&U]/[&R]-style comment the tokenizer's raw capture
+/// keeps; parse_newick skips comments anyway, so only trimming is needed.
+std::string trim_raw_tree(std::string raw) { return raw + ";"; }
+
+/// Rewrite leaf labels of a Newick string through the TRANSLATE table by
+/// re-parsing over a scratch namespace and re-targeting taxon ids.
+Tree apply_translate(
+    const std::string& newick,
+    const std::unordered_map<std::string, std::string>& translate,
+    const TaxonSetPtr& taxa) {
+  auto scratch = std::make_shared<TaxonSet>();
+  Tree parsed = parse_newick(newick, scratch);
+  // Map each scratch taxon to the real one (through TRANSLATE if present).
+  std::vector<TaxonId> remap(scratch->size(), kNoTaxon);
+  for (std::size_t i = 0; i < scratch->size(); ++i) {
+    const std::string& token = scratch->label_of(static_cast<TaxonId>(i));
+    const auto it = translate.find(token);
+    const std::string& label = it != translate.end() ? it->second : token;
+    remap[i] = taxa->add_or_get(label);
+  }
+  for (NodeId id = 0; id < static_cast<NodeId>(parsed.num_nodes()); ++id) {
+    if (parsed.is_leaf(id) && parsed.node(id).taxon != kNoTaxon) {
+      parsed.set_taxon(id,
+                       remap[static_cast<std::size_t>(parsed.node(id).taxon)]);
+    }
+  }
+  parsed.set_taxa(taxa);
+  return parsed;
+}
+
+}  // namespace
+
+NexusData read_nexus(std::istream& in, TaxonSetPtr taxa) {
+  NexusData data;
+  data.taxa = taxa ? std::move(taxa) : std::make_shared<TaxonSet>();
+
+  Tokenizer tok(in);
+  const std::string header = tok.next();
+  if (!ieq(header, "#NEXUS")) {
+    throw ParseError("nexus: missing #NEXUS header (got '" + header + "')");
+  }
+
+  std::unordered_map<std::string, std::string> translate;
+
+  std::string t;
+  while (!(t = tok.next()).empty()) {
+    if (!ieq(t, "BEGIN")) {
+      continue;  // tolerate stray tokens between blocks
+    }
+    const std::string block = tok.next();
+    (void)tok.next();  // ';'
+
+    if (ieq(block, "TAXA")) {
+      // Scan for TAXLABELS; ignore DIMENSIONS etc.
+      while (!(t = tok.next()).empty() && !ieq(t, "END") &&
+             !ieq(t, "ENDBLOCK")) {
+        if (ieq(t, "TAXLABELS")) {
+          while (!(t = tok.next()).empty() && t != ";") {
+            (void)data.taxa->add_or_get(t);
+          }
+        }
+      }
+      (void)tok.next();  // ';' after END
+    } else if (ieq(block, "TREES")) {
+      while (!(t = tok.next()).empty() && !ieq(t, "END") &&
+             !ieq(t, "ENDBLOCK")) {
+        if (ieq(t, "TRANSLATE")) {
+          while (true) {
+            const std::string token = tok.next();
+            if (token.empty()) {
+              throw ParseError("nexus: unterminated TRANSLATE");
+            }
+            if (token == ";") {
+              break;
+            }
+            const std::string label = tok.next();
+            if (label.empty() || label == ";" || label == ",") {
+              throw ParseError("nexus: TRANSLATE entry missing label");
+            }
+            translate[token] = label;
+            const std::string sep = tok.next();
+            if (sep == ";") {
+              break;
+            }
+            if (sep != ",") {
+              throw ParseError("nexus: expected ',' or ';' in TRANSLATE");
+            }
+          }
+        } else if (ieq(t, "TREE") || ieq(t, "UTREE")) {
+          std::string name = tok.next();
+          if (name == "*") {
+            name = tok.next();  // default-tree marker
+          }
+          const std::string eq = tok.next();
+          if (eq != "=") {
+            throw ParseError("nexus: expected '=' after TREE " + name);
+          }
+          const std::string raw = tok.raw_until_semicolon();
+          data.trees.push_back(
+              apply_translate(trim_raw_tree(raw), translate, data.taxa));
+          data.tree_names.push_back(name);
+        }
+      }
+      (void)tok.next();  // ';' after END
+    } else {
+      // Unknown block: skip to its END;.
+      while (!(t = tok.next()).empty() && !ieq(t, "END") &&
+             !ieq(t, "ENDBLOCK")) {
+      }
+      (void)tok.next();
+    }
+  }
+  if (data.trees.empty()) {
+    throw ParseError("nexus: no trees found");
+  }
+  return data;
+}
+
+NexusData read_nexus_file(const std::string& path, TaxonSetPtr taxa) {
+  std::ifstream in(path);
+  if (!in) {
+    throw ParseError("cannot open '" + path + "'");
+  }
+  return read_nexus(in, std::move(taxa));
+}
+
+void write_nexus_file(const std::string& path, std::span<const Tree> trees,
+                      const TaxonSetPtr& taxa) {
+  std::ofstream out(path);
+  if (!out) {
+    throw ParseError("cannot open '" + path + "' for writing");
+  }
+  out << "#NEXUS\n\nBEGIN TAXA;\n  DIMENSIONS NTAX=" << taxa->size()
+      << ";\n  TAXLABELS";
+  const auto quote = [](const std::string& s) {
+    std::string q = "'";
+    for (const char c : s) {
+      q += (c == '\'') ? "''" : std::string(1, c);
+    }
+    return q + "'";
+  };
+  for (const auto& label : taxa->labels()) {
+    out << ' ' << quote(label);
+  }
+  out << ";\nEND;\n\nBEGIN TREES;\n";
+  std::size_t index = 1;
+  for (const Tree& t : trees) {
+    out << "  TREE tree" << index++ << " = [&U] " << write_newick(t) << '\n';
+  }
+  out << "END;\n";
+}
+
+}  // namespace bfhrf::phylo

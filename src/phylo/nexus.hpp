@@ -1,0 +1,49 @@
+// NEXUS tree-file reading.
+//
+// The paper's real datasets (Avian, Insect) circulate as NEXUS as often as
+// raw Newick; Dendropy reads both, so this substrate does too. Supported
+// subset (the parts tree collections actually use):
+//
+//   #NEXUS
+//   BEGIN TAXA;    DIMENSIONS NTAX=n;  TAXLABELS l1 ... ln;  END;
+//   BEGIN TREES;
+//     TRANSLATE  1 label1, 2 label2, ...;
+//     TREE name = [&U] (...newick...);
+//   END;
+//
+// Keywords are case-insensitive; [comments] (including [&U]/[&R] rooting
+// hints) are skipped; quoted labels use the Newick conventions; unknown
+// blocks are skipped wholesale. Trees are returned over one shared
+// TaxonSet with TRANSLATE numbers resolved to labels.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "phylo/taxon_set.hpp"
+#include "phylo/tree.hpp"
+
+namespace bfhrf::phylo {
+
+struct NexusData {
+  TaxonSetPtr taxa;
+  std::vector<Tree> trees;
+  std::vector<std::string> tree_names;
+};
+
+/// Parse a NEXUS stream. If `taxa` is null a fresh TaxonSet is created;
+/// otherwise labels resolve against (and extend, unless frozen) the given
+/// set. Throws ParseError on malformed input.
+[[nodiscard]] NexusData read_nexus(std::istream& in,
+                                   TaxonSetPtr taxa = nullptr);
+
+/// Parse a NEXUS file.
+[[nodiscard]] NexusData read_nexus_file(const std::string& path,
+                                        TaxonSetPtr taxa = nullptr);
+
+/// Serialize a tree collection as a NEXUS TREES block (with TRANSLATE).
+void write_nexus_file(const std::string& path, std::span<const Tree> trees,
+                      const TaxonSetPtr& taxa);
+
+}  // namespace bfhrf::phylo

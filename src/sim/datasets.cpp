@@ -1,0 +1,76 @@
+#include "sim/datasets.hpp"
+
+#include "phylo/newick.hpp"
+#include "sim/generators.hpp"
+#include "sim/moves.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::sim {
+
+DatasetSpec avian_like(std::size_t r) {
+  return DatasetSpec{.name = "avian-like",
+                     .n_taxa = 48,
+                     .n_trees = r,
+                     .moves_per_tree = 4,
+                     .branch_lengths = true,
+                     .seed = 0xA71A};
+}
+
+DatasetSpec insect_like(std::size_t r) {
+  return DatasetSpec{.name = "insect-like",
+                     .n_taxa = 144,
+                     .n_trees = r,
+                     .moves_per_tree = 10,
+                     .branch_lengths = false,  // unweighted, as in the paper
+                     .seed = 0x1A5EC7};
+}
+
+DatasetSpec variable_trees(std::size_t r) {
+  return DatasetSpec{.name = "variable-trees",
+                     .n_taxa = 100,
+                     .n_trees = r,
+                     .moves_per_tree = 6,
+                     .branch_lengths = true,
+                     .seed = 0x7AEE5};
+}
+
+DatasetSpec variable_species(std::size_t n) {
+  return DatasetSpec{.name = "variable-species",
+                     .n_taxa = n,
+                     .n_trees = 1000,
+                     .moves_per_tree = 6,
+                     .branch_lengths = true,
+                     .seed = 0x5BEC1E5};
+}
+
+Dataset generate(const DatasetSpec& spec) {
+  if (spec.n_taxa < 4 || spec.n_trees == 0) {
+    throw InvalidArgument("generate: need >= 4 taxa and >= 1 tree");
+  }
+  Dataset ds;
+  ds.spec = spec;
+  ds.taxa = phylo::TaxonSet::make_numbered(spec.n_taxa);
+
+  util::Rng rng(spec.seed);
+  const GeneratorOptions gen_opts{.branch_lengths = spec.branch_lengths};
+  const phylo::Tree base = yule_tree(ds.taxa, rng, gen_opts);
+
+  ds.trees.reserve(spec.n_trees);
+  for (std::size_t i = 0; i < spec.n_trees; ++i) {
+    phylo::Tree t = base;
+    perturb(t, rng, spec.moves_per_tree);
+    ds.trees.push_back(std::move(t));
+  }
+  return ds;
+}
+
+phylo::TaxonSetPtr generate_to_file(const DatasetSpec& spec,
+                                    const std::string& path) {
+  const Dataset ds = generate(spec);
+  const phylo::NewickWriteOptions opts{.write_lengths = spec.branch_lengths};
+  phylo::write_newick_file(path, ds.trees, opts);
+  return ds.taxa;
+}
+
+}  // namespace bfhrf::sim

@@ -1,0 +1,62 @@
+// Dataset presets mirroring the paper's Table II.
+//
+//   Name              Taxa n   Trees r    Type   Paper source
+//   Avian             48       14446      Real   Jarvis et al. 2014
+//   Insect            144      149278     Real   Sayyari et al. 2017
+//   Variable Trees    100      1e3..1e5   Sim    ASTRAL-II S100 / SimPhy
+//   Variable Species  100..1k  1000       Sim    ASTRAL-II S100 / SimPhy
+//
+// The real datasets are substituted with perturbed-Yule collections of the
+// same n / r / weighting (see DESIGN.md); the simulated ones are generated
+// the same way the paper generated theirs, with the move count standing in
+// for the SimPhy discordance parameters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "phylo/taxon_set.hpp"
+#include "phylo/tree.hpp"
+
+namespace bfhrf::sim {
+
+struct DatasetSpec {
+  std::string name;
+  std::size_t n_taxa = 0;
+  std::size_t n_trees = 0;
+  /// Random NNI/SPR moves applied per tree (gene-tree discordance level).
+  std::size_t moves_per_tree = 0;
+  /// Emit branch lengths? (The Insect data is unweighted — lengths absent —
+  /// which is what HashRF choked on; we preserve that property.)
+  bool branch_lengths = true;
+  std::uint64_t seed = 0x5eed;
+};
+
+/// Avian-like: n=48, weighted, moderate discordance.
+[[nodiscard]] DatasetSpec avian_like(std::size_t r = 14446);
+
+/// Insect-like: n=144, UNWEIGHTED, higher discordance.
+[[nodiscard]] DatasetSpec insect_like(std::size_t r = 149278);
+
+/// Variable-trees family: n=100, r swept (Table V / Fig 2).
+[[nodiscard]] DatasetSpec variable_trees(std::size_t r);
+
+/// Variable-species family: n swept, r=1000 (Table IV).
+[[nodiscard]] DatasetSpec variable_species(std::size_t n);
+
+struct Dataset {
+  DatasetSpec spec;
+  phylo::TaxonSetPtr taxa;
+  std::vector<phylo::Tree> trees;
+};
+
+/// Generate the collection for a spec. Deterministic in spec.seed.
+[[nodiscard]] Dataset generate(const DatasetSpec& spec);
+
+/// Generate and write to a Newick file (one tree per line); returns the
+/// taxon set. Used by the streaming-input benchmarks and CLI examples.
+phylo::TaxonSetPtr generate_to_file(const DatasetSpec& spec,
+                                    const std::string& path);
+
+}  // namespace bfhrf::sim

@@ -1,0 +1,199 @@
+#include "sim/generators.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace bfhrf::sim {
+namespace {
+
+using phylo::NodeId;
+using phylo::TaxonId;
+using phylo::Tree;
+
+std::vector<TaxonId> shuffled_taxa(const phylo::TaxonSetPtr& taxa,
+                                   util::Rng& rng) {
+  std::vector<TaxonId> order(taxa->size());
+  std::iota(order.begin(), order.end(), TaxonId{0});
+  rng.shuffle(order);
+  return order;
+}
+
+void attach_lengths(Tree& tree, util::Rng& rng,
+                    const GeneratorOptions& opts) {
+  if (!opts.branch_lengths) {
+    return;
+  }
+  for (NodeId id = 0; id < static_cast<NodeId>(tree.num_nodes()); ++id) {
+    if (!tree.is_root(id)) {
+      tree.set_length(id, rng.exponential(opts.length_rate));
+    }
+  }
+}
+
+Tree tiny_tree(const phylo::TaxonSetPtr& taxa, util::Rng& rng,
+               const GeneratorOptions& opts) {
+  const auto order = shuffled_taxa(taxa, rng);
+  Tree t(taxa);
+  if (order.size() == 1) {
+    t.add_root();
+    t.set_taxon(t.root(), order[0]);
+  } else {
+    t.add_root();
+    for (std::size_t i = 0; i < std::min<std::size_t>(order.size(), 3); ++i) {
+      t.add_leaf(t.root(), order[i]);
+    }
+  }
+  attach_lengths(t, rng, opts);
+  return t;
+}
+
+}  // namespace
+
+Tree yule_tree(const phylo::TaxonSetPtr& taxa, util::Rng& rng,
+               const GeneratorOptions& opts) {
+  if (!taxa || taxa->empty()) {
+    throw InvalidArgument("yule_tree: empty taxon set");
+  }
+  const std::size_t n = taxa->size();
+  if (n <= 3) {
+    return tiny_tree(taxa, rng, opts);
+  }
+
+  // Split a uniformly chosen extant lineage until n lineages exist.
+  Tree t(taxa);
+  t.reserve(2 * n);
+  const NodeId root = t.add_root();
+  std::vector<NodeId> extant;
+  extant.push_back(t.add_child(root));
+  extant.push_back(t.add_child(root));
+  extant.push_back(t.add_child(root));  // degree-3 root: canonical unrooted
+  while (extant.size() < n) {
+    const std::size_t pick = rng.below(extant.size());
+    const NodeId parent = extant[pick];
+    const NodeId a = t.add_child(parent);
+    const NodeId b = t.add_child(parent);
+    extant[pick] = a;
+    extant.push_back(b);
+  }
+  const auto order = shuffled_taxa(taxa, rng);
+  for (std::size_t i = 0; i < extant.size(); ++i) {
+    t.set_taxon(extant[i], order[i]);
+  }
+  attach_lengths(t, rng, opts);
+  return t;
+}
+
+Tree uniform_tree(const phylo::TaxonSetPtr& taxa, util::Rng& rng,
+                  const GeneratorOptions& opts) {
+  if (!taxa || taxa->empty()) {
+    throw InvalidArgument("uniform_tree: empty taxon set");
+  }
+  const std::size_t n = taxa->size();
+  if (n <= 3) {
+    return tiny_tree(taxa, rng, opts);
+  }
+  const auto order = shuffled_taxa(taxa, rng);
+
+  Tree t(taxa);
+  t.reserve(2 * n);
+  const NodeId root = t.add_root();
+  t.add_leaf(root, order[0]);
+  t.add_leaf(root, order[1]);
+  t.add_leaf(root, order[2]);
+  for (std::size_t i = 3; i < n; ++i) {
+    // Uniform over edges == uniform over non-root nodes.
+    NodeId target;
+    do {
+      target = static_cast<NodeId>(rng.below(t.num_nodes()));
+    } while (t.is_root(target));
+    t.split_edge_insert_leaf(target, order[i]);
+  }
+  attach_lengths(t, rng, opts);
+  return t;
+}
+
+Tree caterpillar_tree(const phylo::TaxonSetPtr& taxa, util::Rng& rng,
+                      const GeneratorOptions& opts) {
+  if (!taxa || taxa->empty()) {
+    throw InvalidArgument("caterpillar_tree: empty taxon set");
+  }
+  const std::size_t n = taxa->size();
+  if (n <= 3) {
+    return tiny_tree(taxa, rng, opts);
+  }
+  const auto order = shuffled_taxa(taxa, rng);
+
+  // Root holds two leaves and the start of the comb.
+  Tree t(taxa);
+  t.reserve(2 * n);
+  const NodeId root = t.add_root();
+  t.add_leaf(root, order[0]);
+  t.add_leaf(root, order[1]);
+  NodeId spine = root;
+  for (std::size_t i = 2; i + 1 < n; ++i) {
+    spine = t.add_child(spine);
+    t.add_leaf(spine, order[i]);
+  }
+  t.add_leaf(spine, order[n - 1]);
+  attach_lengths(t, rng, opts);
+  return t;
+}
+
+Tree multifurcating_tree(const phylo::TaxonSetPtr& taxa, util::Rng& rng,
+                         double contract_p, const GeneratorOptions& opts) {
+  Tree t = yule_tree(taxa, rng, opts);
+  if (contract_p <= 0.0) {
+    return t;
+  }
+  // Contract each internal non-root edge independently: splice the child's
+  // children into its parent. Done by rebuilding through a "skip" set.
+  std::vector<std::uint8_t> contracted(t.num_nodes(), 0);
+  for (NodeId id = 0; id < static_cast<NodeId>(t.num_nodes()); ++id) {
+    if (!t.is_root(id) && !t.is_leaf(id) && rng.bernoulli(contract_p)) {
+      contracted[static_cast<std::size_t>(id)] = 1;
+    }
+  }
+
+  Tree out(taxa);
+  out.reserve(t.num_nodes());
+  struct Item {
+    NodeId old_id;
+    NodeId new_parent;
+  };
+  const NodeId new_root = out.add_root();
+  std::vector<Item> stack;
+  // Collect effective children of a node: descend through contracted kids.
+  const auto push_children = [&](NodeId old_id, NodeId new_parent,
+                                 auto&& self) -> void {
+    t.for_each_child(old_id, [&](NodeId c) {
+      if (contracted[static_cast<std::size_t>(c)] != 0) {
+        self(c, new_parent, self);
+      } else {
+        stack.push_back({c, new_parent});
+      }
+    });
+  };
+  push_children(t.root(), new_root, push_children);
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    if (t.is_leaf(item.old_id)) {
+      const NodeId leaf =
+          out.add_leaf(item.new_parent, t.node(item.old_id).taxon);
+      if (t.node(item.old_id).has_length) {
+        out.set_length(leaf, t.node(item.old_id).length);
+      }
+    } else {
+      const NodeId nid = out.add_child(item.new_parent);
+      if (t.node(item.old_id).has_length) {
+        out.set_length(nid, t.node(item.old_id).length);
+      }
+      push_children(item.old_id, nid, push_children);
+    }
+  }
+  return out;
+}
+
+}  // namespace bfhrf::sim

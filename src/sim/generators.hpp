@@ -1,0 +1,49 @@
+// Random tree generators — the SimPhy / ASTRAL-II S100 stand-in (paper
+// Table II, "Sim" rows; see DESIGN.md substitution table).
+//
+// Two classic topology distributions:
+//  * Yule (pure-birth): repeatedly split a uniformly chosen extant lineage.
+//    Biased toward balanced trees, like species trees.
+//  * PDA / uniform: attach each new leaf to a uniformly chosen edge; every
+//    labeled topology equally likely.
+// Both emit canonical unrooted binary trees (root degree 3 for n >= 3) and
+// optionally exponential branch lengths (the Insect-like datasets omit
+// lengths, reproducing the "unweighted" property that broke HashRF).
+#pragma once
+
+#include "phylo/tree.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::sim {
+
+struct GeneratorOptions {
+  /// Attach i.i.d. Exponential(rate) branch lengths to every edge.
+  bool branch_lengths = false;
+  double length_rate = 10.0;
+};
+
+/// Yule (pure-birth) topology over the full taxon set.
+[[nodiscard]] phylo::Tree yule_tree(const phylo::TaxonSetPtr& taxa,
+                                    util::Rng& rng,
+                                    const GeneratorOptions& opts = {});
+
+/// Uniform (PDA) topology over the full taxon set.
+[[nodiscard]] phylo::Tree uniform_tree(const phylo::TaxonSetPtr& taxa,
+                                       util::Rng& rng,
+                                       const GeneratorOptions& opts = {});
+
+/// Random caterpillar (pectinate) tree — the worst case for traversal depth
+/// and the most "concentrated" bipartition distribution; used in tests.
+[[nodiscard]] phylo::Tree caterpillar_tree(const phylo::TaxonSetPtr& taxa,
+                                           util::Rng& rng,
+                                           const GeneratorOptions& opts = {});
+
+/// Random multifurcating tree: start from a Yule tree and contract each
+/// internal edge independently with probability `contract_p`.
+[[nodiscard]] phylo::Tree multifurcating_tree(const phylo::TaxonSetPtr& taxa,
+                                              util::Rng& rng,
+                                              double contract_p,
+                                              const GeneratorOptions& opts =
+                                                  {});
+
+}  // namespace bfhrf::sim

@@ -1,0 +1,126 @@
+#include "sim/moves.hpp"
+
+#include <vector>
+
+#include "core/restrict.hpp"
+#include "util/error.hpp"
+
+namespace bfhrf::sim {
+namespace {
+
+using phylo::kNoNode;
+using phylo::NodeId;
+using phylo::Tree;
+
+/// Clone `t`, exchanging the subtrees rooted at `a` and `b` (which must not
+/// be ancestor-related). Branch lengths travel with their subtree.
+Tree clone_with_swap(const Tree& t, NodeId a, NodeId b) {
+  Tree out(t.taxa());
+  out.reserve(t.num_nodes());
+
+  struct Item {
+    NodeId old_id;
+    NodeId new_parent;
+  };
+  const auto redirect = [&](NodeId id) {
+    if (id == a) {
+      return b;
+    }
+    if (id == b) {
+      return a;
+    }
+    return id;
+  };
+
+  const NodeId new_root = out.add_root();
+  std::vector<Item> stack;
+  t.for_each_child(t.root(),
+                   [&](NodeId c) { stack.push_back({redirect(c), new_root}); });
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    NodeId nid;
+    if (t.is_leaf(item.old_id)) {
+      nid = out.add_leaf(item.new_parent, t.node(item.old_id).taxon);
+    } else {
+      nid = out.add_child(item.new_parent);
+    }
+    if (t.node(item.old_id).has_length) {
+      out.set_length(nid, t.node(item.old_id).length);
+    }
+    t.for_each_child(item.old_id, [&](NodeId c) {
+      stack.push_back({redirect(c), nid});
+    });
+  }
+  return out;
+}
+
+}  // namespace
+
+void random_nni(phylo::Tree& tree, util::Rng& rng) {
+  // Candidate lower ends v of internal edges: internal, non-root, parent
+  // with at least one other child.
+  std::vector<NodeId> candidates;
+  for (NodeId id = 0; id < static_cast<NodeId>(tree.num_nodes()); ++id) {
+    if (!tree.is_root(id) && !tree.is_leaf(id) &&
+        tree.num_children(tree.node(id).parent) >= 2) {
+      candidates.push_back(id);
+    }
+  }
+  if (candidates.empty()) {
+    return;
+  }
+  const NodeId v = candidates[rng.below(candidates.size())];
+  const NodeId u = tree.node(v).parent;
+
+  const auto v_kids = tree.children(v);
+  std::vector<NodeId> siblings;
+  tree.for_each_child(u, [&](NodeId c) {
+    if (c != v) {
+      siblings.push_back(c);
+    }
+  });
+  BFHRF_ASSERT(!v_kids.empty() && !siblings.empty());
+  const NodeId a = v_kids[rng.below(v_kids.size())];
+  const NodeId b = siblings[rng.below(siblings.size())];
+  tree = clone_with_swap(tree, a, b);
+}
+
+void random_spr_leaf(phylo::Tree& tree, util::Rng& rng) {
+  if (tree.num_leaves() < 4 || !tree.taxa()) {
+    return;
+  }
+  // Prune a random leaf...
+  const auto leaves = tree.leaves();
+  const NodeId victim = leaves[rng.below(leaves.size())];
+  const phylo::TaxonId taxon = tree.node(victim).taxon;
+
+  util::DynamicBitset keep(tree.taxa()->size());
+  for (const NodeId leaf : leaves) {
+    if (leaf != victim) {
+      keep.set(static_cast<std::size_t>(tree.node(leaf).taxon));
+    }
+  }
+  Tree pruned = core::restrict_to_taxa(tree, keep);
+
+  // ...and regraft it onto a uniformly chosen edge (non-root node).
+  NodeId target;
+  do {
+    target = static_cast<NodeId>(rng.below(pruned.num_nodes()));
+  } while (pruned.is_root(target));
+  pruned.split_edge_insert_leaf(target, taxon);
+  tree = std::move(pruned);
+}
+
+void perturb(phylo::Tree& tree, util::Rng& rng, std::size_t count,
+             double spr_p) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rng.bernoulli(spr_p)) {
+      random_spr_leaf(tree, rng);
+    } else {
+      random_nni(tree, rng);
+    }
+  }
+}
+
+}  // namespace bfhrf::sim

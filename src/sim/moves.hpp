@@ -1,0 +1,28 @@
+// Topology perturbation moves.
+//
+// Collections of gene trees cluster around their species tree (the paper's
+// "centralized distribution", §VI-C); we reproduce that by applying a small
+// random number of NNI / leaf-SPR moves to a shared base tree. The move
+// count is the discordance knob (the ILS-level analogue of the SimPhy
+// parameters the paper's S100 datasets vary).
+#pragma once
+
+#include "phylo/tree.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::sim {
+
+/// One random nearest-neighbor interchange: swap a child subtree of a
+/// random internal edge's lower end with one of its sibling subtrees.
+/// No-op on trees too small to have an internal edge.
+void random_nni(phylo::Tree& tree, util::Rng& rng);
+
+/// One random leaf SPR: prune a random leaf and regraft it onto a random
+/// edge. No-op on trees with fewer than 4 leaves.
+void random_spr_leaf(phylo::Tree& tree, util::Rng& rng);
+
+/// Apply `count` moves, mixing NNI and leaf-SPR with probability spr_p.
+void perturb(phylo::Tree& tree, util::Rng& rng, std::size_t count,
+             double spr_p = 0.5);
+
+}  // namespace bfhrf::sim

@@ -1,0 +1,138 @@
+#include "util/bitset.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace bfhrf::util {
+
+std::size_t popcount_words(ConstWordSpan words) noexcept {
+  std::size_t total = 0;
+  for (std::uint64_t w : words) {
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
+  return total;
+}
+
+int compare_words(ConstWordSpan a, ConstWordSpan b) noexcept {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) {
+      return a[i] < b[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+bool equal_words(ConstWordSpan a, ConstWordSpan b) noexcept {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+void DynamicBitset::clear() noexcept {
+  std::fill(words_.begin(), words_.end(), 0);
+}
+
+bool DynamicBitset::any() const noexcept {
+  return std::any_of(words_.begin(), words_.end(),
+                     [](std::uint64_t w) { return w != 0; });
+}
+
+void DynamicBitset::flip_all() noexcept {
+  for (auto& w : words_) {
+    w = ~w;
+  }
+  // Keep bits beyond size() zero so hashing/equality stay canonical.
+  const std::size_t tail = size_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (std::uint64_t{1} << tail) - 1;
+  }
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& o) {
+  check_same_size(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= o.words_[i];
+  }
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& o) {
+  check_same_size(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= o.words_[i];
+  }
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& o) {
+  check_same_size(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] ^= o.words_[i];
+  }
+  return *this;
+}
+
+bool DynamicBitset::is_subset_of(const DynamicBitset& o) const {
+  check_same_size(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~o.words_[i]) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DynamicBitset::is_disjoint_with(const DynamicBitset& o) const {
+  check_same_size(o);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & o.words_[i]) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t DynamicBitset::find_first() const noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return w * 64 + static_cast<std::size_t>(std::countr_zero(words_[w]));
+    }
+  }
+  return size_;
+}
+
+std::size_t DynamicBitset::find_next(std::size_t i) const noexcept {
+  ++i;
+  if (i >= size_) {
+    return size_;
+  }
+  std::size_t w = i >> 6;
+  std::uint64_t word = words_[w] & (~std::uint64_t{0} << (i & 63));
+  while (true) {
+    if (word != 0) {
+      return w * 64 + static_cast<std::size_t>(std::countr_zero(word));
+    }
+    if (++w == words_.size()) {
+      return size_;
+    }
+    word = words_[w];
+  }
+}
+
+std::string DynamicBitset::to_string() const {
+  std::string s(size_, '0');
+  for_each_set_bit([&s](std::size_t i) { s[i] = '1'; });
+  return s;
+}
+
+DynamicBitset DynamicBitset::from_string(std::string_view s) {
+  DynamicBitset b(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '1') {
+      b.set(i);
+    } else if (s[i] != '0') {
+      throw ParseError("bad bitset character '" + std::string(1, s[i]) + "'");
+    }
+  }
+  return b;
+}
+
+}  // namespace bfhrf::util

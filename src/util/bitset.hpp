@@ -1,0 +1,183 @@
+// DynamicBitset: fixed-capacity-at-construction bit vector over uint64 words.
+//
+// This is the bipartition bitmask encoding from the paper (§II-B): taxa are
+// assigned bit positions by the TaxonSet and a bipartition is a length-n bit
+// vector recording which side of a removed edge each taxon falls on.
+//
+// Performance notes:
+//  * word storage is inline in a std::vector; for bulk storage of many
+//    bipartitions use an arena plus ConstWordSpan views (phylo/bipartition).
+//  * all kernels (and/or/xor/count/subset) operate word-at-a-time.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace bfhrf::util {
+
+/// Read-only view of the words of a bit vector whose logical bit count is
+/// tracked by its owner. Used for arena-stored bipartitions.
+using ConstWordSpan = std::span<const std::uint64_t>;
+
+/// Number of 64-bit words needed to hold `bits` bits.
+[[nodiscard]] constexpr std::size_t words_for_bits(std::size_t bits) noexcept {
+  return (bits + 63) / 64;
+}
+
+/// Count set bits across a word span.
+[[nodiscard]] std::size_t popcount_words(ConstWordSpan words) noexcept;
+
+/// Lexicographic-by-word comparison (word 0 first). Spans must be equal size.
+[[nodiscard]] int compare_words(ConstWordSpan a, ConstWordSpan b) noexcept;
+
+/// Word-wise equality. Spans must be equal size.
+[[nodiscard]] bool equal_words(ConstWordSpan a, ConstWordSpan b) noexcept;
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Construct with `size` bits, all zero.
+  explicit DynamicBitset(std::size_t size)
+      : size_(size), words_(words_for_bits(size), 0) {}
+
+  /// Construct from raw words (e.g. an arena view). `size` is the bit count;
+  /// trailing bits beyond `size` in the last word must be zero.
+  DynamicBitset(std::size_t size, ConstWordSpan words)
+      : size_(size), words_(words.begin(), words.end()) {
+    BFHRF_ASSERT(words.size() == words_for_bits(size));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t num_words() const noexcept { return words_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] ConstWordSpan words() const noexcept { return words_; }
+  [[nodiscard]] std::span<std::uint64_t> mutable_words() noexcept {
+    return words_;
+  }
+
+  void set(std::size_t i) noexcept {
+    words_[i >> 6] |= (std::uint64_t{1} << (i & 63));
+  }
+  void reset(std::size_t i) noexcept {
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  void assign(std::size_t i, bool v) noexcept { v ? set(i) : reset(i); }
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1U;
+  }
+
+  /// Set all bits to zero without changing size.
+  void clear() noexcept;
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const noexcept {
+    return popcount_words(words_);
+  }
+
+  [[nodiscard]] bool any() const noexcept;
+  [[nodiscard]] bool none() const noexcept { return !any(); }
+  [[nodiscard]] bool all() const noexcept { return count() == size_; }
+
+  /// Flip every bit (trailing bits in the last word stay zero).
+  void flip_all() noexcept;
+
+  /// In-place bitwise operators. Operands must have equal size.
+  DynamicBitset& operator|=(const DynamicBitset& o);
+  DynamicBitset& operator&=(const DynamicBitset& o);
+  DynamicBitset& operator^=(const DynamicBitset& o);
+
+  [[nodiscard]] friend DynamicBitset operator|(DynamicBitset a,
+                                               const DynamicBitset& b) {
+    a |= b;
+    return a;
+  }
+  [[nodiscard]] friend DynamicBitset operator&(DynamicBitset a,
+                                               const DynamicBitset& b) {
+    a &= b;
+    return a;
+  }
+  [[nodiscard]] friend DynamicBitset operator^(DynamicBitset a,
+                                               const DynamicBitset& b) {
+    a ^= b;
+    return a;
+  }
+
+  /// True if every set bit of *this is also set in `o` (same size required).
+  [[nodiscard]] bool is_subset_of(const DynamicBitset& o) const;
+
+  /// True if *this and `o` share no set bit (same size required).
+  [[nodiscard]] bool is_disjoint_with(const DynamicBitset& o) const;
+
+  /// Index of the lowest set bit, or size() if none.
+  [[nodiscard]] std::size_t find_first() const noexcept;
+
+  /// Index of the lowest set bit strictly greater than `i`, or size() if none.
+  [[nodiscard]] std::size_t find_next(std::size_t i) const noexcept;
+
+  /// Invoke `fn(index)` for each set bit in increasing order.
+  template <typename Fn>
+  void for_each_set_bit(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const auto bit =
+            static_cast<std::size_t>(std::countr_zero(word));
+        fn(w * 64 + bit);
+        word &= word - 1;
+      }
+    }
+  }
+
+  [[nodiscard]] bool operator==(const DynamicBitset& o) const noexcept {
+    return size_ == o.size_ && words_ == o.words_;
+  }
+
+  /// Deterministic, platform-independent hash of the contents.
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    return hash_words(words_, size_);
+  }
+
+  /// "0"/"1" string, bit 0 (taxon 0) leftmost — matches the orientation used
+  /// in unit tests and doc examples; the paper prints bit 0 rightmost, which
+  /// is a pure display choice.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse a "0101" string (bit 0 leftmost). Throws ParseError on bad chars.
+  [[nodiscard]] static DynamicBitset from_string(std::string_view s);
+
+  /// Bytes of heap memory held by this bitset.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return words_.capacity() * sizeof(std::uint64_t);
+  }
+
+ private:
+  void check_same_size(const DynamicBitset& o) const {
+    if (size_ != o.size_) {
+      throw InvalidArgument("bitset size mismatch: " + std::to_string(size_) +
+                            " vs " + std::to_string(o.size_));
+    }
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace bfhrf::util
+
+template <>
+struct std::hash<bfhrf::util::DynamicBitset> {
+  [[nodiscard]] std::size_t operator()(
+      const bfhrf::util::DynamicBitset& b) const noexcept {
+    return static_cast<std::size_t>(b.hash());
+  }
+};

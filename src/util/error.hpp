@@ -1,0 +1,57 @@
+// Error types and invariant checks shared across the bfhrf library.
+//
+// Policy (C++ Core Guidelines E.2/E.14): throw typed exceptions for
+// recoverable, caller-visible failures (bad input files, mismatched taxa);
+// use BFHRF_ASSERT for internal invariants that indicate a library bug.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace bfhrf {
+
+/// Base class for all exceptions thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed input (e.g. a bad Newick string or an empty tree file).
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A request that is semantically invalid for the given data, e.g. comparing
+/// trees over different taxon sets without a restriction step.
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An internal invariant was violated; indicates a bug in this library.
+class InvariantError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void invariant_failure(const char* expr,
+                                           const std::source_location& loc) {
+  throw InvariantError(std::string("invariant violated: ") + expr + " at " +
+                       loc.file_name() + ":" + std::to_string(loc.line()));
+}
+}  // namespace detail
+
+/// Check an internal invariant in all build types (these guards are cheap
+/// relative to the work they protect and keep Release behaviour defined).
+#define BFHRF_ASSERT(expr)                                             \
+  do {                                                                 \
+    if (!(expr)) [[unlikely]] {                                        \
+      ::bfhrf::detail::invariant_failure(#expr,                        \
+                                         std::source_location::current()); \
+    }                                                                  \
+  } while (false)
+
+}  // namespace bfhrf

@@ -1,0 +1,55 @@
+// Hash primitives used throughout bfhrf.
+//
+// All bipartition keys are sequences of 64-bit words; `hash_words` is the
+// single mixing function used by the frequency hash (src/core) and the
+// HashRF baseline so their behaviour is comparable in benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace bfhrf::util {
+
+/// SplitMix64 finalizer; a full-avalanche 64-bit mixer (Steele et al.).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine an accumulated hash with one more value (boost-style, 64-bit).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t v) noexcept {
+  return seed ^ (mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hash a span of 64-bit words. Deterministic across runs and platforms.
+[[nodiscard]] constexpr std::uint64_t hash_words(
+    std::span<const std::uint64_t> words, std::uint64_t seed = 0) noexcept {
+  std::uint64_t h = mix64(seed ^ (0x9e3779b97f4a7c15ULL + words.size()));
+  for (std::uint64_t w : words) {
+    h = hash_combine(h, w);
+  }
+  return h;
+}
+
+/// A seeded member of a universal-ish hash family over word spans.
+/// HashRF uses two independent members (bucket index + short fingerprint);
+/// see Sul & Williams 2008 and src/core/hashrf.hpp.
+class SeededWordHash {
+ public:
+  explicit constexpr SeededWordHash(std::uint64_t seed) noexcept
+      : seed_(mix64(seed)) {}
+
+  [[nodiscard]] constexpr std::uint64_t operator()(
+      std::span<const std::uint64_t> words) const noexcept {
+    return hash_words(words, seed_);
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace bfhrf::util

@@ -1,0 +1,43 @@
+#include "util/memory.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace bfhrf::util {
+namespace {
+
+/// Read a "VmXXX:   1234 kB" line from /proc/self/status.
+std::size_t read_status_kb(const char* key) noexcept {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  char line[256];
+  std::size_t kb = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      unsigned long long v = 0;
+      if (std::sscanf(line + key_len, ": %llu", &v) == 1) {
+        kb = static_cast<std::size_t>(v);
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+std::size_t peak_rss_bytes() noexcept { return read_status_kb("VmHWM") * 1024; }
+
+std::size_t current_rss_bytes() noexcept {
+  return read_status_kb("VmRSS") * 1024;
+}
+
+double bytes_to_mb(std::size_t bytes) noexcept {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+}  // namespace bfhrf::util

@@ -1,0 +1,29 @@
+// Process memory metering, mirroring the paper's "maximum resident memory"
+// columns (Figs 1–2, Tables III–V).
+//
+// Two complementary measurements:
+//  * peak_rss_bytes()/current_rss_bytes(): whole-process numbers from
+//    /proc/self/status — comparable to the paper's profiler output but
+//    monotone (peak never decreases), so per-experiment deltas must be taken
+//    with care on long-lived bench processes.
+//  * each engine exposes memory_bytes(): exact bytes held by its data
+//    structures. This is the number the complexity claims (Table I) are
+//    about, and the one the benches fit curves to.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bfhrf::util {
+
+/// Peak resident set size of this process in bytes (VmHWM), or 0 if
+/// unavailable (non-Linux).
+[[nodiscard]] std::size_t peak_rss_bytes() noexcept;
+
+/// Current resident set size of this process in bytes (VmRSS), or 0.
+[[nodiscard]] std::size_t current_rss_bytes() noexcept;
+
+/// Pretty "12.3 MB"-style rendering used in bench tables.
+[[nodiscard]] double bytes_to_mb(std::size_t bytes) noexcept;
+
+}  // namespace bfhrf::util

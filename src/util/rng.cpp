@@ -1,0 +1,29 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace bfhrf::util {
+
+std::uint64_t Rng::below(std::uint64_t bound) noexcept {
+  BFHRF_ASSERT(bound > 0);
+  // Lemire 2019: multiply-shift with rejection to remove modulo bias.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::exponential(double rate) noexcept {
+  // Inverse CDF; uniform01() < 1 so the log argument is in (0, 1].
+  return -std::log1p(-uniform01()) / rate;
+}
+
+}  // namespace bfhrf::util

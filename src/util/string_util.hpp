@@ -1,0 +1,29 @@
+// Small string helpers shared by the Newick parser and the CLI tools.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bfhrf::util {
+
+/// Strip ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Split on a delimiter character; empty fields are kept.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s,
+                               std::string_view prefix) noexcept;
+
+/// Parse a non-negative integer; throws bfhrf::ParseError on failure.
+[[nodiscard]] std::size_t parse_size(std::string_view s);
+
+/// Parse a double; throws bfhrf::ParseError on failure.
+[[nodiscard]] double parse_double(std::string_view s);
+
+/// Render a double with fixed precision (bench tables, CLI output).
+[[nodiscard]] std::string format_fixed(double v, int precision);
+
+}  // namespace bfhrf::util

@@ -1,0 +1,34 @@
+// Aligned plain-text table rendering for the benchmark harness.
+//
+// Every bench binary prints paper-style tables (e.g. Table III's
+// Algorithm/n/R/Time/Memory rows) next to our measured values; this keeps
+// the formatting in one place.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bfhrf::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format mixed cells via to_string-able helpers at call site.
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Render with a header rule and 2-space column gaps.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bfhrf::util

@@ -1,0 +1,75 @@
+#include "core/all_pairs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/hashrf.hpp"
+#include "core/rf.hpp"
+#include "support/test_util.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+using phylo::TaxonSet;
+using phylo::Tree;
+
+TEST(AllPairsTest, MatchesPairwiseRf) {
+  const auto taxa = TaxonSet::make_numbered(14);
+  util::Rng rng(1);
+  const auto trees = test::random_collection(taxa, 15, 4, rng);
+  const RfMatrix m = all_pairs_rf(trees);
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    for (std::size_t j = 0; j < trees.size(); ++j) {
+      EXPECT_EQ(m.at(i, j), rf_distance(trees[i], trees[j]));
+    }
+  }
+}
+
+TEST(AllPairsTest, MatchesHashRfExactMatrix) {
+  const auto taxa = TaxonSet::make_numbered(20);
+  util::Rng rng(2);
+  const auto trees = test::random_collection(taxa, 25, 5, rng);
+  const RfMatrix ours = all_pairs_rf(trees, {.threads = 4});
+  const auto hashrf = hash_rf(trees);
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    for (std::size_t j = 0; j < trees.size(); ++j) {
+      EXPECT_EQ(ours.at(i, j), hashrf.matrix.at(i, j));
+    }
+  }
+}
+
+TEST(AllPairsTest, ThreadCountIrrelevant) {
+  const auto taxa = TaxonSet::make_numbered(12);
+  util::Rng rng(3);
+  const auto trees = test::random_collection(taxa, 18, 3, rng);
+  const RfMatrix a = all_pairs_rf(trees, {.threads = 1});
+  const RfMatrix b = all_pairs_rf(trees, {.threads = 8});
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    for (std::size_t j = 0; j < trees.size(); ++j) {
+      EXPECT_EQ(a.at(i, j), b.at(i, j));
+    }
+  }
+}
+
+TEST(AllPairsTest, EmptyAndMixedInputsRejected) {
+  EXPECT_THROW((void)all_pairs_rf({}), InvalidArgument);
+  const auto ta = TaxonSet::make_numbered(6);
+  const auto tb = TaxonSet::make_numbered(6);
+  util::Rng rng(4);
+  std::vector<Tree> mixed;
+  mixed.push_back(sim::yule_tree(ta, rng));
+  mixed.push_back(sim::yule_tree(tb, rng));
+  EXPECT_THROW((void)all_pairs_rf(mixed), InvalidArgument);
+}
+
+TEST(AllPairsTest, SingleTree) {
+  const auto taxa = TaxonSet::make_numbered(8);
+  util::Rng rng(5);
+  const std::vector<Tree> one{sim::yule_tree(taxa, rng)};
+  const RfMatrix m = all_pairs_rf(one);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.at(0, 0), 0u);
+}
+
+}  // namespace
+}  // namespace bfhrf::core

@@ -1,0 +1,181 @@
+#include "core/branch_score.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phylo/newick.hpp"
+#include "support/test_util.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+using phylo::TaxonSet;
+using phylo::Tree;
+
+std::vector<Tree> weighted_collection(const phylo::TaxonSetPtr& taxa,
+                                      std::size_t count, std::size_t moves,
+                                      util::Rng& rng) {
+  return test::random_collection(taxa, count, moves, rng,
+                                 /*branch_lengths=*/true);
+}
+
+TEST(BranchScoreTest, IdenticalTreesScoreZero) {
+  const auto taxa = TaxonSet::make_numbered(12);
+  util::Rng rng(1);
+  const Tree t =
+      sim::yule_tree(taxa, rng, sim::GeneratorOptions{.branch_lengths = true});
+  EXPECT_DOUBLE_EQ(branch_score_squared(t, t), 0.0);
+}
+
+TEST(BranchScoreTest, HandWorkedQuartet) {
+  // T : ((A:1,B:1):0.5,(C:1,D:1):0.5)  internal split {C,D} len 1.0 derooted
+  // T': ((A:2,B:1):0.25,(C:1,D:3):0.25) same topology, different lengths.
+  auto taxa = std::make_shared<TaxonSet>(
+      std::vector<std::string>{"A", "B", "C", "D"});
+  const Tree t = phylo::parse_newick("((A:1,B:1):0.5,(C:1,D:1):0.5);", taxa);
+  const Tree tp =
+      phylo::parse_newick("((A:2,B:1):0.25,(C:1,D:3):0.25);", taxa);
+  // Leaf edges: A (1-2)^2 = 1, B 0, C 0, D (1-3)^2 = 4.
+  // Internal {C,D}: lengths merge across the root: 1.0 vs 0.5 -> 0.25.
+  EXPECT_DOUBLE_EQ(branch_score_squared(t, tp), 1.0 + 4.0 + 0.25);
+
+  // Without trivial splits only the internal edge counts.
+  const BranchScoreOptions no_trivial{.threads = 1,
+                                      .include_trivial = false};
+  EXPECT_DOUBLE_EQ(branch_score_squared(t, tp, no_trivial), 0.25);
+}
+
+TEST(BranchScoreTest, DisjointTopologiesSumSquaredLengths) {
+  auto taxa = std::make_shared<TaxonSet>(
+      std::vector<std::string>{"A", "B", "C", "D"});
+  const Tree t = phylo::parse_newick("((A,B):2,C,D);", taxa);
+  const Tree tp = phylo::parse_newick("((A,C):3,B,D);", taxa);
+  const BranchScoreOptions no_trivial{.threads = 1,
+                                      .include_trivial = false};
+  // Splits disjoint: 2² + 3².
+  EXPECT_DOUBLE_EQ(branch_score_squared(t, tp, no_trivial), 4.0 + 9.0);
+}
+
+TEST(BranchScoreTest, SymmetricMetricProperties) {
+  const auto taxa = TaxonSet::make_numbered(16);
+  util::Rng rng(2);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Tree a = sim::yule_tree(
+        taxa, rng, sim::GeneratorOptions{.branch_lengths = true});
+    const Tree b = sim::yule_tree(
+        taxa, rng, sim::GeneratorOptions{.branch_lengths = true});
+    EXPECT_DOUBLE_EQ(branch_score_squared(a, b), branch_score_squared(b, a));
+    EXPECT_GE(branch_score_squared(a, b), 0.0);
+  }
+}
+
+TEST(BranchScoreTest, EngineMatchesSequentialOracle) {
+  const auto taxa = TaxonSet::make_numbered(14);
+  util::Rng rng(3);
+  const auto reference = weighted_collection(taxa, 20, 3, rng);
+  const auto queries = weighted_collection(taxa, 7, 5, rng);
+
+  BranchScoreBfhrf engine(taxa->size());
+  engine.build(reference);
+  const auto fast = engine.query(queries);
+  const auto slow = sequential_avg_branch_score(queries, reference);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], slow[i], 1e-9 * (1.0 + std::abs(slow[i])));
+  }
+}
+
+TEST(BranchScoreTest, EngineMatchesOracleWithoutTrivialSplits) {
+  const auto taxa = TaxonSet::make_numbered(12);
+  util::Rng rng(4);
+  const auto reference = weighted_collection(taxa, 15, 4, rng);
+  const auto queries = weighted_collection(taxa, 5, 4, rng);
+  const BranchScoreOptions opts{.threads = 2, .include_trivial = false};
+
+  BranchScoreBfhrf engine(taxa->size(), opts);
+  engine.build(reference);
+  const auto fast = engine.query(queries);
+  const auto slow = sequential_avg_branch_score(queries, reference, opts);
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], slow[i], 1e-9 * (1.0 + std::abs(slow[i])));
+  }
+}
+
+TEST(BranchScoreTest, ThreadsDoNotChangeResults) {
+  const auto taxa = TaxonSet::make_numbered(10);
+  util::Rng rng(5);
+  const auto reference = weighted_collection(taxa, 12, 3, rng);
+  const auto queries = weighted_collection(taxa, 6, 3, rng);
+  BranchScoreBfhrf seq(taxa->size(), {.threads = 1});
+  BranchScoreBfhrf par(taxa->size(), {.threads = 4});
+  seq.build(reference);
+  par.build(reference);
+  const auto a = seq.query(queries);
+  const auto b = par.query(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]);
+  }
+}
+
+TEST(BranchScoreTest, SelfQueryInCollectionIsConsistent) {
+  // For Q == R, a tree's mean squared score must equal the oracle's.
+  const auto taxa = TaxonSet::make_numbered(12);
+  util::Rng rng(6);
+  const auto trees = weighted_collection(taxa, 10, 4, rng);
+  BranchScoreBfhrf engine(taxa->size());
+  engine.build(trees);
+  const auto fast = engine.query(trees);
+  const auto slow = sequential_avg_branch_score(trees, trees);
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    EXPECT_NEAR(fast[i], slow[i], 1e-9 * (1.0 + std::abs(slow[i])));
+  }
+}
+
+TEST(BranchScoreTest, UnweightedTreesRejected) {
+  const auto taxa = TaxonSet::make_numbered(10);
+  util::Rng rng(7);
+  const std::vector<Tree> bare{sim::yule_tree(taxa, rng)};
+  BranchScoreBfhrf engine(taxa->size());
+  EXPECT_THROW(engine.build(bare), InvalidArgument);
+}
+
+TEST(BranchScoreTest, QueryBeforeBuildThrows) {
+  const auto taxa = TaxonSet::make_numbered(8);
+  util::Rng rng(8);
+  const Tree t =
+      sim::yule_tree(taxa, rng, sim::GeneratorOptions{.branch_lengths = true});
+  const BranchScoreBfhrf engine(taxa->size());
+  EXPECT_THROW((void)engine.query_one(t), InvalidArgument);
+}
+
+TEST(BranchScoreTest, ScalingLengthsScalesScoreQuadratically) {
+  auto taxa = std::make_shared<TaxonSet>(
+      std::vector<std::string>{"A", "B", "C", "D", "E"});
+  const Tree a = phylo::parse_newick("((A:1,B:2):1,(C:1,D:1):2,E:1);", taxa);
+  const Tree b = phylo::parse_newick("((A:2,B:4):2,(C:2,D:2):4,E:2);", taxa);
+  // b is a with all lengths doubled: BS²(a,b) = Σ l² of a.
+  const double base = branch_score_squared(a, a);
+  EXPECT_DOUBLE_EQ(base, 0.0);
+  const double d = branch_score_squared(a, b);
+  double sum_sq = 0;
+  for (const double l : {1.0, 2.0, 1.0, 1.0, 1.0, 2.0, 1.0}) {
+    sum_sq += l * l;
+  }
+  EXPECT_DOUBLE_EQ(d, sum_sq);
+}
+
+TEST(BranchScoreTest, StatsExposed) {
+  const auto taxa = TaxonSet::make_numbered(10);
+  util::Rng rng(9);
+  const auto trees = weighted_collection(taxa, 8, 2, rng);
+  BranchScoreBfhrf engine(taxa->size());
+  engine.build(trees);
+  EXPECT_EQ(engine.reference_trees(), 8u);
+  EXPECT_GE(engine.unique_splits(), 10u + 10u - 3u);  // >= one tree's splits
+  EXPECT_GT(engine.memory_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace bfhrf::core

@@ -1,0 +1,157 @@
+#include "core/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/all_pairs.hpp"
+#include "support/test_util.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+using phylo::TaxonSet;
+using phylo::Tree;
+
+/// Two well-separated tree families over one namespace: family labels are
+/// the ground truth the clustering must recover.
+struct Mixture {
+  std::vector<Tree> trees;
+  std::vector<std::uint32_t> truth;
+  RfMatrix matrix;
+};
+
+Mixture make_mixture(std::size_t per_family, std::size_t families,
+                     std::uint64_t seed) {
+  const auto taxa = TaxonSet::make_numbered(24);
+  util::Rng rng(seed);
+  Mixture mix;
+  for (std::size_t f = 0; f < families; ++f) {
+    const Tree base = sim::uniform_tree(taxa, rng);
+    for (std::size_t i = 0; i < per_family; ++i) {
+      Tree t = base;
+      sim::perturb(t, rng, 1);  // tight families, far-apart centers
+      mix.trees.push_back(std::move(t));
+      mix.truth.push_back(static_cast<std::uint32_t>(f));
+    }
+  }
+  mix.matrix = all_pairs_rf(mix.trees, {.threads = 2});
+  return mix;
+}
+
+/// Fraction of pairs on which two labelings agree (Rand index).
+double rand_index(const std::vector<std::uint32_t>& a,
+                  const std::vector<std::uint32_t>& b) {
+  std::size_t agree = 0;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = i + 1; j < a.size(); ++j) {
+      ++total;
+      agree += ((a[i] == a[j]) == (b[i] == b[j])) ? std::size_t{1}
+                                                  : std::size_t{0};
+    }
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(agree) / static_cast<double>(total);
+}
+
+class LinkageSweep : public ::testing::TestWithParam<Linkage> {};
+
+TEST_P(LinkageSweep, RecoversPlantedFamilies) {
+  const Mixture mix = make_mixture(10, 3, 42);
+  const Dendrogram dendro = hierarchical_cluster(mix.matrix, GetParam());
+  EXPECT_EQ(dendro.merges.size(), mix.trees.size() - 1);
+  const auto labels = dendro.cut(3);
+  EXPECT_GE(rand_index(labels, mix.truth), 0.99);
+}
+
+TEST_P(LinkageSweep, CutProducesExactlyKClusters) {
+  const Mixture mix = make_mixture(6, 2, 7);
+  const Dendrogram dendro = hierarchical_cluster(mix.matrix, GetParam());
+  for (std::size_t k = 1; k <= mix.trees.size(); ++k) {
+    const auto labels = dendro.cut(k);
+    std::set<std::uint32_t> distinct(labels.begin(), labels.end());
+    EXPECT_EQ(distinct.size(), k) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Linkages, LinkageSweep,
+                         ::testing::Values(Linkage::Single, Linkage::Complete,
+                                           Linkage::Average),
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
+                             case Linkage::Single:
+                               return "single";
+                             case Linkage::Complete:
+                               return "complete";
+                             case Linkage::Average:
+                               return "average";
+                           }
+                           return "?";
+                         });
+
+TEST(ClusterTest, DendrogramHeightsMonotoneAfterSort) {
+  const Mixture mix = make_mixture(8, 2, 11);
+  const Dendrogram dendro =
+      hierarchical_cluster(mix.matrix, Linkage::Average);
+  // For a reducible linkage, every merge's height is >= both children's.
+  std::vector<double> height_of(mix.trees.size() + dendro.merges.size(), 0.0);
+  for (std::size_t m = 0; m < dendro.merges.size(); ++m) {
+    const auto& merge = dendro.merges[m];
+    EXPECT_GE(merge.height, height_of[merge.left] - 1e-9);
+    EXPECT_GE(merge.height, height_of[merge.right] - 1e-9);
+    height_of[mix.trees.size() + m] = merge.height;
+  }
+}
+
+TEST(ClusterTest, CutBoundsChecked) {
+  const Mixture mix = make_mixture(4, 2, 13);
+  const Dendrogram dendro =
+      hierarchical_cluster(mix.matrix, Linkage::Single);
+  EXPECT_THROW((void)dendro.cut(0), InvalidArgument);
+  EXPECT_THROW((void)dendro.cut(mix.trees.size() + 1), InvalidArgument);
+}
+
+TEST(ClusterTest, SingletonMatrix) {
+  const RfMatrix m(1);
+  const Dendrogram dendro = hierarchical_cluster(m, Linkage::Single);
+  EXPECT_TRUE(dendro.merges.empty());
+  EXPECT_EQ(dendro.cut(1), (std::vector<std::uint32_t>{0}));
+}
+
+TEST(ClusterTest, KMedoidsRecoversPlantedFamilies) {
+  const Mixture mix = make_mixture(10, 3, 17);
+  util::Rng rng(5);
+  const KMedoidsResult result = k_medoids(mix.matrix, 3, rng);
+  EXPECT_EQ(result.labels.size(), mix.trees.size());
+  EXPECT_EQ(result.medoids.size(), 3u);
+  EXPECT_GE(rand_index(result.labels, mix.truth), 0.95);
+  // Medoids label themselves.
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(result.labels[result.medoids[c]], c);
+  }
+}
+
+TEST(ClusterTest, KMedoidsCostNeverIncreasesWithMoreClusters) {
+  const Mixture mix = make_mixture(8, 2, 19);
+  util::Rng rng(6);
+  double prev = std::numeric_limits<double>::infinity();
+  for (const std::size_t k : {1u, 2u, 4u}) {
+    util::Rng local = rng.fork();
+    const auto result = k_medoids(mix.matrix, k, local);
+    EXPECT_LE(result.total_cost, prev + 1e-9);
+    prev = result.total_cost;
+  }
+}
+
+TEST(ClusterTest, KMedoidsBoundsChecked) {
+  const RfMatrix m(3);
+  util::Rng rng(7);
+  EXPECT_THROW((void)k_medoids(m, 0, rng), InvalidArgument);
+  EXPECT_THROW((void)k_medoids(m, 4, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bfhrf::core

@@ -1,0 +1,155 @@
+#include "core/hashrf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bfhrf.hpp"
+#include "core/rf.hpp"
+#include "support/test_util.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+using phylo::TaxonSet;
+using phylo::Tree;
+
+TEST(HashRfTest, ExactMatrixMatchesPairwiseRf) {
+  const auto taxa = TaxonSet::make_numbered(14);
+  util::Rng rng(1);
+  const auto trees = test::random_collection(taxa, 12, 4, rng);
+  const auto result = hash_rf(trees);
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    for (std::size_t j = 0; j < trees.size(); ++j) {
+      EXPECT_EQ(result.matrix.at(i, j), rf_distance(trees[i], trees[j]))
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(HashRfTest, AvgRfMatchesBfhrfWhenQIsR) {
+  const auto taxa = TaxonSet::make_numbered(16);
+  util::Rng rng(2);
+  const auto trees = test::random_collection(taxa, 20, 5, rng);
+  const auto hashrf = hash_rf(trees);
+  const auto bfh = bfhrf_average_rf(trees, trees);
+  ASSERT_EQ(hashrf.avg_rf.size(), bfh.size());
+  for (std::size_t i = 0; i < bfh.size(); ++i) {
+    EXPECT_DOUBLE_EQ(hashrf.avg_rf[i], bfh[i]);
+  }
+}
+
+TEST(HashRfTest, MatrixIsSymmetricWithZeroDiagonal) {
+  const auto taxa = TaxonSet::make_numbered(10);
+  util::Rng rng(3);
+  const auto trees = test::independent_collection(taxa, 8, rng);
+  const auto result = hash_rf(trees);
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    EXPECT_EQ(result.matrix.at(i, i), 0u);
+    for (std::size_t j = 0; j < trees.size(); ++j) {
+      EXPECT_EQ(result.matrix.at(i, j), result.matrix.at(j, i));
+    }
+  }
+}
+
+TEST(HashRfTest, CompressedModeWithWideFingerprintUsuallyExact) {
+  const auto taxa = TaxonSet::make_numbered(12);
+  util::Rng rng(4);
+  const auto trees = test::random_collection(taxa, 15, 3, rng);
+  const auto exact = hash_rf(trees);
+  HashRfOptions opts;
+  opts.mode = HashRfOptions::Mode::Compressed;
+  opts.fingerprint_bits = 62;
+  const auto compressed = hash_rf(trees, opts);
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    for (std::size_t j = 0; j < trees.size(); ++j) {
+      EXPECT_EQ(compressed.matrix.at(i, j), exact.matrix.at(i, j));
+    }
+  }
+}
+
+TEST(HashRfTest, NarrowFingerprintCausesCollisions) {
+  // With an 8-bit fingerprint and hundreds of distinct splits, collisions
+  // merge bipartitions and RF is underestimated somewhere — the error mode
+  // the paper calls out in HashRF-style compression (§III-C).
+  const auto taxa = TaxonSet::make_numbered(32);
+  util::Rng rng(5);
+  const auto trees = test::independent_collection(taxa, 30, rng);
+  const auto exact = hash_rf(trees);
+  HashRfOptions opts;
+  opts.mode = HashRfOptions::Mode::Compressed;
+  opts.fingerprint_bits = 8;
+  const auto lossy = hash_rf(trees, opts);
+
+  std::size_t disagreements = 0;
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    for (std::size_t j = i + 1; j < trees.size(); ++j) {
+      disagreements += (lossy.matrix.at(i, j) != exact.matrix.at(i, j))
+                           ? std::size_t{1}
+                           : std::size_t{0};
+    }
+  }
+  EXPECT_GT(disagreements, 0u);
+  EXPECT_LT(lossy.unique_bipartitions, exact.unique_bipartitions);
+}
+
+TEST(HashRfTest, UniqueBipartitionCountMatchesFrequencyHash) {
+  const auto taxa = TaxonSet::make_numbered(18);
+  util::Rng rng(6);
+  const auto trees = test::random_collection(taxa, 25, 4, rng);
+  const auto result = hash_rf(trees);
+  Bfhrf engine(taxa->size());
+  engine.build(trees);
+  EXPECT_EQ(result.unique_bipartitions, engine.stats().unique_bipartitions);
+}
+
+TEST(HashRfTest, MatrixMemoryGrowsQuadratically) {
+  const auto taxa = TaxonSet::make_numbered(10);
+  util::Rng rng(7);
+  const auto trees = test::random_collection(taxa, 40, 2, rng);
+  const auto small =
+      hash_rf(std::span<const Tree>(trees.data(), 10));
+  const auto large =
+      hash_rf(std::span<const Tree>(trees.data(), 40));
+  // 4x trees -> ~16x matrix bytes.
+  EXPECT_NEAR(static_cast<double>(large.matrix_memory_bytes) /
+                  static_cast<double>(small.matrix_memory_bytes),
+              16.0, 2.0);
+}
+
+TEST(HashRfTest, EmptyCollectionThrows) {
+  EXPECT_THROW((void)hash_rf({}), InvalidArgument);
+}
+
+TEST(HashRfTest, MixedTaxonSetsRejected) {
+  const auto ta = TaxonSet::make_numbered(8);
+  const auto tb = TaxonSet::make_numbered(8);
+  util::Rng rng(8);
+  std::vector<Tree> trees;
+  trees.push_back(sim::yule_tree(ta, rng));
+  trees.push_back(sim::yule_tree(tb, rng));
+  EXPECT_THROW((void)hash_rf(trees), InvalidArgument);
+}
+
+TEST(HashRfTest, SingleTreeCollection) {
+  const auto taxa = TaxonSet::make_numbered(9);
+  util::Rng rng(9);
+  const std::vector<Tree> trees{sim::yule_tree(taxa, rng)};
+  const auto result = hash_rf(trees);
+  EXPECT_EQ(result.matrix.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.avg_rf[0], 0.0);
+  EXPECT_EQ(result.unique_bipartitions, 9u - 3);
+}
+
+TEST(HashRfTest, SeedChangesNothingInExactMode) {
+  const auto taxa = TaxonSet::make_numbered(12);
+  util::Rng rng(10);
+  const auto trees = test::random_collection(taxa, 10, 3, rng);
+  const auto a = hash_rf(trees, {.seed = 1});
+  const auto b = hash_rf(trees, {.seed = 999});
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.avg_rf[i], b.avg_rf[i]);
+  }
+}
+
+}  // namespace
+}  // namespace bfhrf::core

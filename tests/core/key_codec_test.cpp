@@ -1,0 +1,187 @@
+#include "core/key_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "phylo/bipartition.hpp"
+#include "sim/generators.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+TEST(VarintTest, RoundTripValues) {
+  const std::uint64_t values[] = {0,    1,    127,        128,
+                                  300,  1u << 14,  (1u << 14) + 1,
+                                  ~std::uint64_t{0}, 0x123456789abcdefULL};
+  for (const std::uint64_t v : values) {
+    std::vector<std::byte> bytes;
+    put_varint(v, bytes);
+    std::size_t pos = 0;
+    EXPECT_EQ(get_varint(bytes, pos), v);
+    EXPECT_EQ(pos, bytes.size());
+  }
+}
+
+TEST(VarintTest, TruncatedThrows) {
+  std::vector<std::byte> bytes;
+  put_varint(300, bytes);
+  bytes.pop_back();
+  std::size_t pos = 0;
+  EXPECT_THROW((void)get_varint(bytes, pos), ParseError);
+}
+
+TEST(VarintTest, OverlongThrows) {
+  // 11 continuation bytes exceed a 64-bit value.
+  std::vector<std::byte> bytes(11, std::byte{0x80});
+  std::size_t pos = 0;
+  EXPECT_THROW((void)get_varint(bytes, pos), ParseError);
+}
+
+TEST(KeyCodecTest, RoundTripsSparseKeys) {
+  constexpr std::size_t kBits = 200;
+  const SparseKeyCodec codec(kBits);
+  util::Rng rng(1);
+  for (int rep = 0; rep < 200; ++rep) {
+    util::DynamicBitset key(kBits);
+    const std::size_t ones = rng.below(kBits);
+    for (std::size_t i = 0; i < ones; ++i) {
+      key.set(rng.below(kBits));
+    }
+    std::vector<std::byte> bytes;
+    const std::size_t len = codec.encode(key.words(), bytes);
+    EXPECT_EQ(len, bytes.size());
+    EXPECT_LE(len, codec.max_encoded_size());
+
+    util::DynamicBitset back(kBits);
+    EXPECT_EQ(codec.decode(bytes, back), bytes.size());
+    EXPECT_EQ(back, key) << "rep " << rep;
+    EXPECT_EQ(codec.encoded_size(bytes), bytes.size());
+  }
+}
+
+TEST(KeyCodecTest, EncodingIsCanonical) {
+  // Equal keys -> identical byte strings (required for hashing on bytes).
+  constexpr std::size_t kBits = 100;
+  const SparseKeyCodec codec(kBits);
+  util::DynamicBitset a(kBits);
+  a.set(5);
+  a.set(70);
+  util::DynamicBitset b(kBits);
+  b.set(70);
+  b.set(5);
+  std::vector<std::byte> ea;
+  std::vector<std::byte> eb;
+  codec.encode(a.words(), ea);
+  codec.encode(b.words(), eb);
+  EXPECT_EQ(ea, eb);
+}
+
+TEST(KeyCodecTest, DenseKeysStoreClearBits) {
+  constexpr std::size_t kBits = 128;
+  const SparseKeyCodec codec(kBits);
+  util::DynamicBitset dense(kBits);
+  dense.flip_all();
+  dense.reset(3);
+  dense.reset(90);
+  std::vector<std::byte> bytes;
+  codec.encode(dense.words(), bytes);
+  // 2 clear bits -> flag + count + 2 small varints: a handful of bytes,
+  // far below the 16-byte raw form.
+  EXPECT_LE(bytes.size(), 6u);
+  util::DynamicBitset back(kBits);
+  codec.decode(bytes, back);
+  EXPECT_EQ(back, dense);
+}
+
+TEST(KeyCodecTest, EmptyAndFullKeys) {
+  constexpr std::size_t kBits = 70;
+  const SparseKeyCodec codec(kBits);
+  util::DynamicBitset empty(kBits);
+  util::DynamicBitset full(kBits);
+  full.flip_all();
+  for (const auto& key : {empty, full}) {
+    std::vector<std::byte> bytes;
+    codec.encode(key.words(), bytes);
+    util::DynamicBitset back(kBits);
+    codec.decode(bytes, back);
+    EXPECT_EQ(back, key);
+  }
+}
+
+TEST(KeyCodecTest, MalformedInputsThrow) {
+  const SparseKeyCodec codec(64);
+  util::DynamicBitset out(64);
+  EXPECT_THROW((void)codec.decode({}, out), ParseError);
+  // Bad flag byte.
+  std::vector<std::byte> bad{std::byte{7}, std::byte{0}};
+  EXPECT_THROW((void)codec.decode(bad, out), ParseError);
+  // Count exceeding the universe.
+  std::vector<std::byte> huge{std::byte{0}};
+  put_varint(1000, huge);
+  EXPECT_THROW((void)codec.decode(huge, out), ParseError);
+  EXPECT_THROW((void)codec.encoded_size(huge), ParseError);
+  // Index out of range.
+  std::vector<std::byte> oob{std::byte{0}};
+  put_varint(1, oob);
+  put_varint(64, oob);
+  EXPECT_THROW((void)codec.decode(oob, out), ParseError);
+}
+
+TEST(KeyCodecTest, RealBipartitionsCompressWell) {
+  // Clustered splits on a large universe: mean encoded size far below raw.
+  constexpr std::size_t kTaxa = 500;
+  const auto taxa = phylo::TaxonSet::make_numbered(kTaxa);
+  util::Rng rng(9);
+  const SparseKeyCodec codec(kTaxa);
+  const std::size_t raw_bytes = util::words_for_bits(kTaxa) * 8;
+  std::size_t total = 0;
+  std::size_t count = 0;
+  for (int t = 0; t < 10; ++t) {
+    const auto tree = sim::yule_tree(taxa, rng);
+    const auto bips = phylo::extract_bipartitions(tree);
+    util::DynamicBitset back(kTaxa);
+    for (std::size_t i = 0; i < bips.size(); ++i) {
+      std::vector<std::byte> bytes;
+      codec.encode(bips[i], bytes);
+      total += bytes.size();
+      ++count;
+      codec.decode(bytes, back);
+      EXPECT_TRUE(util::equal_words(back.words(), bips[i]));
+    }
+  }
+  const double mean = static_cast<double>(total) /
+                      static_cast<double>(count);
+  EXPECT_LT(mean, static_cast<double>(raw_bytes) / 2.0);
+}
+
+TEST(KeyCodecTest, BackToBackDecodingViaEncodedSize) {
+  // Multiple keys in one buffer, walked by encoded_size.
+  constexpr std::size_t kBits = 90;
+  const SparseKeyCodec codec(kBits);
+  util::Rng rng(3);
+  std::vector<util::DynamicBitset> keys;
+  std::vector<std::byte> buffer;
+  for (int i = 0; i < 20; ++i) {
+    util::DynamicBitset k(kBits);
+    for (int j = 0; j < 5; ++j) {
+      k.set(rng.below(kBits));
+    }
+    codec.encode(k.words(), buffer);
+    keys.push_back(std::move(k));
+  }
+  std::size_t pos = 0;
+  util::DynamicBitset back(kBits);
+  for (const auto& k : keys) {
+    const ByteSpan rest{buffer.data() + pos, buffer.size() - pos};
+    const std::size_t len = codec.encoded_size(rest);
+    codec.decode(rest.subspan(0, len), back);
+    EXPECT_EQ(back, k);
+    pos += len;
+  }
+  EXPECT_EQ(pos, buffer.size());
+}
+
+}  // namespace
+}  // namespace bfhrf::core

@@ -1,0 +1,97 @@
+#include "core/matrix_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/all_pairs.hpp"
+#include "support/test_util.hpp"
+#include "util/rng.hpp"
+#include "util/string_util.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+TEST(MatrixIoTest, PhylipShape) {
+  RfMatrix m(3);
+  m.set(0, 1, 2);
+  m.set(0, 2, 4);
+  m.set(1, 2, 6);
+  const std::vector<std::string> names{"alpha", "beta", "gamma"};
+  std::ostringstream out;
+  write_phylip_matrix(out, m, names);
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(util::trim(line), "3");
+  std::getline(in, line);
+  EXPECT_TRUE(util::starts_with(line, "alpha"));
+  // Row 0: 0 2 4.
+  const auto fields = util::split(std::string(util::trim(line)), '\t');
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(util::split(fields[1], ' '),
+            (std::vector<std::string>{"0", "2", "4"}));
+}
+
+TEST(MatrixIoTest, StrictNamesPadded) {
+  RfMatrix m(2);
+  m.set(0, 1, 1);
+  const std::vector<std::string> names{"ab", "a_very_long_name"};
+  std::ostringstream out;
+  write_phylip_matrix(out, m, names, {.strict_names = true});
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);
+  std::getline(in, line);
+  EXPECT_EQ(line.substr(0, 10), "ab        ");
+  std::getline(in, line);
+  EXPECT_EQ(line.substr(0, 10), "a_very_lon");
+}
+
+TEST(MatrixIoTest, EmptyNamesDefaulted) {
+  RfMatrix m(2);
+  m.set(0, 1, 3);
+  std::ostringstream out;
+  write_phylip_matrix(out, m, {});
+  EXPECT_NE(out.str().find("t0"), std::string::npos);
+  EXPECT_NE(out.str().find("t1"), std::string::npos);
+}
+
+TEST(MatrixIoTest, NameCountMismatchThrows) {
+  RfMatrix m(3);
+  const std::vector<std::string> names{"only", "two"};
+  std::ostringstream out;
+  EXPECT_THROW(write_phylip_matrix(out, m, names), InvalidArgument);
+}
+
+TEST(MatrixIoTest, FileRoundTripParsesBack) {
+  const auto taxa = phylo::TaxonSet::make_numbered(10);
+  util::Rng rng(1);
+  const auto trees = test::random_collection(taxa, 6, 3, rng);
+  const RfMatrix m = all_pairs_rf(trees);
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    names.push_back("tree" + std::to_string(i));
+  }
+  const std::string path = ::testing::TempDir() + "/bfhrf_matrix.phy";
+  write_phylip_matrix_file(path, m, names);
+
+  std::ifstream in(path);
+  std::size_t count = 0;
+  in >> count;
+  ASSERT_EQ(count, trees.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string name;
+    in >> name;
+    EXPECT_EQ(name, names[i]);
+    for (std::size_t j = 0; j < count; ++j) {
+      double v = -1;
+      in >> v;
+      EXPECT_DOUBLE_EQ(v, static_cast<double>(m.at(i, j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bfhrf::core

@@ -1,0 +1,187 @@
+#include "core/restrict.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bfhrf.hpp"
+#include "core/rf.hpp"
+#include "phylo/bipartition.hpp"
+#include "phylo/newick.hpp"
+#include "support/test_util.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+using phylo::TaxonSet;
+using phylo::TaxonSetPtr;
+using phylo::Tree;
+
+TEST(RestrictTest, PruneSingleLeaf) {
+  auto taxa = std::make_shared<TaxonSet>(
+      std::vector<std::string>{"A", "B", "C", "D", "E"});
+  const Tree t = phylo::parse_newick("((A,B),((C,D),E));", taxa);
+  util::DynamicBitset keep(5);
+  keep.flip_all();
+  keep.reset(4);  // drop E
+  const Tree pruned = restrict_to_taxa(t, keep);
+  pruned.validate();
+  EXPECT_EQ(pruned.num_leaves(), 4u);
+  EXPECT_EQ(pruned.leaf_taxa_sorted(),
+            (std::vector<phylo::TaxonId>{0, 1, 2, 3}));
+  // Topology: ((A,B),(C,D)) — one non-trivial split {C,D}.
+  const Tree want = phylo::parse_newick("((A,B),(C,D));", taxa);
+  EXPECT_EQ(rf_distance(pruned, want), 0u);
+}
+
+TEST(RestrictTest, BranchLengthsSumAcrossSuppressedNodes) {
+  auto taxa = std::make_shared<TaxonSet>(
+      std::vector<std::string>{"A", "B", "C", "D"});
+  const Tree t = phylo::parse_newick("((A:1,B:2):3,(C:4,D:5):6);", taxa);
+  util::DynamicBitset keep(4);
+  keep.set(0);
+  keep.set(2);
+  keep.set(3);  // drop B; A's parent becomes unary, its 3 merges into A's 1
+  const Tree pruned = restrict_to_taxa(t, keep);
+  pruned.validate();
+  EXPECT_EQ(pruned.num_leaves(), 3u);
+  double a_len = -1;
+  for (const auto leaf : pruned.leaves()) {
+    if (pruned.node(leaf).taxon == 0) {
+      a_len = pruned.node(leaf).length;
+    }
+  }
+  EXPECT_DOUBLE_EQ(a_len, 1.0 + 3.0);
+}
+
+TEST(RestrictTest, KeepingEverythingIsIdentityTopology) {
+  const auto taxa = TaxonSet::make_numbered(15);
+  util::Rng rng(1);
+  const Tree t = sim::yule_tree(taxa, rng);
+  util::DynamicBitset keep(15);
+  keep.flip_all();
+  const Tree same = restrict_to_taxa(t, keep);
+  EXPECT_EQ(rf_distance(t, same), 0u);
+}
+
+TEST(RestrictTest, FewerThanTwoTaxaThrows) {
+  const auto taxa = TaxonSet::make_numbered(6);
+  util::Rng rng(2);
+  const Tree t = sim::yule_tree(taxa, rng);
+  util::DynamicBitset keep(6);
+  keep.set(0);
+  EXPECT_THROW((void)restrict_to_taxa(t, keep), InvalidArgument);
+}
+
+TEST(RestrictTest, MaskWidthMismatchThrows) {
+  const auto taxa = TaxonSet::make_numbered(6);
+  util::Rng rng(3);
+  const Tree t = sim::yule_tree(taxa, rng);
+  EXPECT_THROW((void)restrict_to_taxa(t, util::DynamicBitset(5)),
+               InvalidArgument);
+}
+
+TEST(RestrictTest, RestrictionCommutesWithSplitRestriction) {
+  // Splits of the restricted tree == splits of the original restricted to
+  // the kept taxa (dropping those that become trivial).
+  const auto taxa = TaxonSet::make_numbered(20);
+  util::Rng rng(4);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Tree t = sim::uniform_tree(taxa, rng);
+    util::DynamicBitset keep(20);
+    keep.flip_all();
+    // Drop 5 random taxa.
+    for (int d = 0; d < 5; ++d) {
+      keep.reset(rng.below(20));
+    }
+    if (keep.count() < 4) {
+      continue;
+    }
+    const Tree pruned = restrict_to_taxa(t, keep);
+    pruned.validate();
+    EXPECT_EQ(pruned.num_leaves(), keep.count());
+
+    // Every split of the pruned tree must be the restriction of some split
+    // of the original.
+    const auto pruned_bips = phylo::extract_bipartitions(pruned);
+    const auto full_bips = phylo::extract_bipartitions(t);
+    const std::size_t lowest = keep.find_first();
+    for (std::size_t i = 0; i < pruned_bips.size(); ++i) {
+      const auto pb = pruned_bips.bitset(i);
+      bool found = false;
+      for (std::size_t j = 0; j < full_bips.size() && !found; ++j) {
+        util::DynamicBitset fb = full_bips.bitset(j);
+        fb &= keep;
+        // Normalize the restriction the same way (relative to kept taxa).
+        if (fb.test(lowest)) {
+          fb ^= keep;
+        }
+        found = (fb == pb);
+      }
+      EXPECT_TRUE(found) << "rep " << rep << " split " << i;
+    }
+  }
+}
+
+TEST(RestrictTest, CommonTaxaIntersects) {
+  auto taxa = std::make_shared<TaxonSet>(
+      std::vector<std::string>{"A", "B", "C", "D", "E", "F"});
+  std::vector<Tree> trees;
+  trees.push_back(phylo::parse_newick("((A,B),(C,D));", taxa));
+  trees.push_back(phylo::parse_newick("((A,C),(D,E));", taxa));
+  trees.push_back(phylo::parse_newick("((A,D),(C,F));", taxa));
+  // tree1 has {A,B,C,D}, tree2 {A,C,D,E}, tree3 {A,C,D,F} -> {A,C,D}.
+  const auto common = common_taxa(trees);
+  EXPECT_EQ(common.count(), 3u);
+  EXPECT_TRUE(common.test(0));  // A
+  EXPECT_TRUE(common.test(2));  // C
+  EXPECT_TRUE(common.test(3));  // D
+}
+
+TEST(RestrictTest, UnionTaxaUnions) {
+  auto taxa = std::make_shared<TaxonSet>(
+      std::vector<std::string>{"A", "B", "C", "D", "E"});
+  std::vector<Tree> trees;
+  trees.push_back(phylo::parse_newick("((A,B),(C,D));", taxa));
+  trees.push_back(phylo::parse_newick("((A,B),(C,E));", taxa));
+  const auto all = union_taxa(trees);
+  EXPECT_EQ(all.count(), 5u);
+}
+
+TEST(RestrictTest, RestrictToCommonTaxaEnablesComparison) {
+  // Variable-taxa workflow end-to-end: trees missing different taxa are
+  // restricted to the shared core, then compared by any engine.
+  const auto taxa = TaxonSet::make_numbered(20);
+  util::Rng rng(5);
+  const Tree base = sim::yule_tree(taxa, rng);
+  std::vector<Tree> trees;
+  for (int i = 0; i < 10; ++i) {
+    util::DynamicBitset keep(20);
+    keep.flip_all();
+    keep.reset(10 + static_cast<std::size_t>(i % 4));  // drop one high taxon
+    Tree t = restrict_to_taxa(base, keep);
+    sim::perturb(t, rng, 2);
+    trees.push_back(std::move(t));
+  }
+  const auto restricted = restrict_to_common_taxa(trees);
+  ASSERT_EQ(restricted.size(), trees.size());
+  const std::size_t core = common_taxa(trees).count();
+  for (const auto& t : restricted) {
+    EXPECT_EQ(t.num_leaves(), core);
+  }
+  // All engines now accept them (Q == R run):
+  const auto avg = bfhrf_average_rf(restricted, restricted);
+  EXPECT_EQ(avg.size(), restricted.size());
+}
+
+TEST(RestrictTest, TooFewSharedTaxaThrows) {
+  auto taxa = std::make_shared<TaxonSet>(
+      std::vector<std::string>{"A", "B", "C", "D", "E", "F"});
+  std::vector<Tree> trees;
+  trees.push_back(phylo::parse_newick("((A,B),(C,D));", taxa));
+  trees.push_back(phylo::parse_newick("((E,F),(C,D));", taxa));
+  // Shared taxa: {C,D} -> fewer than 4.
+  EXPECT_THROW((void)restrict_to_common_taxa(trees), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bfhrf::core

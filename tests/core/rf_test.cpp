@@ -1,0 +1,145 @@
+#include "core/rf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phylo/newick.hpp"
+#include "support/test_util.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+using phylo::parse_newick;
+using phylo::TaxonSet;
+using phylo::TaxonSetPtr;
+using phylo::Tree;
+
+TEST(RfTest, PaperExampleEqualsTwo) {
+  auto taxa = std::make_shared<TaxonSet>(
+      std::vector<std::string>{"A", "B", "C", "D"});
+  const Tree t = parse_newick("((A,B),(C,D));", taxa);
+  const Tree tp = parse_newick("((D,B),(C,A));", taxa);
+  EXPECT_EQ(rf_distance(t, tp), 2u);
+}
+
+TEST(RfTest, IdenticalTreesAreAtDistanceZero) {
+  const auto taxa = TaxonSet::make_numbered(30);
+  util::Rng rng(1);
+  const Tree t = sim::yule_tree(taxa, rng);
+  EXPECT_EQ(rf_distance(t, t), 0u);
+}
+
+TEST(RfTest, DifferentTaxonSetsRejected) {
+  TaxonSetPtr ta;
+  TaxonSetPtr tb;
+  const Tree a = test::tree_of("((A,B),(C,D));", ta);
+  const Tree b = test::tree_of("((A,B),(C,D));", tb);
+  EXPECT_THROW((void)rf_distance(a, b), InvalidArgument);
+}
+
+TEST(RfTest, MetricAxiomsOnRandomTrees) {
+  const auto taxa = TaxonSet::make_numbered(24);
+  util::Rng rng(2);
+  for (int rep = 0; rep < 30; ++rep) {
+    const Tree a = sim::uniform_tree(taxa, rng);
+    const Tree b = sim::uniform_tree(taxa, rng);
+    const Tree c = sim::uniform_tree(taxa, rng);
+    const auto ab = rf_distance(a, b);
+    const auto ba = rf_distance(b, a);
+    const auto ac = rf_distance(a, c);
+    const auto cb = rf_distance(c, b);
+    EXPECT_EQ(ab, ba);                 // symmetry
+    EXPECT_LE(ab, ac + cb);            // triangle inequality
+    EXPECT_EQ(rf_distance(a, a), 0u);  // identity
+  }
+}
+
+TEST(RfTest, MaxDistanceIsTwiceInternalEdges) {
+  // Caterpillar vs "anti" trees frequently hit the maximum 2(n-3); at
+  // minimum RF is bounded by it.
+  const auto taxa = TaxonSet::make_numbered(16);
+  util::Rng rng(3);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Tree a = sim::uniform_tree(taxa, rng);
+    const Tree b = sim::uniform_tree(taxa, rng);
+    EXPECT_LE(rf_distance(a, b), 2u * (16 - 3));
+  }
+}
+
+TEST(RfTest, RfIsEvenForBinaryTreesOnSameTaxa) {
+  // |B(a)| == |B(b)| == n-3 implies the symmetric difference is even.
+  const auto taxa = TaxonSet::make_numbered(20);
+  util::Rng rng(4);
+  for (int rep = 0; rep < 30; ++rep) {
+    const Tree a = sim::yule_tree(taxa, rng);
+    const Tree b = sim::yule_tree(taxa, rng);
+    EXPECT_EQ(rf_distance(a, b) % 2, 0u);
+  }
+}
+
+TEST(RfTest, OneNniMoveCostsAtMostTwo) {
+  const auto taxa = TaxonSet::make_numbered(25);
+  util::Rng rng(5);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Tree a = sim::yule_tree(taxa, rng);
+    Tree b = a;
+    sim::random_nni(b, rng);
+    EXPECT_LE(rf_distance(a, b), 2u);
+  }
+}
+
+TEST(RfTest, TrivialSplitsDoNotChangeDistance) {
+  const auto taxa = TaxonSet::make_numbered(18);
+  util::Rng rng(6);
+  const Tree a = sim::uniform_tree(taxa, rng);
+  const Tree b = sim::uniform_tree(taxa, rng);
+  const phylo::BipartitionOptions with{.include_trivial = true};
+  const auto ba = phylo::extract_bipartitions(a, with);
+  const auto bb = phylo::extract_bipartitions(b, with);
+  EXPECT_EQ(phylo::BipartitionSet::symmetric_difference_size(ba, bb),
+            rf_distance(a, b));
+}
+
+TEST(RfTest, ApplyNormConventions) {
+  EXPECT_DOUBLE_EQ(apply_norm(10.0, 20.0, RfNorm::None), 10.0);
+  EXPECT_DOUBLE_EQ(apply_norm(10.0, 20.0, RfNorm::HalfSum), 5.0);
+  EXPECT_DOUBLE_EQ(apply_norm(10.0, 20.0, RfNorm::MaxScaled), 0.5);
+  EXPECT_DOUBLE_EQ(apply_norm(10.0, 0.0, RfNorm::MaxScaled), 0.0);
+}
+
+TEST(RfTest, MaxRfAccessor) {
+  const auto taxa = TaxonSet::make_numbered(12);
+  util::Rng rng(7);
+  const Tree a = sim::yule_tree(taxa, rng);
+  const Tree b = sim::yule_tree(taxa, rng);
+  const auto ba = phylo::extract_bipartitions(a);
+  const auto bb = phylo::extract_bipartitions(b);
+  EXPECT_EQ(max_rf(ba, bb), (12u - 3) * 2);
+  EXPECT_GE(max_rf(ba, bb), rf_distance(ba, bb));
+}
+
+TEST(RfTest, MultifurcatingVsBinary) {
+  // A multifurcating tree's splits are a subset scenario: distance counts
+  // resolved-but-absent splits once each.
+  auto taxa = std::make_shared<TaxonSet>(
+      std::vector<std::string>{"A", "B", "C", "D", "E"});
+  const Tree binary = parse_newick("((A,B),(C,D),E);", taxa);
+  const Tree star = parse_newick("(A,B,C,D,E);", taxa);
+  // binary has 2 splits, star has 0, nothing shared: RF = 2.
+  EXPECT_EQ(rf_distance(binary, star), 2u);
+}
+
+TEST(RfTest, ContractionDistanceMatchesLostSplits) {
+  const auto taxa = TaxonSet::make_numbered(40);
+  util::Rng rng(8);
+  const phylo::Tree full = sim::yule_tree(taxa, rng);
+  const phylo::Tree collapsed = sim::multifurcating_tree(taxa, rng, 0.3);
+  const auto bf = phylo::extract_bipartitions(full);
+  const auto bc = phylo::extract_bipartitions(collapsed);
+  // Symmetric difference equals |A|+|B| - 2|A∩B| always; spot check here.
+  const auto common = phylo::BipartitionSet::intersection_size(bf, bc);
+  EXPECT_EQ(rf_distance(full, collapsed), bf.size() + bc.size() - 2 * common);
+}
+
+}  // namespace
+}  // namespace bfhrf::core

@@ -1,0 +1,158 @@
+#include "core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/test_util.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+using phylo::TaxonSet;
+using phylo::Tree;
+
+TEST(SerializeTest, RoundTripPreservesQueries) {
+  const auto taxa = TaxonSet::make_numbered(18);
+  util::Rng rng(1);
+  const auto reference = test::random_collection(taxa, 30, 4, rng);
+  const auto queries = test::random_collection(taxa, 10, 6, rng);
+
+  Bfhrf original(taxa->size(), {.threads = 2});
+  original.build(reference);
+  const auto want = original.query(queries);
+
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_bfhrf(original, buffer);
+  const Bfhrf restored = load_bfhrf(buffer, {.threads = 3});
+
+  EXPECT_EQ(restored.stats().reference_trees,
+            original.stats().reference_trees);
+  EXPECT_EQ(restored.stats().unique_bipartitions,
+            original.stats().unique_bipartitions);
+  EXPECT_EQ(restored.stats().total_bipartitions,
+            original.stats().total_bipartitions);
+
+  const auto got = restored.query(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i], want[i]);
+  }
+}
+
+TEST(SerializeTest, RoundTripCompressedStore) {
+  const auto taxa = TaxonSet::make_numbered(40);
+  util::Rng rng(2);
+  const auto reference = test::random_collection(taxa, 20, 4, rng);
+  const auto queries = test::random_collection(taxa, 6, 5, rng);
+
+  Bfhrf original(taxa->size(), {.compressed_keys = true});
+  original.build(reference);
+  const auto want = original.query(queries);
+
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_bfhrf(original, buffer);
+  const Bfhrf restored = load_bfhrf(buffer);
+  // The kind travels with the file.
+  EXPECT_TRUE(restored.options().compressed_keys);
+  const auto got = restored.query(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i], want[i]);
+  }
+}
+
+TEST(SerializeTest, IncludeTrivialConventionTravels) {
+  const auto taxa = TaxonSet::make_numbered(12);
+  util::Rng rng(3);
+  const auto reference = test::random_collection(taxa, 10, 3, rng);
+  Bfhrf original(taxa->size(), {.include_trivial = true});
+  original.build(reference);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_bfhrf(original, buffer);
+  const Bfhrf restored = load_bfhrf(buffer);
+  EXPECT_TRUE(restored.options().include_trivial);
+  EXPECT_EQ(restored.stats().total_bipartitions,
+            original.stats().total_bipartitions);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const auto taxa = TaxonSet::make_numbered(14);
+  util::Rng rng(4);
+  const auto reference = test::random_collection(taxa, 15, 3, rng);
+  Bfhrf original(taxa->size());
+  original.build(reference);
+
+  const std::string path = ::testing::TempDir() + "/bfhrf_index.bfh";
+  save_bfhrf_file(original, path);
+  const Bfhrf restored = load_bfhrf_file(path, {.threads = 2});
+  const Tree probe = sim::uniform_tree(taxa, rng);
+  EXPECT_DOUBLE_EQ(restored.query_one(probe), original.query_one(probe));
+}
+
+TEST(SerializeTest, UnbuiltEngineRejected) {
+  const Bfhrf empty(10);
+  std::ostringstream out(std::ios::binary);
+  EXPECT_THROW(save_bfhrf(empty, out), InvalidArgument);
+}
+
+TEST(SerializeTest, CorruptStreamsRejected) {
+  const auto taxa = TaxonSet::make_numbered(10);
+  util::Rng rng(5);
+  const auto reference = test::random_collection(taxa, 8, 3, rng);
+  Bfhrf original(taxa->size());
+  original.build(reference);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_bfhrf(original, buffer);
+  const std::string blob = buffer.str();
+
+  {  // bad magic
+    std::istringstream bad("XXXX" + blob.substr(4), std::ios::binary);
+    EXPECT_THROW((void)load_bfhrf(bad), ParseError);
+  }
+  {  // truncated at every prefix length (never crashes, always throws)
+    for (const std::size_t cut :
+         {std::size_t{0}, std::size_t{3}, std::size_t{10}, std::size_t{30},
+          blob.size() - 5}) {
+      std::istringstream truncated(blob.substr(0, cut), std::ios::binary);
+      EXPECT_THROW((void)load_bfhrf(truncated), ParseError) << cut;
+    }
+  }
+  {  // flipped count byte breaks the total check
+    std::string mutated = blob;
+    mutated[mutated.size() - 9] =
+        static_cast<char>(mutated[mutated.size() - 9] + 1);
+    std::istringstream bad(mutated, std::ios::binary);
+    EXPECT_THROW((void)load_bfhrf(bad), ParseError);
+  }
+  {  // missing file
+    EXPECT_THROW((void)load_bfhrf_file("/nonexistent/x.bfh"), Error);
+  }
+}
+
+TEST(SerializeTest, IncrementalBuildAfterLoad) {
+  // A loaded index can keep growing (build-once, extend-later).
+  const auto taxa = TaxonSet::make_numbered(12);
+  util::Rng rng(6);
+  const auto first = test::random_collection(taxa, 10, 3, rng);
+  const auto second = test::random_collection(taxa, 7, 3, rng);
+  const auto queries = test::random_collection(taxa, 4, 4, rng);
+
+  Bfhrf full(taxa->size());
+  full.build(first);
+  full.build(second);
+  const auto want = full.query(queries);
+
+  Bfhrf part(taxa->size());
+  part.build(first);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  save_bfhrf(part, buffer);
+  Bfhrf resumed = load_bfhrf(buffer);
+  resumed.build(second);
+  const auto got = resumed.query(queries);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i], want[i]);
+  }
+}
+
+}  // namespace
+}  // namespace bfhrf::core

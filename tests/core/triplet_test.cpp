@@ -1,0 +1,126 @@
+#include "core/triplet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rf.hpp"
+#include "phylo/newick.hpp"
+#include "support/test_util.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+using phylo::TaxonSet;
+using phylo::Tree;
+
+TEST(TripletTest, IdenticalTreesAtZero) {
+  const auto taxa = TaxonSet::make_numbered(12);
+  util::Rng rng(1);
+  const Tree t = sim::yule_tree(taxa, rng);
+  const auto d = triplet_distance(t, t);
+  EXPECT_EQ(d.different, 0u);
+  EXPECT_EQ(d.total, 12u * 11 * 10 / 6);
+}
+
+TEST(TripletTest, HandWorkedFourTaxa) {
+  // Rooted trees on {A,B,C,D}: ((A,B),(C,D)) vs ((A,C),(B,D)).
+  // Triplets: ABC, ABD, ACD, BCD — every one resolves differently
+  // (e.g. ABC: ab|c vs ac|b).
+  auto taxa = std::make_shared<TaxonSet>(
+      std::vector<std::string>{"A", "B", "C", "D"});
+  const Tree t1 = phylo::parse_newick("((A,B),(C,D));", taxa);
+  const Tree t2 = phylo::parse_newick("((A,C),(B,D));", taxa);
+  const auto d = triplet_distance(t1, t2);
+  EXPECT_EQ(d.total, 4u);
+  EXPECT_EQ(d.different, 4u);
+  EXPECT_DOUBLE_EQ(d.normalized(), 1.0);
+}
+
+TEST(TripletTest, SingleCherrySwapCountsAffectedTriplets) {
+  // ((A,B),C,D... caterpillar vs swap of one cherry leaf with an outsider.
+  auto taxa = std::make_shared<TaxonSet>(
+      std::vector<std::string>{"A", "B", "C", "D", "E"});
+  const Tree t1 = phylo::parse_newick("((((A,B),C),D),E);", taxa);
+  const Tree t2 = phylo::parse_newick("((((A,C),B),D),E);", taxa);
+  const auto d = triplet_distance(t1, t2);
+  // Only triplets containing at least two of {A,B,C} can change; the
+  // single changed resolution is ABC (ab|c vs ac|b) plus none other:
+  // ABD: in both trees lca(A,B) vs ... t1: ab|d; t2: lca(A,B) is the
+  // 3-clade root, lca(A,D)=lca(B,D) deeper root -> still ab|d. Same for
+  // ABE, ACD, ACE (ac|d / ac|e in both? t1: lca(A,C) = 3-clade, deeper
+  // than lca with D/E -> ac|d; t2: ac|d too). The distance is exactly 1.
+  EXPECT_EQ(d.different, 1u);
+}
+
+TEST(TripletTest, StarTreeIsAllUnresolvedVsResolved) {
+  auto taxa = std::make_shared<TaxonSet>(
+      std::vector<std::string>{"A", "B", "C", "D", "E"});
+  const Tree star = phylo::parse_newick("(A,B,C,D,E);", taxa);
+  const Tree resolved = phylo::parse_newick("((((A,B),C),D),E);", taxa);
+  const auto self = triplet_distance(star, star);
+  EXPECT_EQ(self.different, 0u);
+  const auto d = triplet_distance(star, resolved);
+  // Every triplet is unresolved in the star, resolved in the caterpillar.
+  EXPECT_EQ(d.different, d.total);
+}
+
+TEST(TripletTest, SymmetryAndBounds) {
+  const auto taxa = TaxonSet::make_numbered(15);
+  util::Rng rng(2);
+  for (int rep = 0; rep < 15; ++rep) {
+    const Tree a = sim::uniform_tree(taxa, rng);
+    const Tree b = sim::uniform_tree(taxa, rng);
+    const auto ab = triplet_distance(a, b);
+    const auto ba = triplet_distance(b, a);
+    EXPECT_EQ(ab.different, ba.different);
+    EXPECT_LE(ab.different, ab.total);
+  }
+}
+
+TEST(TripletTest, CorrelatesWithRf) {
+  // Across a perturbation gradient, triplet distance and RF must rank the
+  // same way (both are topology divergence measures).
+  const auto taxa = TaxonSet::make_numbered(20);
+  util::Rng rng(3);
+  const Tree base = sim::yule_tree(taxa, rng);
+  Tree near = base;
+  sim::perturb(near, rng, 1);
+  Tree far = base;
+  sim::perturb(far, rng, 25);
+  const auto d_near = triplet_distance(base, near);
+  const auto d_far = triplet_distance(base, far);
+  EXPECT_LE(d_near.different, d_far.different);
+  EXPECT_LE(rf_distance(base, near), rf_distance(base, far));
+}
+
+TEST(TripletTest, MismatchedInputsThrow) {
+  const auto ta = TaxonSet::make_numbered(8);
+  const auto tb = TaxonSet::make_numbered(8);
+  util::Rng rng(4);
+  const Tree a = sim::yule_tree(ta, rng);
+  const Tree b = sim::yule_tree(tb, rng);
+  EXPECT_THROW((void)triplet_distance(a, b), InvalidArgument);
+
+  // Same universe, different leaf subsets.
+  auto taxa = std::make_shared<TaxonSet>(
+      std::vector<std::string>{"A", "B", "C", "D", "E"});
+  const Tree four = phylo::parse_newick("((A,B),(C,D));", taxa);
+  const Tree five = phylo::parse_newick("((A,B),(C,(D,E)));", taxa);
+  EXPECT_THROW((void)triplet_distance(four, five), InvalidArgument);
+}
+
+TEST(TripletTest, LcaDepthTableBasics) {
+  auto taxa = std::make_shared<TaxonSet>(
+      std::vector<std::string>{"A", "B", "C", "D"});
+  const Tree t = phylo::parse_newick("((A,B),(C,D));", taxa);
+  const LcaDepthTable table(t);
+  // Root depth 0; cherries at depth 1.
+  EXPECT_EQ(table.lca_depth(0, 1), 1);  // A,B
+  EXPECT_EQ(table.lca_depth(2, 3), 1);  // C,D
+  EXPECT_EQ(table.lca_depth(0, 2), 0);  // across the root
+  EXPECT_EQ(table.lca_depth(1, 3), 0);
+  EXPECT_EQ(table.lca_depth(0, 2), table.lca_depth(2, 0));
+}
+
+}  // namespace
+}  // namespace bfhrf::core

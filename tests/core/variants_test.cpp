@@ -1,0 +1,197 @@
+#include "core/variants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bfhrf.hpp"
+#include "core/sequential_rf.hpp"
+#include "phylo/bipartition.hpp"
+#include "support/test_util.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+using phylo::TaxonSet;
+using phylo::Tree;
+
+BipartitionRef ref_of(const util::DynamicBitset& b) {
+  return BipartitionRef{b.words(), b.size(), b.count()};
+}
+
+TEST(VariantsTest, ClassicKeepsEverythingAtUnitWeight) {
+  const ClassicRf v;
+  util::DynamicBitset b(20);
+  b.set(3);
+  b.set(4);
+  EXPECT_TRUE(v.keep(ref_of(b)));
+  EXPECT_DOUBLE_EQ(v.weight(ref_of(b)), 1.0);
+  EXPECT_EQ(v.name(), "classic");
+}
+
+TEST(VariantsTest, SizeFilterUsesSmallerSide) {
+  const SizeFilteredRf v(3, 5);
+  util::DynamicBitset small(20);
+  small.set(1);
+  small.set(2);  // smaller side 2 < 3
+  EXPECT_FALSE(v.keep(ref_of(small)));
+
+  util::DynamicBitset mid(20);
+  for (int i = 1; i <= 4; ++i) {
+    mid.set(static_cast<std::size_t>(i));  // smaller side 4 in [3,5]
+  }
+  EXPECT_TRUE(v.keep(ref_of(mid)));
+
+  // A side of 16 of 20 has smaller side 4 -> kept (complement symmetric).
+  util::DynamicBitset big(20);
+  big.flip_all();
+  big.reset(0);
+  big.reset(1);
+  big.reset(2);
+  big.reset(3);
+  EXPECT_TRUE(v.keep(ref_of(big)));
+}
+
+TEST(VariantsTest, InformationWeightIncreasesWithBalance) {
+  const InformationWeightedRf v(20);
+  util::DynamicBitset skewed(20);
+  skewed.set(1);
+  skewed.set(2);
+  util::DynamicBitset balanced(20);
+  for (int i = 1; i <= 10; ++i) {
+    balanced.set(static_cast<std::size_t>(i));
+  }
+  EXPECT_GT(v.weight(ref_of(balanced)), v.weight(ref_of(skewed)));
+  EXPECT_GT(v.weight(ref_of(skewed)), 0.0);
+}
+
+TEST(VariantsTest, InformationWeightSymmetricInSides) {
+  const InformationWeightedRf v(16);
+  util::DynamicBitset side5(16);
+  for (int i = 1; i <= 5; ++i) {
+    side5.set(static_cast<std::size_t>(i));
+  }
+  util::DynamicBitset side11(16);  // the complementary side size, 16-5
+  for (int i = 1; i <= 11; ++i) {
+    side11.set(static_cast<std::size_t>(i));
+  }
+  EXPECT_DOUBLE_EQ(v.weight(ref_of(side5)), v.weight(ref_of(side11)));
+}
+
+TEST(VariantsTest, InformationWeightNeedsFourTaxa) {
+  EXPECT_THROW(InformationWeightedRf(3), InvalidArgument);
+}
+
+TEST(VariantsTest, LambdaVariantDelegates) {
+  const LambdaRf v(
+      "custom", [](const BipartitionRef& b) { return b.ones >= 3; },
+      [](const BipartitionRef& b) { return static_cast<double>(b.ones); });
+  util::DynamicBitset two(10);
+  two.set(1);
+  two.set(2);
+  util::DynamicBitset three(10);
+  three.set(1);
+  three.set(2);
+  three.set(3);
+  EXPECT_FALSE(v.keep(ref_of(two)));
+  EXPECT_TRUE(v.keep(ref_of(three)));
+  EXPECT_DOUBLE_EQ(v.weight(ref_of(three)), 3.0);
+  EXPECT_EQ(v.name(), "custom");
+}
+
+TEST(VariantsTest, LambdaNullHooksDefault) {
+  const LambdaRf v("noop", nullptr, nullptr);
+  util::DynamicBitset b(10);
+  b.set(2);
+  EXPECT_TRUE(v.keep(ref_of(b)));
+  EXPECT_DOUBLE_EQ(v.weight(ref_of(b)), 1.0);
+}
+
+// --- end-to-end: variants behave identically in BFHRF and SequentialRF ---
+
+TEST(VariantsTest, SizeFilteredBfhrfMatchesSequential) {
+  const auto taxa = TaxonSet::make_numbered(16);
+  util::Rng rng(1);
+  const auto reference = test::random_collection(taxa, 15, 4, rng);
+  const auto queries = test::random_collection(taxa, 6, 5, rng);
+
+  const SizeFilteredRf variant(2, 5);
+  BfhrfOptions bopts;
+  bopts.variant = &variant;
+  const auto bfh = bfhrf_average_rf(queries, reference, bopts);
+
+  SequentialRfOptions sopts;
+  sopts.variant = &variant;
+  const auto seq = sequential_avg_rf(queries, reference, sopts);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_NEAR(bfh[i], seq.avg_rf[i], 1e-9);
+  }
+}
+
+TEST(VariantsTest, InformationWeightedBfhrfMatchesSequential) {
+  const auto taxa = TaxonSet::make_numbered(14);
+  util::Rng rng(2);
+  const auto reference = test::random_collection(taxa, 12, 4, rng);
+  const auto queries = test::random_collection(taxa, 5, 4, rng);
+
+  const InformationWeightedRf variant(14);
+  BfhrfOptions bopts;
+  bopts.variant = &variant;
+  bopts.threads = 2;
+  const auto bfh = bfhrf_average_rf(queries, reference, bopts);
+
+  SequentialRfOptions sopts;
+  sopts.variant = &variant;
+  const auto seq = sequential_avg_rf(queries, reference, sopts);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_NEAR(bfh[i], seq.avg_rf[i], 1e-6);
+  }
+}
+
+TEST(VariantsTest, FilterEverythingGivesZero) {
+  const auto taxa = TaxonSet::make_numbered(10);
+  util::Rng rng(3);
+  const auto reference = test::random_collection(taxa, 8, 3, rng);
+  const LambdaRf drop_all("drop-all",
+                          [](const BipartitionRef&) { return false; },
+                          nullptr);
+  BfhrfOptions opts;
+  opts.variant = &drop_all;
+  const auto got = bfhrf_average_rf(reference, reference, opts);
+  for (const double v : got) {
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(VariantsTest, UnitWeightVariantEqualsClassic) {
+  const auto taxa = TaxonSet::make_numbered(12);
+  util::Rng rng(4);
+  const auto reference = test::random_collection(taxa, 10, 3, rng);
+  const auto queries = test::random_collection(taxa, 4, 3, rng);
+  const LambdaRf unit("unit", nullptr, nullptr);
+  BfhrfOptions opts;
+  opts.variant = &unit;
+  const auto with = bfhrf_average_rf(queries, reference, opts);
+  const auto classic = bfhrf_average_rf(queries, reference);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(with[i], classic[i]);
+  }
+}
+
+TEST(VariantsTest, WeightedSymmetricDifferenceSelfIsZero) {
+  const auto taxa = TaxonSet::make_numbered(12);
+  util::Rng rng(5);
+  const Tree t = sim::yule_tree(taxa, rng);
+  const auto bips = phylo::extract_bipartitions(t);
+  const InformationWeightedRf v(12);
+  EXPECT_DOUBLE_EQ(weighted_symmetric_difference(bips, bips, v), 0.0);
+}
+
+TEST(VariantsTest, SizeFilterNameIsDescriptive) {
+  const SizeFilteredRf v(2, 7);
+  EXPECT_EQ(v.name(), "size-filtered[2,7]");
+}
+
+}  // namespace
+}  // namespace bfhrf::core

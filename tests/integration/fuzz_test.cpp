@@ -1,0 +1,152 @@
+// Robustness ("fuzz-lite") suite: randomly corrupted inputs must either
+// parse to a valid tree or throw a typed bfhrf::Error — never crash,
+// hang, or corrupt state. Deterministic seeds keep failures reproducible.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/bfhrf.hpp"
+#include "phylo/newick.hpp"
+#include "phylo/nexus.hpp"
+#include "support/test_util.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf {
+namespace {
+
+/// Apply `edits` random single-character mutations (replace/insert/delete).
+std::string mutate(std::string s, std::size_t edits, util::Rng& rng) {
+  static constexpr char kAlphabet[] = "(),;:'[]ABC012. \t_-e";
+  for (std::size_t e = 0; e < edits && !s.empty(); ++e) {
+    const std::size_t pos = rng.below(s.size());
+    switch (rng.below(3)) {
+      case 0:
+        s[pos] = kAlphabet[rng.below(sizeof kAlphabet - 1)];
+        break;
+      case 1:
+        s.insert(pos, 1, kAlphabet[rng.below(sizeof kAlphabet - 1)]);
+        break;
+      default:
+        s.erase(pos, 1);
+        break;
+    }
+  }
+  return s;
+}
+
+TEST(FuzzTest, MutatedNewickNeverCrashes) {
+  util::Rng rng(0xF422);
+  const auto taxa = phylo::TaxonSet::make_numbered(12);
+  const std::string base =
+      phylo::write_newick(sim::yule_tree(taxa, rng));
+
+  std::size_t parsed = 0;
+  std::size_t rejected = 0;
+  for (int rep = 0; rep < 2000; ++rep) {
+    const std::string input = mutate(base, 1 + rng.below(6), rng);
+    auto scratch = std::make_shared<phylo::TaxonSet>();
+    try {
+      const phylo::Tree t = phylo::parse_newick(input, scratch);
+      t.validate();  // anything accepted must be structurally sound
+      ++parsed;
+    } catch (const Error&) {
+      ++rejected;
+    }
+  }
+  // Both outcomes must occur — all-rejected would mean the mutator is too
+  // harsh to exercise the accept path, all-accepted that errors are eaten.
+  EXPECT_GT(parsed, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(FuzzTest, MutatedNexusNeverCrashes) {
+  util::Rng rng(0xF423);
+  const std::string base =
+      "#NEXUS\nBEGIN TAXA;\n TAXLABELS A B C D E;\nEND;\n"
+      "BEGIN TREES;\n TRANSLATE 1 A, 2 B, 3 C, 4 D, 5 E;\n"
+      " TREE t = [&U] ((1,2),(3,4),5);\nEND;\n";
+  std::size_t parsed = 0;
+  std::size_t rejected = 0;
+  for (int rep = 0; rep < 1000; ++rep) {
+    const std::string input = mutate(base, 1 + rng.below(8), rng);
+    std::istringstream in(input);
+    try {
+      const phylo::NexusData data = phylo::read_nexus(in);
+      for (const auto& t : data.trees) {
+        EXPECT_GT(t.num_leaves(), 0u);
+      }
+      ++parsed;
+    } catch (const Error&) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(parsed, 0u);
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(FuzzTest, TruncatedNewickAlwaysRejectedOrValid) {
+  util::Rng rng(0xF424);
+  const auto taxa = phylo::TaxonSet::make_numbered(20);
+  const std::string base = phylo::write_newick(
+      sim::yule_tree(taxa, rng, sim::GeneratorOptions{.branch_lengths = true}));
+  for (std::size_t cut = 0; cut < base.size(); ++cut) {
+    auto scratch = std::make_shared<phylo::TaxonSet>();
+    try {
+      const phylo::Tree t =
+          phylo::parse_newick(base.substr(0, cut), scratch);
+      t.validate();
+    } catch (const Error&) {
+      // expected for most prefixes
+    }
+  }
+}
+
+TEST(FuzzTest, GarbageBytesRejected) {
+  util::Rng rng(0xF425);
+  for (int rep = 0; rep < 500; ++rep) {
+    std::string garbage(1 + rng.below(64), '\0');
+    for (auto& c : garbage) {
+      c = static_cast<char>(32 + rng.below(95));
+    }
+    auto scratch = std::make_shared<phylo::TaxonSet>();
+    try {
+      const phylo::Tree t = phylo::parse_newick(garbage, scratch);
+      t.validate();
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST(FuzzTest, EngineSurvivesAdversarialCollections) {
+  // Collections mixing tiny trees, stars, caterpillars and multifurcations
+  // over one namespace: every engine path must stay exact or throw typed.
+  const auto taxa = phylo::TaxonSet::make_numbered(9);
+  util::Rng rng(0xF426);
+  std::vector<phylo::Tree> zoo;
+  zoo.push_back(sim::caterpillar_tree(taxa, rng));
+  zoo.push_back(sim::multifurcating_tree(taxa, rng, 0.9));
+  zoo.push_back(sim::multifurcating_tree(taxa, rng, 0.0));
+  {
+    phylo::Tree star(taxa);
+    const auto root = star.add_root();
+    for (phylo::TaxonId i = 0; i < 9; ++i) {
+      star.add_leaf(root, i);
+    }
+    zoo.push_back(std::move(star));
+  }
+  const auto avg = core::bfhrf_average_rf(zoo, zoo, {.threads = 2});
+  ASSERT_EQ(avg.size(), zoo.size());
+  for (const double v : avg) {
+    EXPECT_GE(v, 0.0);
+  }
+  // Compressed path agrees on the zoo too.
+  const auto comp =
+      core::bfhrf_average_rf(zoo, zoo, {.compressed_keys = true});
+  for (std::size_t i = 0; i < avg.size(); ++i) {
+    EXPECT_DOUBLE_EQ(comp[i], avg[i]);
+  }
+}
+
+}  // namespace
+}  // namespace bfhrf

@@ -1,0 +1,160 @@
+// Cross-engine property suite: for randomized (n, r, q, topology class,
+// thread count) configurations, every RF engine in the library must return
+// exactly the same average-RF vector. This is the paper's §III-C accuracy
+// claim, checked mechanically.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/bfhrf.hpp"
+#include "core/day.hpp"
+#include "core/hashrf.hpp"
+#include "core/sequential_rf.hpp"
+#include "support/test_util.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf {
+namespace {
+
+using phylo::TaxonSet;
+using phylo::Tree;
+
+struct Config {
+  std::size_t n;
+  std::size_t r;
+  std::size_t moves;
+  bool multifurcate;
+};
+
+class EngineEquivalence : public ::testing::TestWithParam<Config> {};
+
+std::vector<Tree> make_collection(const phylo::TaxonSetPtr& taxa,
+                                  const Config& cfg, util::Rng& rng) {
+  if (!cfg.multifurcate) {
+    return test::random_collection(taxa, cfg.r, cfg.moves, rng);
+  }
+  std::vector<Tree> trees;
+  trees.reserve(cfg.r);
+  for (std::size_t i = 0; i < cfg.r; ++i) {
+    trees.push_back(sim::multifurcating_tree(taxa, rng, 0.25));
+  }
+  return trees;
+}
+
+TEST_P(EngineEquivalence, AllEnginesProduceIdenticalAverages) {
+  const Config cfg = GetParam();
+  const auto taxa = TaxonSet::make_numbered(cfg.n);
+  util::Rng rng(cfg.n * 1000 + cfg.r);
+  const auto trees = make_collection(taxa, cfg, rng);
+
+  const auto ds = core::sequential_avg_rf(trees, trees);
+  const auto dsmp = core::sequential_avg_rf(trees, trees, {.threads = 4});
+  const auto hashrf = core::hash_rf(trees);
+  const auto bfh1 = core::bfhrf_average_rf(trees, trees, {.threads = 1});
+  const auto bfh4 = core::bfhrf_average_rf(trees, trees, {.threads = 4});
+
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    ASSERT_DOUBLE_EQ(ds.avg_rf[i], dsmp.avg_rf[i]) << "tree " << i;
+    ASSERT_DOUBLE_EQ(ds.avg_rf[i], hashrf.avg_rf[i]) << "tree " << i;
+    ASSERT_DOUBLE_EQ(ds.avg_rf[i], bfh1[i]) << "tree " << i;
+    ASSERT_DOUBLE_EQ(ds.avg_rf[i], bfh4[i]) << "tree " << i;
+  }
+}
+
+TEST_P(EngineEquivalence, DayEngineAgreesOnBinaryTrees) {
+  const Config cfg = GetParam();
+  if (cfg.multifurcate) {
+    GTEST_SKIP() << "Day engine covered by binary configs here";
+  }
+  const auto taxa = TaxonSet::make_numbered(cfg.n);
+  util::Rng rng(cfg.n * 77 + cfg.r);
+  const auto trees = make_collection(taxa, cfg, rng);
+
+  const auto ds = core::sequential_avg_rf(trees, trees);
+  const auto day = core::sequential_avg_rf(
+      trees, trees, {.engine = core::PairwiseEngine::Day});
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    ASSERT_DOUBLE_EQ(ds.avg_rf[i], day.avg_rf[i]) << "tree " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, EngineEquivalence,
+    ::testing::Values(Config{5, 6, 2, false}, Config{8, 10, 3, false},
+                      Config{12, 14, 4, false}, Config{16, 10, 6, false},
+                      Config{33, 8, 5, false}, Config{48, 6, 4, false},
+                      Config{64, 6, 4, false}, Config{65, 6, 4, false},
+                      Config{100, 5, 8, false}, Config{10, 12, 0, false},
+                      Config{12, 10, 3, true}, Config{20, 8, 0, true},
+                      Config{70, 6, 0, true}),
+    [](const ::testing::TestParamInfo<Config>& param_info) {
+      const Config& c = param_info.param;
+      return "n" + std::to_string(c.n) + "_r" + std::to_string(c.r) +
+             "_m" + std::to_string(c.moves) +
+             (c.multifurcate ? "_multi" : "_bin");
+    });
+
+TEST(PropertyTest, BfhrfSumIdentityHoldsOnIndependentTrees) {
+  // Σ_i avgRF(T_i) computed by BFHRF equals the mean of the full pairwise
+  // matrix computed by HashRF (a global cross-check on the accounting).
+  const auto taxa = TaxonSet::make_numbered(22);
+  util::Rng rng(123);
+  const auto trees = test::independent_collection(taxa, 18, rng);
+  const auto bfh = core::bfhrf_average_rf(trees, trees);
+  const auto hashrf = core::hash_rf(trees);
+
+  double bfh_total = 0;
+  double matrix_total = 0;
+  for (std::size_t i = 0; i < trees.size(); ++i) {
+    bfh_total += bfh[i];
+    for (std::size_t j = 0; j < trees.size(); ++j) {
+      matrix_total += hashrf.matrix.at(i, j);
+    }
+  }
+  EXPECT_NEAR(bfh_total, matrix_total / static_cast<double>(trees.size()),
+              1e-9);
+}
+
+TEST(PropertyTest, ReferenceOrderIsIrrelevant) {
+  const auto taxa = TaxonSet::make_numbered(14);
+  util::Rng rng(321);
+  auto trees = test::random_collection(taxa, 20, 4, rng);
+  const auto queries = test::random_collection(taxa, 5, 5, rng);
+  const auto before = core::bfhrf_average_rf(queries, trees);
+  rng.shuffle(trees);
+  const auto after = core::bfhrf_average_rf(queries, trees);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(before[i], after[i]);
+  }
+}
+
+TEST(PropertyTest, DuplicatingReferenceKeepsAverages) {
+  // avg over [R, R] equals avg over R — frequency doubling cancels.
+  const auto taxa = TaxonSet::make_numbered(12);
+  util::Rng rng(55);
+  const auto trees = test::random_collection(taxa, 10, 3, rng);
+  std::vector<Tree> doubled = trees;
+  doubled.insert(doubled.end(), trees.begin(), trees.end());
+  const auto queries = test::random_collection(taxa, 4, 4, rng);
+  const auto single = core::bfhrf_average_rf(queries, trees);
+  const auto twice = core::bfhrf_average_rf(queries, doubled);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(single[i], twice[i]);
+  }
+}
+
+TEST(PropertyTest, AddingPerfectMatchLowersAverage) {
+  const auto taxa = TaxonSet::make_numbered(14);
+  util::Rng rng(77);
+  const auto trees = test::independent_collection(taxa, 10, rng);
+  const Tree query = sim::uniform_tree(taxa, rng);
+
+  const auto base = core::bfhrf_average_rf({&query, 1}, trees);
+  std::vector<Tree> extended = trees;
+  extended.push_back(query);  // the query itself joins R
+  const auto lowered = core::bfhrf_average_rf({&query, 1}, extended);
+  EXPECT_LT(lowered[0], base[0]);
+}
+
+}  // namespace
+}  // namespace bfhrf

@@ -1,0 +1,141 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace bfhrf::parallel {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+}
+
+TEST(ThreadPoolTest, ReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, PropagatesTaskException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool recovers afterwards.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, SizeClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(0, kN, 4, [&](std::size_t i) { ++hits[i]; }, 7);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoOp) {
+  int calls = 0;
+  parallel_for(5, 5, 4, [&](std::size_t) { ++calls; });
+  parallel_for(7, 3, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, SingleThreadRunsInline) {
+  std::vector<std::size_t> order;
+  parallel_for(0, 10, 1, [&](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expect(10);
+  std::iota(expect.begin(), expect.end(), 0u);
+  EXPECT_EQ(order, expect);  // inline execution preserves order
+}
+
+TEST(ParallelForTest, PropagatesExceptions) {
+  EXPECT_THROW(parallel_for(0, 100, 4,
+                            [](std::size_t i) {
+                              if (i == 37) {
+                                throw std::runtime_error("x");
+                              }
+                            },
+                            1),
+               std::runtime_error);
+}
+
+TEST(ParallelForRankedTest, RanksAreWithinBounds) {
+  constexpr std::size_t kThreads = 4;
+  std::atomic<int> bad{0};
+  parallel_for_ranked(0, 1000, kThreads, [&](std::size_t rank, std::size_t) {
+    if (rank >= kThreads) {
+      ++bad;
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(ParallelReduceTest, SumsMatchSequential) {
+  constexpr std::size_t kN = 100000;
+  const auto total = parallel_reduce<std::uint64_t>(
+      0, kN, 4, [] { return std::uint64_t{0}; },
+      [](std::uint64_t& acc, std::size_t i) { acc += i; },
+      [](std::uint64_t& a, std::uint64_t& b) { a += b; });
+  EXPECT_EQ(total, std::uint64_t{kN} * (kN - 1) / 2);
+}
+
+TEST(ParallelReduceTest, DeterministicAcrossThreadCounts) {
+  constexpr std::size_t kN = 5000;
+  const auto run = [&](std::size_t threads) {
+    return parallel_reduce<std::uint64_t>(
+        0, kN, threads, [] { return std::uint64_t{0}; },
+        [](std::uint64_t& acc, std::size_t i) { acc += i * i; },
+        [](std::uint64_t& a, std::uint64_t& b) { a += b; });
+  };
+  const auto base = run(1);
+  EXPECT_EQ(run(2), base);
+  EXPECT_EQ(run(4), base);
+  EXPECT_EQ(run(16), base);
+}
+
+TEST(EffectiveThreadsTest, ZeroMeansHardware) {
+  EXPECT_GE(effective_threads(0), 1u);
+  EXPECT_EQ(effective_threads(3), 3u);
+}
+
+TEST(ParallelForTest, ManyMoreThreadsThanItems) {
+  std::vector<std::atomic<int>> hits(3);
+  parallel_for(0, 3, 64, [&](std::size_t i) { ++hits[i]; }, 1);
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace bfhrf::parallel

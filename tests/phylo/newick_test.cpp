@@ -1,0 +1,247 @@
+#include "phylo/newick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/test_util.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::phylo {
+namespace {
+
+TEST(NewickParseTest, SimpleQuartet) {
+  TaxonSetPtr taxa;
+  const Tree t = test::tree_of("((A,B),(C,D));", taxa);
+  EXPECT_EQ(t.num_leaves(), 4u);
+  EXPECT_EQ(taxa->size(), 4u);
+  EXPECT_TRUE(t.is_binary());
+  t.validate();
+}
+
+TEST(NewickParseTest, BranchLengths) {
+  TaxonSetPtr taxa;
+  const Tree t = test::tree_of("((A:0.1,B:0.2):0.3,(C:1e-2,D:2):4);", taxa);
+  double total = 0;
+  for (NodeId id = 0; id < static_cast<NodeId>(t.num_nodes()); ++id) {
+    if (t.node(id).has_length) {
+      total += t.node(id).length;
+    }
+  }
+  EXPECT_NEAR(total, 0.1 + 0.2 + 0.3 + 0.01 + 2 + 4, 1e-12);
+}
+
+TEST(NewickParseTest, UnweightedTreesHaveNoLengths) {
+  TaxonSetPtr taxa;
+  const Tree t = test::tree_of("((A,B),(C,D));", taxa);
+  for (NodeId id = 0; id < static_cast<NodeId>(t.num_nodes()); ++id) {
+    EXPECT_FALSE(t.node(id).has_length);
+  }
+}
+
+TEST(NewickParseTest, Multifurcation) {
+  TaxonSetPtr taxa;
+  const Tree t = test::tree_of("(A,B,C,D,E);", taxa);
+  EXPECT_EQ(t.num_leaves(), 5u);
+  EXPECT_EQ(t.num_children(t.root()), 5u);
+  EXPECT_FALSE(t.is_binary());
+}
+
+TEST(NewickParseTest, QuotedLabels) {
+  TaxonSetPtr taxa;
+  const Tree t =
+      test::tree_of("(('Homo sapiens',"
+                    "'it''s a label'),(C,D));",
+                    taxa);
+  EXPECT_TRUE(taxa->contains("Homo sapiens"));
+  EXPECT_TRUE(taxa->contains("it's a label"));
+  EXPECT_EQ(t.num_leaves(), 4u);
+}
+
+TEST(NewickParseTest, CommentsIgnored) {
+  TaxonSetPtr taxa;
+  const Tree t =
+      test::tree_of("((A[&support=1.0],B),(C,D))[nested [comment]];", taxa);
+  EXPECT_EQ(t.num_leaves(), 4u);
+  EXPECT_EQ(taxa->size(), 4u);
+}
+
+TEST(NewickParseTest, InternalLabelsIgnored) {
+  TaxonSetPtr taxa;
+  const Tree t = test::tree_of("((A,B)90:0.1,(C,D)85:0.2);", taxa);
+  EXPECT_EQ(t.num_leaves(), 4u);
+  EXPECT_EQ(taxa->size(), 4u);  // 90/85 are not taxa
+}
+
+TEST(NewickParseTest, WhitespaceTolerant) {
+  TaxonSetPtr taxa;
+  const Tree t = test::tree_of("  ( ( A , B ) ,\n ( C , D ) ) ;\n", taxa);
+  EXPECT_EQ(t.num_leaves(), 4u);
+}
+
+TEST(NewickParseTest, SingleLeaf) {
+  TaxonSetPtr taxa;
+  const Tree t = test::tree_of("A;", taxa);
+  EXPECT_EQ(t.num_leaves(), 1u);
+  EXPECT_TRUE(t.is_leaf(t.root()));
+}
+
+TEST(NewickParseTest, MissingSemicolonAccepted) {
+  TaxonSetPtr taxa;
+  const Tree t = test::tree_of("((A,B),(C,D))", taxa);
+  EXPECT_EQ(t.num_leaves(), 4u);
+}
+
+TEST(NewickParseTest, MalformedInputsThrow) {
+  TaxonSetPtr taxa = std::make_shared<TaxonSet>();
+  EXPECT_THROW((void)parse_newick("", taxa), ParseError);
+  EXPECT_THROW((void)parse_newick("((A,B);", taxa), ParseError);
+  EXPECT_THROW((void)parse_newick("(A,B));", taxa), ParseError);
+  EXPECT_THROW((void)parse_newick("(A,,B);", taxa), ParseError);
+  EXPECT_THROW((void)parse_newick("(A:x,B);", taxa), ParseError);
+  EXPECT_THROW((void)parse_newick("(A,'unterminated);", taxa), ParseError);
+  EXPECT_THROW((void)parse_newick("(A,B)[unclosed;", taxa), ParseError);
+  EXPECT_THROW((void)parse_newick(";", taxa), ParseError);
+  EXPECT_THROW((void)parse_newick("(,);", taxa), ParseError);
+}
+
+TEST(NewickParseTest, FrozenTaxonSetRejectsUnknownTaxa) {
+  auto taxa = std::make_shared<TaxonSet>(
+      std::vector<std::string>{"A", "B", "C", "D"});
+  taxa->freeze();
+  EXPECT_NO_THROW((void)parse_newick("((A,B),(C,D));", taxa));
+  EXPECT_THROW((void)parse_newick("((A,B),(C,E));", taxa), InvalidArgument);
+}
+
+TEST(NewickParseTest, RequireFullTaxonSet) {
+  auto taxa = std::make_shared<TaxonSet>(
+      std::vector<std::string>{"A", "B", "C", "D"});
+  const NewickParseOptions opts{.require_full_taxon_set = true};
+  EXPECT_NO_THROW((void)parse_newick("((A,B),(C,D));", taxa, opts));
+  EXPECT_THROW((void)parse_newick("(A,(B,C));", taxa, opts), ParseError);
+}
+
+TEST(NewickParseTest, UnaryNodesSuppressed) {
+  TaxonSetPtr taxa;
+  const Tree t = test::tree_of("(((A,B)));", taxa);  // extra wrapping parens
+  EXPECT_EQ(t.num_leaves(), 2u);
+  EXPECT_EQ(t.num_children(t.root()), 2u);
+  // Wrapping parens create unary chains; after suppression the tree is the
+  // 2-leaf tree.
+  TaxonSetPtr taxa2;
+  const Tree t2 = test::tree_of("(((A,B)),(C));", taxa2);
+  EXPECT_EQ(t2.num_leaves(), 3u);
+  t2.validate();
+  for (NodeId id = 0; id < static_cast<NodeId>(t2.num_nodes()); ++id) {
+    if (!t2.is_leaf(id)) {
+      EXPECT_GE(t2.num_children(id), 2u);
+    }
+  }
+}
+
+TEST(NewickWriteTest, RoundTripTopology) {
+  TaxonSetPtr taxa;
+  const Tree t = test::tree_of("((A:1,B:2):0.5,(C:3,D:4):0.5,E:9);", taxa);
+  const std::string out = write_newick(t);
+  const Tree t2 = parse_newick(out, taxa);
+  EXPECT_EQ(t2.num_leaves(), t.num_leaves());
+  EXPECT_EQ(write_newick(t2), out);  // fixed point after one round trip
+}
+
+TEST(NewickWriteTest, QuotesSpecialLabels) {
+  TaxonSetPtr taxa = std::make_shared<TaxonSet>();
+  Tree t(taxa);
+  const NodeId root = t.add_root();
+  t.add_leaf(root, taxa->add_or_get("needs quote"));
+  t.add_leaf(root, taxa->add_or_get("it's"));
+  t.add_leaf(root, taxa->add_or_get("plain"));
+  const std::string out = write_newick(t);
+  EXPECT_NE(out.find("'needs quote'"), std::string::npos);
+  EXPECT_NE(out.find("'it''s'"), std::string::npos);
+  // Round trip preserves the labels.
+  TaxonSetPtr taxa2 = std::make_shared<TaxonSet>();
+  (void)parse_newick(out, taxa2);
+  EXPECT_TRUE(taxa2->contains("needs quote"));
+  EXPECT_TRUE(taxa2->contains("it's"));
+}
+
+TEST(NewickWriteTest, LengthsOmittedOnRequest) {
+  TaxonSetPtr taxa;
+  const Tree t = test::tree_of("((A:1,B:2):0.5,(C,D));", taxa);
+  const std::string out =
+      write_newick(t, NewickWriteOptions{.write_lengths = false});
+  EXPECT_EQ(out.find(':'), std::string::npos);
+}
+
+TEST(NewickReaderTest, StreamsMultipleTrees) {
+  std::istringstream in("((A,B),(C,D));\n((A,C),(B,D));\n((A,D),(B,C));\n");
+  auto taxa = std::make_shared<TaxonSet>();
+  NewickReader reader(in, taxa);
+  std::size_t count = 0;
+  while (auto t = reader.next()) {
+    EXPECT_EQ(t->num_leaves(), 4u);
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(reader.count(), 3u);
+}
+
+TEST(NewickReaderTest, HandlesSemicolonInQuotesAndComments) {
+  std::istringstream in("(('a;b',B),(C,D));((A[;],B),(C,D));");
+  auto taxa = std::make_shared<TaxonSet>();
+  NewickReader reader(in, taxa);
+  std::size_t count = 0;
+  while (auto t = reader.next()) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_TRUE(taxa->contains("a;b"));
+}
+
+TEST(NewickReaderTest, TrailingRecordWithoutSemicolon) {
+  std::istringstream in("((A,B),(C,D));((A,C),(B,D))");
+  auto taxa = std::make_shared<TaxonSet>();
+  NewickReader reader(in, taxa);
+  std::size_t count = 0;
+  while (auto t = reader.next()) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(NewickFileTest, WriteReadRoundTrip) {
+  const auto taxa = TaxonSet::make_numbered(20);
+  util::Rng rng(3);
+  const auto trees = test::random_collection(taxa, 10, 3, rng, true);
+
+  const std::string path = ::testing::TempDir() + "/bfhrf_newick_rt.nwk";
+  write_newick_file(path, trees);
+  auto taxa2 = std::make_shared<TaxonSet>();
+  const auto back = read_newick_file(path, taxa2);
+  ASSERT_EQ(back.size(), trees.size());
+  EXPECT_EQ(taxa2->size(), taxa->size());
+  for (const auto& t : back) {
+    EXPECT_EQ(t.num_leaves(), 20u);
+  }
+}
+
+TEST(NewickFileTest, MissingFileThrows) {
+  auto taxa = std::make_shared<TaxonSet>();
+  EXPECT_THROW((void)read_newick_file("/nonexistent/x.nwk", taxa),
+               ParseError);
+}
+
+TEST(NewickParseTest, LargeRandomTreesRoundTrip) {
+  const auto taxa = TaxonSet::make_numbered(500);
+  util::Rng rng(11);
+  for (int rep = 0; rep < 5; ++rep) {
+    const Tree t = sim::uniform_tree(taxa, rng);
+    const std::string s = write_newick(t);
+    const Tree back = parse_newick(s, taxa);
+    EXPECT_EQ(back.num_leaves(), 500u);
+    EXPECT_EQ(write_newick(back), s);
+  }
+}
+
+}  // namespace
+}  // namespace bfhrf::phylo

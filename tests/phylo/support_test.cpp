@@ -1,0 +1,171 @@
+// Support-value plumbing: parsing numeric internal labels, writing them
+// back, surviving tree rebuilds, and feeding the support-weighted engine.
+#include <gtest/gtest.h>
+
+#include "core/bfhrf.hpp"
+#include "core/branch_score.hpp"
+#include "core/consensus.hpp"
+#include "phylo/bipartition.hpp"
+#include "phylo/newick.hpp"
+#include "support/test_util.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::phylo {
+namespace {
+
+TEST(SupportTest, NumericInternalLabelsParsed) {
+  TaxonSetPtr taxa;
+  const Tree t = test::tree_of("((A,B)95:0.1,(C,D)87.5:0.2,E);", taxa);
+  std::size_t with_support = 0;
+  double total = 0;
+  for (NodeId id = 0; id < static_cast<NodeId>(t.num_nodes()); ++id) {
+    if (t.node(id).has_support) {
+      ++with_support;
+      total += t.node(id).support;
+    }
+  }
+  EXPECT_EQ(with_support, 2u);
+  EXPECT_DOUBLE_EQ(total, 95 + 87.5);
+}
+
+TEST(SupportTest, NonNumericInternalLabelsIgnored) {
+  TaxonSetPtr taxa;
+  const Tree t = test::tree_of("((A,B)cladeX,(C,D));", taxa);
+  for (NodeId id = 0; id < static_cast<NodeId>(t.num_nodes()); ++id) {
+    EXPECT_FALSE(t.node(id).has_support);
+  }
+  // And "cladeX" must not become a taxon.
+  EXPECT_EQ(taxa->size(), 4u);
+}
+
+TEST(SupportTest, WriterEmitsSupportOnRequest) {
+  TaxonSetPtr taxa;
+  const Tree t = test::tree_of("((A,B)95:0.5,(C,D)80:0.25);", taxa);
+  const std::string without = write_newick(t);
+  EXPECT_EQ(without.find("95"), std::string::npos);
+  const std::string with =
+      write_newick(t, NewickWriteOptions{.write_support = true});
+  EXPECT_NE(with.find(")95"), std::string::npos);
+  EXPECT_NE(with.find(")80"), std::string::npos);
+
+  // Round trip: re-parsing recovers the same support values.
+  TaxonSetPtr taxa2;
+  const Tree back = test::tree_of(with, taxa2);
+  double total = 0;
+  for (NodeId id = 0; id < static_cast<NodeId>(back.num_nodes()); ++id) {
+    if (back.node(id).has_support) {
+      total += back.node(id).support;
+    }
+  }
+  EXPECT_DOUBLE_EQ(total, 95 + 80);
+}
+
+TEST(SupportTest, SupportSurvivesUnarySuppression) {
+  TaxonSetPtr taxa;
+  const Tree t = test::tree_of("(((A,B)90),(C,D)70);", taxa);
+  double total = 0;
+  for (NodeId id = 0; id < static_cast<NodeId>(t.num_nodes()); ++id) {
+    if (t.node(id).has_support) {
+      total += t.node(id).support;
+    }
+  }
+  EXPECT_DOUBLE_EQ(total, 90 + 70);
+}
+
+TEST(SupportTest, ExtractionAttachesSupportValues) {
+  TaxonSetPtr taxa;
+  const Tree t = test::tree_of("((A,B)90,(C,D)70,E);", taxa);
+  const auto bips = extract_bipartitions(
+      t, BipartitionOptions{.value = SplitValue::Support});
+  ASSERT_EQ(bips.size(), 2u);
+  EXPECT_TRUE(bips.has_values());
+  double total = 0;
+  for (std::size_t i = 0; i < bips.size(); ++i) {
+    total += bips.value(i);
+  }
+  EXPECT_DOUBLE_EQ(total, 90 + 70);
+}
+
+TEST(SupportTest, RootedDuplicateTakesMaxSupport) {
+  // Rooted-degree-2 tree: both root children describe the same unrooted
+  // split; support merges by max, not sum.
+  TaxonSetPtr taxa;
+  const Tree t = test::tree_of("((A,B)88,((C,D)70,E)92);", taxa);
+  const auto bips = extract_bipartitions(
+      t, BipartitionOptions{.value = SplitValue::Support});
+  // Splits: {A,B}-canonical (dup of {C,D,E} side) and {C,D}.
+  ASSERT_EQ(bips.size(), 2u);
+  double max_seen = 0;
+  for (std::size_t i = 0; i < bips.size(); ++i) {
+    max_seen = std::max(max_seen, bips.value(i));
+  }
+  EXPECT_DOUBLE_EQ(max_seen, 92.0);  // max(88, 92), never 180
+}
+
+TEST(SupportTest, SupportWeightedScoreAgreesWithOracle) {
+  // Build support-annotated collections and compare the engine against the
+  // sequential oracle with SplitValue::Support.
+  const auto taxa = TaxonSet::make_numbered(12);
+  util::Rng rng(3);
+  std::vector<Tree> reference;
+  for (int i = 0; i < 12; ++i) {
+    Tree t = sim::yule_tree(taxa, rng);
+    sim::perturb(t, rng, 2);
+    for (NodeId id = 0; id < static_cast<NodeId>(t.num_nodes()); ++id) {
+      if (!t.is_leaf(id) && !t.is_root(id)) {
+        t.set_support(id, 50.0 + rng.uniform01() * 50.0);
+      }
+    }
+    reference.push_back(std::move(t));
+  }
+  const core::BranchScoreOptions opts{
+      .threads = 2, .include_trivial = false,
+      .value = SplitValue::Support};
+  core::BranchScoreBfhrf engine(taxa->size(), opts);
+  engine.build(reference);
+  const auto fast = engine.query(reference);
+  const auto slow = core::sequential_avg_branch_score(reference, reference,
+                                                      opts);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_NEAR(fast[i], slow[i], 1e-9 * (1.0 + slow[i]));
+  }
+}
+
+TEST(SupportTest, UnannotatedTreesRejectedBySupportEngine) {
+  const auto taxa = TaxonSet::make_numbered(10);
+  util::Rng rng(4);
+  const std::vector<Tree> bare{sim::yule_tree(taxa, rng)};
+  core::BranchScoreBfhrf engine(
+      taxa->size(),
+      core::BranchScoreOptions{.value = SplitValue::Support});
+  EXPECT_THROW(engine.build(bare), InvalidArgument);
+}
+
+TEST(SupportTest, ConsensusAnnotatesCladeFrequencies) {
+  const auto taxa = TaxonSet::make_numbered(10);
+  util::Rng rng(5);
+  const Tree base = sim::yule_tree(taxa, rng);
+  std::vector<Tree> trees(8, base);
+  sim::perturb(trees[7], rng, 5);  // one deviant
+
+  core::Bfhrf engine(taxa->size());
+  engine.build(trees);
+  const Tree cons =
+      core::consensus_tree(engine.store(), trees.size(), taxa);
+  std::size_t annotated = 0;
+  for (NodeId id = 0; id < static_cast<NodeId>(cons.num_nodes()); ++id) {
+    if (cons.node(id).has_support) {
+      ++annotated;
+      EXPECT_GT(cons.node(id).support, 50.0);   // majority rule
+      EXPECT_LE(cons.node(id).support, 100.0);
+    }
+  }
+  EXPECT_GT(annotated, 0u);
+  // And write_newick(write_support) emits them.
+  const std::string s =
+      write_newick(cons, NewickWriteOptions{.write_support = true});
+  EXPECT_NE(s.find("100"), std::string::npos);  // unanimous clades exist
+}
+
+}  // namespace
+}  // namespace bfhrf::phylo

@@ -1,0 +1,68 @@
+#include "phylo/taxon_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace bfhrf::phylo {
+namespace {
+
+TEST(TaxonSetTest, AddAssignsSequentialIndices) {
+  TaxonSet ts;
+  EXPECT_EQ(ts.add_or_get("A"), 0);
+  EXPECT_EQ(ts.add_or_get("B"), 1);
+  EXPECT_EQ(ts.add_or_get("A"), 0);  // idempotent
+  EXPECT_EQ(ts.size(), 2u);
+}
+
+TEST(TaxonSetTest, ConstructFromLabels) {
+  const TaxonSet ts({"C", "A", "B"});
+  EXPECT_EQ(ts.index_of("C"), 0);
+  EXPECT_EQ(ts.index_of("A"), 1);
+  EXPECT_EQ(ts.index_of("B"), 2);
+  EXPECT_EQ(ts.label_of(2), "B");
+}
+
+TEST(TaxonSetTest, DuplicateLabelsRejected) {
+  EXPECT_THROW(TaxonSet({"A", "A"}), InvalidArgument);
+}
+
+TEST(TaxonSetTest, FindAndContains) {
+  TaxonSet ts({"x", "y"});
+  EXPECT_TRUE(ts.contains("x"));
+  EXPECT_FALSE(ts.contains("z"));
+  EXPECT_EQ(ts.find("y"), 1);
+  EXPECT_EQ(ts.find("z"), std::nullopt);
+  EXPECT_THROW((void)ts.index_of("z"), InvalidArgument);
+}
+
+TEST(TaxonSetTest, LabelOfRangeChecked) {
+  const TaxonSet ts({"a"});
+  EXPECT_THROW((void)ts.label_of(-1), InvalidArgument);
+  EXPECT_THROW((void)ts.label_of(1), InvalidArgument);
+}
+
+TEST(TaxonSetTest, FrozenRejectsNewLabels) {
+  TaxonSet ts({"a", "b"});
+  ts.freeze();
+  EXPECT_TRUE(ts.frozen());
+  EXPECT_EQ(ts.add_or_get("a"), 0);  // existing labels still resolve
+  EXPECT_THROW((void)ts.add_or_get("c"), InvalidArgument);
+}
+
+TEST(TaxonSetTest, MakeNumbered) {
+  const auto ts = TaxonSet::make_numbered(5, "sp");
+  EXPECT_EQ(ts->size(), 5u);
+  EXPECT_EQ(ts->label_of(0), "sp0");
+  EXPECT_EQ(ts->label_of(4), "sp4");
+}
+
+TEST(TaxonSetTest, LabelsPreserveInsertionOrder) {
+  TaxonSet ts;
+  ts.add_or_get("zebra");
+  ts.add_or_get("ant");
+  EXPECT_EQ(ts.labels(), (std::vector<std::string>{"zebra", "ant"}));
+}
+
+}  // namespace
+}  // namespace bfhrf::phylo

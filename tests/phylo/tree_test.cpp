@@ -1,0 +1,200 @@
+#include "phylo/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "phylo/newick.hpp"
+#include "support/test_util.hpp"
+
+namespace bfhrf::phylo {
+namespace {
+
+Tree build_quartet(TaxonSetPtr& taxa) {
+  // ((A,B),(C,D)) rooted.
+  taxa = std::make_shared<TaxonSet>(
+      std::vector<std::string>{"A", "B", "C", "D"});
+  Tree t(taxa);
+  const NodeId root = t.add_root();
+  const NodeId left = t.add_child(root);
+  const NodeId right = t.add_child(root);
+  t.add_leaf(left, 0);
+  t.add_leaf(left, 1);
+  t.add_leaf(right, 2);
+  t.add_leaf(right, 3);
+  return t;
+}
+
+TEST(TreeTest, BuildAndCounts) {
+  TaxonSetPtr taxa;
+  const Tree t = build_quartet(taxa);
+  EXPECT_EQ(t.num_nodes(), 7u);
+  EXPECT_EQ(t.num_leaves(), 4u);
+  EXPECT_TRUE(t.is_binary());
+  EXPECT_FALSE(t.is_multifurcating());
+  t.validate();
+}
+
+TEST(TreeTest, ChildrenOrder) {
+  TaxonSetPtr taxa;
+  const Tree t = build_quartet(taxa);
+  const auto kids = t.children(t.root());
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(t.num_children(t.root()), 2u);
+  EXPECT_FALSE(t.is_leaf(kids[0]));
+}
+
+TEST(TreeTest, PostorderChildrenBeforeParents) {
+  TaxonSetPtr taxa;
+  const Tree t = build_quartet(taxa);
+  const auto order = t.postorder();
+  ASSERT_EQ(order.size(), t.num_nodes());
+  std::vector<int> position(t.num_nodes(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (NodeId id = 0; id < static_cast<NodeId>(t.num_nodes()); ++id) {
+    if (!t.is_root(id)) {
+      EXPECT_LT(position[static_cast<std::size_t>(id)],
+                position[static_cast<std::size_t>(t.node(id).parent)]);
+    }
+  }
+  EXPECT_EQ(order.back(), t.root());
+}
+
+TEST(TreeTest, LeavesAndTaxa) {
+  TaxonSetPtr taxa;
+  const Tree t = build_quartet(taxa);
+  EXPECT_EQ(t.leaves().size(), 4u);
+  EXPECT_EQ(t.leaf_taxa_sorted(), (std::vector<TaxonId>{0, 1, 2, 3}));
+}
+
+TEST(TreeTest, DerootMergesDegreeTwoRoot) {
+  TaxonSetPtr taxa;
+  Tree t = build_quartet(taxa);
+  EXPECT_EQ(t.num_children(t.root()), 2u);
+  t.deroot();
+  EXPECT_EQ(t.num_children(t.root()), 3u);
+  EXPECT_EQ(t.num_leaves(), 4u);
+  EXPECT_TRUE(t.is_binary());
+  t.validate();
+  // Derooting twice is a no-op.
+  const std::size_t nodes = t.num_nodes();
+  t.deroot();
+  EXPECT_EQ(t.num_nodes(), nodes);
+}
+
+TEST(TreeTest, DerootSumsBranchLengths) {
+  TaxonSetPtr taxa;
+  const Tree parsed = test::tree_of("((A:1,B:1):2,(C:1,D:1):3);", taxa);
+  Tree t = parsed;
+  t.deroot();
+  // The two root edges (2 and 3) merge into one edge of length 5.
+  double merged = 0;
+  t.for_each_child(t.root(), [&](NodeId c) {
+    if (!t.is_leaf(c)) {
+      merged = t.node(c).length;
+    }
+  });
+  EXPECT_DOUBLE_EQ(merged, 5.0);
+}
+
+TEST(TreeTest, SuppressUnaryMergesChains) {
+  const auto taxa =
+      std::make_shared<TaxonSet>(std::vector<std::string>{"A", "B"});
+  Tree t(taxa);
+  const NodeId root = t.add_root();
+  const NodeId u1 = t.add_child(root);   // unary chain root->u1->u2
+  const NodeId u2 = t.add_child(u1);
+  t.set_length(u1, 1.0);
+  t.set_length(u2, 2.0);
+  const NodeId a = t.add_leaf(u2, 0);
+  const NodeId b = t.add_leaf(u2, 1);
+  t.set_length(a, 0.5);
+  t.set_length(b, 0.5);
+
+  t.suppress_unary();
+  t.validate();
+  EXPECT_EQ(t.num_leaves(), 2u);
+  // root had one child (u1); u1 one child (u2) -> root absorbs the chain.
+  EXPECT_EQ(t.num_children(t.root()), 2u);
+  EXPECT_EQ(t.num_nodes(), 3u);
+}
+
+TEST(TreeTest, SplitEdgeInsertLeaf) {
+  TaxonSetPtr taxa;
+  Tree t = build_quartet(taxa);
+  const TaxonId new_taxon = t.taxa()->add_or_get("E");
+
+  // Split above the leaf carrying taxon 2 (C).
+  NodeId c_leaf = kNoNode;
+  for (const NodeId leaf : t.leaves()) {
+    if (t.node(leaf).taxon == 2) {
+      c_leaf = leaf;
+    }
+  }
+  ASSERT_NE(c_leaf, kNoNode);
+  const NodeId new_leaf = t.split_edge_insert_leaf(c_leaf, new_taxon);
+  EXPECT_EQ(t.node(new_leaf).taxon, new_taxon);
+  EXPECT_EQ(t.num_leaves(), 5u);
+  EXPECT_TRUE(t.is_binary());
+  t.validate();
+}
+
+TEST(TreeTest, SplitEdgeAtRootThrows) {
+  TaxonSetPtr taxa;
+  Tree t = build_quartet(taxa);
+  EXPECT_THROW((void)t.split_edge_insert_leaf(t.root(), 0), InvalidArgument);
+}
+
+TEST(TreeTest, NumInternalEdges) {
+  TaxonSetPtr taxa;
+  Tree t = build_quartet(taxa);
+  // ((A,B),(C,D)): one real internal edge (the rooted duplicate discounted).
+  EXPECT_EQ(t.num_internal_edges(), 1u);
+  t.deroot();
+  EXPECT_EQ(t.num_internal_edges(), 1u);
+}
+
+TEST(TreeTest, ValidateCatchesDuplicateTaxa) {
+  const auto taxa =
+      std::make_shared<TaxonSet>(std::vector<std::string>{"A", "B"});
+  Tree t(taxa);
+  const NodeId root = t.add_root();
+  t.add_leaf(root, 0);
+  t.add_leaf(root, 0);
+  EXPECT_THROW(t.validate(), InvariantError);
+}
+
+TEST(TreeTest, ValidateCatchesEmptyTree) {
+  Tree t;
+  EXPECT_THROW(t.validate(), InvariantError);
+}
+
+TEST(TreeTest, MemoryBytesGrowsWithNodes) {
+  TaxonSetPtr taxa;
+  const Tree t = build_quartet(taxa);
+  EXPECT_GE(t.memory_bytes(), t.num_nodes() * sizeof(Tree::Node));
+}
+
+TEST(TreeTest, CopySemantics) {
+  TaxonSetPtr taxa;
+  const Tree t = build_quartet(taxa);
+  Tree copy = t;
+  copy.deroot();
+  EXPECT_EQ(t.num_children(t.root()), 2u);   // original untouched
+  EXPECT_EQ(copy.num_children(copy.root()), 3u);
+  EXPECT_EQ(copy.taxa(), t.taxa());          // taxon set shared
+}
+
+TEST(TreeTest, DeepCaterpillarPostorderDoesNotOverflow) {
+  const auto taxa = TaxonSet::make_numbered(5000);
+  util::Rng rng(1);
+  const Tree t = sim::caterpillar_tree(taxa, rng);
+  EXPECT_EQ(t.num_leaves(), 5000u);
+  EXPECT_EQ(t.postorder().size(), t.num_nodes());
+  t.validate();
+}
+
+}  // namespace
+}  // namespace bfhrf::phylo

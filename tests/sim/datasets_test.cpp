@@ -1,0 +1,85 @@
+#include "sim/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/bfhrf.hpp"
+#include "phylo/newick.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::sim {
+namespace {
+
+TEST(DatasetsTest, SpecsMatchPaperTable2) {
+  EXPECT_EQ(avian_like().n_taxa, 48u);
+  EXPECT_EQ(avian_like().n_trees, 14446u);
+  EXPECT_EQ(insect_like().n_taxa, 144u);
+  EXPECT_EQ(insect_like().n_trees, 149278u);
+  EXPECT_FALSE(insect_like().branch_lengths);  // unweighted
+  EXPECT_EQ(variable_trees(1000).n_taxa, 100u);
+  EXPECT_EQ(variable_species(250).n_trees, 1000u);
+}
+
+TEST(DatasetsTest, GenerateProducesRequestedShape) {
+  const Dataset ds = generate(avian_like(50));
+  EXPECT_EQ(ds.taxa->size(), 48u);
+  EXPECT_EQ(ds.trees.size(), 50u);
+  for (const auto& t : ds.trees) {
+    EXPECT_EQ(t.num_leaves(), 48u);
+    EXPECT_TRUE(t.is_binary());
+    t.validate();
+  }
+}
+
+TEST(DatasetsTest, DeterministicAcrossCalls) {
+  const Dataset a = generate(variable_trees(20));
+  const Dataset b = generate(variable_trees(20));
+  ASSERT_EQ(a.trees.size(), b.trees.size());
+  for (std::size_t i = 0; i < a.trees.size(); ++i) {
+    EXPECT_EQ(phylo::write_newick(a.trees[i]),
+              phylo::write_newick(b.trees[i]));
+  }
+}
+
+TEST(DatasetsTest, CollectionIsClusteredNotIdentical) {
+  // Perturbed collections must be near the base tree but not all equal —
+  // the "centralized distribution" the paper leans on (§VI-C).
+  const Dataset ds = generate(variable_trees(30));
+  core::Bfhrf engine(ds.taxa->size());
+  engine.build(ds.trees);
+  const auto stats = engine.stats();
+  const std::size_t per_tree = ds.taxa->size() - 3;
+  // Not identical: more unique splits than one tree's worth...
+  EXPECT_GT(stats.unique_bipartitions, per_tree);
+  // ...but strongly clustered: far fewer than r distinct trees' worth.
+  EXPECT_LT(stats.unique_bipartitions, 30u * per_tree / 2);
+}
+
+TEST(DatasetsTest, InsectLikeIsUnweighted) {
+  const Dataset ds = generate(insect_like(5));
+  for (const auto& t : ds.trees) {
+    for (phylo::NodeId id = 0; id < static_cast<phylo::NodeId>(t.num_nodes());
+         ++id) {
+      EXPECT_FALSE(t.node(id).has_length);
+    }
+  }
+}
+
+TEST(DatasetsTest, GenerateToFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/bfhrf_dataset.nwk";
+  const auto taxa = generate_to_file(variable_trees(12), path);
+  auto taxa2 = std::make_shared<phylo::TaxonSet>();
+  const auto back = phylo::read_newick_file(path, taxa2);
+  EXPECT_EQ(back.size(), 12u);
+  EXPECT_EQ(taxa2->size(), taxa->size());
+}
+
+TEST(DatasetsTest, InvalidSpecThrows) {
+  DatasetSpec bad = variable_trees(0);
+  EXPECT_THROW((void)generate(bad), InvalidArgument);
+  DatasetSpec tiny = variable_trees(5);
+  tiny.n_taxa = 3;
+  EXPECT_THROW((void)generate(tiny), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bfhrf::sim

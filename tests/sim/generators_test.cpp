@@ -1,0 +1,167 @@
+#include "sim/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "phylo/bipartition.hpp"
+#include "phylo/newick.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::sim {
+namespace {
+
+using phylo::TaxonSet;
+using phylo::Tree;
+
+class GeneratorSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GeneratorSweep, YuleTreesAreValidBinary) {
+  const std::size_t n = GetParam();
+  const auto taxa = TaxonSet::make_numbered(n);
+  util::Rng rng(n);
+  const Tree t = yule_tree(taxa, rng);
+  t.validate();
+  EXPECT_EQ(t.num_leaves(), n);
+  EXPECT_TRUE(t.is_binary());
+  if (n >= 4) {
+    EXPECT_EQ(t.num_children(t.root()), 3u);  // canonical unrooted
+  }
+}
+
+TEST_P(GeneratorSweep, UniformTreesAreValidBinary) {
+  const std::size_t n = GetParam();
+  const auto taxa = TaxonSet::make_numbered(n);
+  util::Rng rng(n + 1);
+  const Tree t = uniform_tree(taxa, rng);
+  t.validate();
+  EXPECT_EQ(t.num_leaves(), n);
+  EXPECT_TRUE(t.is_binary());
+}
+
+TEST_P(GeneratorSweep, CaterpillarIsValid) {
+  const std::size_t n = GetParam();
+  const auto taxa = TaxonSet::make_numbered(n);
+  util::Rng rng(n + 2);
+  const Tree t = caterpillar_tree(taxa, rng);
+  t.validate();
+  EXPECT_EQ(t.num_leaves(), n);
+  EXPECT_TRUE(t.is_binary());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeneratorSweep,
+                         ::testing::Values(4, 5, 6, 10, 48, 100, 144, 500));
+
+TEST(GeneratorsTest, DeterministicFromSeed) {
+  const auto taxa = TaxonSet::make_numbered(30);
+  util::Rng rng1(42);
+  util::Rng rng2(42);
+  const Tree a = yule_tree(taxa, rng1);
+  const Tree b = yule_tree(taxa, rng2);
+  EXPECT_EQ(phylo::write_newick(a), phylo::write_newick(b));
+}
+
+TEST(GeneratorsTest, DifferentSeedsGiveDifferentTopologies) {
+  const auto taxa = TaxonSet::make_numbered(30);
+  util::Rng rng1(1);
+  util::Rng rng2(2);
+  const Tree a = yule_tree(taxa, rng1);
+  const Tree b = yule_tree(taxa, rng2);
+  EXPECT_NE(phylo::write_newick(a), phylo::write_newick(b));
+}
+
+TEST(GeneratorsTest, BranchLengthsOptional) {
+  const auto taxa = TaxonSet::make_numbered(20);
+  util::Rng rng(3);
+  const Tree bare = yule_tree(taxa, rng);
+  for (phylo::NodeId id = 0; id < static_cast<phylo::NodeId>(bare.num_nodes());
+       ++id) {
+    EXPECT_FALSE(bare.node(id).has_length);
+  }
+  const Tree weighted =
+      yule_tree(taxa, rng, GeneratorOptions{.branch_lengths = true});
+  for (phylo::NodeId id = 0;
+       id < static_cast<phylo::NodeId>(weighted.num_nodes()); ++id) {
+    if (!weighted.is_root(id)) {
+      EXPECT_TRUE(weighted.node(id).has_length);
+      EXPECT_GT(weighted.node(id).length, 0.0);
+    }
+  }
+}
+
+TEST(GeneratorsTest, UniformSpansManyTopologies) {
+  // 100 draws on 8 taxa should hit many distinct topologies.
+  const auto taxa = TaxonSet::make_numbered(8);
+  util::Rng rng(4);
+  std::set<std::string> seen;
+  for (int i = 0; i < 100; ++i) {
+    Tree t = uniform_tree(taxa, rng);
+    t.deroot();
+    // Canonical string via sorted bipartitions.
+    const auto bips = phylo::extract_bipartitions(t);
+    std::string key;
+    for (std::size_t b = 0; b < bips.size(); ++b) {
+      key += bips.bitset(b).to_string() + "|";
+    }
+    seen.insert(key);
+  }
+  EXPECT_GT(seen.size(), 30u);
+}
+
+TEST(GeneratorsTest, MultifurcatingContractionReducesSplits) {
+  const auto taxa = TaxonSet::make_numbered(64);
+  util::Rng rng(5);
+  const Tree none = multifurcating_tree(taxa, rng, 0.0);
+  EXPECT_TRUE(none.is_binary());
+  const Tree heavy = multifurcating_tree(taxa, rng, 0.9);
+  heavy.validate();
+  EXPECT_EQ(heavy.num_leaves(), 64u);
+  EXPECT_LT(phylo::extract_bipartitions(heavy).size(),
+            phylo::extract_bipartitions(none).size());
+}
+
+TEST(GeneratorsTest, TinyTaxonSets) {
+  for (std::size_t n : {1u, 2u, 3u}) {
+    const auto taxa = TaxonSet::make_numbered(n);
+    util::Rng rng(n);
+    const Tree t = yule_tree(taxa, rng);
+    EXPECT_EQ(t.num_leaves(), n);
+    t.validate();
+  }
+}
+
+TEST(GeneratorsTest, EmptyTaxonSetThrows) {
+  const auto taxa = std::make_shared<TaxonSet>();
+  util::Rng rng(1);
+  EXPECT_THROW((void)yule_tree(taxa, rng), InvalidArgument);
+  EXPECT_THROW((void)uniform_tree(taxa, rng), InvalidArgument);
+  EXPECT_THROW((void)caterpillar_tree(taxa, rng), InvalidArgument);
+}
+
+TEST(GeneratorsTest, YuleIsMoreBalancedThanCaterpillar) {
+  // Sackin-like check: sum of leaf depths lower for Yule on average.
+  const auto taxa = TaxonSet::make_numbered(64);
+  util::Rng rng(6);
+  const auto depth_sum = [](const Tree& t) {
+    std::size_t total = 0;
+    for (const auto leaf : t.leaves()) {
+      std::size_t d = 0;
+      for (phylo::NodeId cur = leaf; !t.is_root(cur);
+           cur = t.node(cur).parent) {
+        ++d;
+      }
+      total += d;
+    }
+    return total;
+  };
+  std::size_t yule_total = 0;
+  std::size_t cat_total = 0;
+  for (int i = 0; i < 10; ++i) {
+    yule_total += depth_sum(yule_tree(taxa, rng));
+    cat_total += depth_sum(caterpillar_tree(taxa, rng));
+  }
+  EXPECT_LT(yule_total, cat_total);
+}
+
+}  // namespace
+}  // namespace bfhrf::sim

@@ -1,0 +1,110 @@
+#include "sim/moves.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/rf.hpp"
+#include "sim/generators.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::sim {
+namespace {
+
+using phylo::TaxonSet;
+using phylo::Tree;
+
+TEST(MovesTest, NniPreservesLeavesAndBinary) {
+  const auto taxa = TaxonSet::make_numbered(20);
+  util::Rng rng(1);
+  Tree t = yule_tree(taxa, rng);
+  for (int i = 0; i < 30; ++i) {
+    random_nni(t, rng);
+    t.validate();
+    EXPECT_EQ(t.num_leaves(), 20u);
+    EXPECT_TRUE(t.is_binary());
+  }
+}
+
+TEST(MovesTest, NniChangesRfByAtMostTwo) {
+  const auto taxa = TaxonSet::make_numbered(24);
+  util::Rng rng(2);
+  for (int rep = 0; rep < 20; ++rep) {
+    const Tree base = yule_tree(taxa, rng);
+    Tree moved = base;
+    random_nni(moved, rng);
+    EXPECT_LE(core::rf_distance(base, moved), 2u);
+  }
+}
+
+TEST(MovesTest, SprPreservesLeavesAndBinary) {
+  const auto taxa = TaxonSet::make_numbered(20);
+  util::Rng rng(3);
+  Tree t = yule_tree(taxa, rng);
+  for (int i = 0; i < 30; ++i) {
+    random_spr_leaf(t, rng);
+    t.validate();
+    EXPECT_EQ(t.num_leaves(), 20u);
+    EXPECT_TRUE(t.is_binary());
+    EXPECT_EQ(t.leaf_taxa_sorted().size(), 20u);
+  }
+}
+
+TEST(MovesTest, SprOnTinyTreeIsNoOp) {
+  const auto taxa = TaxonSet::make_numbered(3);
+  util::Rng rng(4);
+  Tree t = yule_tree(taxa, rng);
+  const std::size_t nodes = t.num_nodes();
+  random_spr_leaf(t, rng);
+  EXPECT_EQ(t.num_nodes(), nodes);
+}
+
+TEST(MovesTest, PerturbZeroMovesIsIdentity) {
+  const auto taxa = TaxonSet::make_numbered(15);
+  util::Rng rng(5);
+  const Tree base = yule_tree(taxa, rng);
+  Tree t = base;
+  perturb(t, rng, 0);
+  EXPECT_EQ(core::rf_distance(base, t), 0u);
+}
+
+TEST(MovesTest, MoreMovesMeansLargerExpectedDistance) {
+  const auto taxa = TaxonSet::make_numbered(40);
+  util::Rng rng(6);
+  double few_total = 0;
+  double many_total = 0;
+  constexpr int kReps = 25;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const Tree base = yule_tree(taxa, rng);
+    Tree few = base;
+    perturb(few, rng, 1);
+    Tree many = base;
+    perturb(many, rng, 12);
+    few_total += static_cast<double>(core::rf_distance(base, few));
+    many_total += static_cast<double>(core::rf_distance(base, many));
+  }
+  EXPECT_LT(few_total, many_total);
+}
+
+TEST(MovesTest, PerturbationKeepsTaxaIdentical) {
+  const auto taxa = TaxonSet::make_numbered(30);
+  util::Rng rng(7);
+  const Tree base = yule_tree(taxa, rng);
+  Tree t = base;
+  perturb(t, rng, 20);
+  EXPECT_EQ(t.leaf_taxa_sorted(), base.leaf_taxa_sorted());
+}
+
+TEST(MovesTest, MovesPreserveBranchLengthPresence) {
+  const auto taxa = TaxonSet::make_numbered(16);
+  util::Rng rng(8);
+  Tree t = yule_tree(taxa, rng, GeneratorOptions{.branch_lengths = true});
+  perturb(t, rng, 10);
+  // Leaves keep carrying lengths through prune/regraft cycles.
+  std::size_t with_len = 0;
+  for (const auto leaf : t.leaves()) {
+    with_len += t.node(leaf).has_length ? std::size_t{1} : std::size_t{0};
+  }
+  EXPECT_GT(with_len, 0u);
+}
+
+}  // namespace
+}  // namespace bfhrf::sim

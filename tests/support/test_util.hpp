@@ -1,0 +1,58 @@
+// Shared helpers for the bfhrf test suites.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "phylo/newick.hpp"
+#include "phylo/taxon_set.hpp"
+#include "phylo/tree.hpp"
+#include "sim/generators.hpp"
+#include "sim/moves.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::test {
+
+/// Parse a Newick string over a fresh taxon set.
+inline phylo::Tree tree_of(const std::string& newick,
+                           phylo::TaxonSetPtr& taxa_out) {
+  taxa_out = std::make_shared<phylo::TaxonSet>();
+  return phylo::parse_newick(newick, taxa_out);
+}
+
+/// Parse a Newick string over an existing taxon set.
+inline phylo::Tree tree_of(const std::string& newick,
+                           const phylo::TaxonSetPtr& taxa) {
+  return phylo::parse_newick(newick, taxa);
+}
+
+/// A random collection clustered around one base topology — the shape of
+/// real gene-tree data (and of the paper's simulated sets).
+inline std::vector<phylo::Tree> random_collection(
+    const phylo::TaxonSetPtr& taxa, std::size_t count, std::size_t moves,
+    util::Rng& rng, bool branch_lengths = false) {
+  const sim::GeneratorOptions opts{.branch_lengths = branch_lengths};
+  const phylo::Tree base = sim::yule_tree(taxa, rng, opts);
+  std::vector<phylo::Tree> trees;
+  trees.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    phylo::Tree t = base;
+    sim::perturb(t, rng, moves);
+    trees.push_back(std::move(t));
+  }
+  return trees;
+}
+
+/// Fully independent random trees (maximally spread collection).
+inline std::vector<phylo::Tree> independent_collection(
+    const phylo::TaxonSetPtr& taxa, std::size_t count, util::Rng& rng) {
+  std::vector<phylo::Tree> trees;
+  trees.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    trees.push_back(sim::uniform_tree(taxa, rng));
+  }
+  return trees;
+}
+
+}  // namespace bfhrf::test

@@ -1,0 +1,250 @@
+#include "util/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bfhrf::util {
+namespace {
+
+TEST(BitsetTest, DefaultIsEmpty) {
+  DynamicBitset b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(BitsetTest, SetResetTest) {
+  DynamicBitset b(130);
+  EXPECT_FALSE(b.test(0));
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(BitsetTest, AssignSelectsSetOrReset) {
+  DynamicBitset b(10);
+  b.assign(3, true);
+  EXPECT_TRUE(b.test(3));
+  b.assign(3, false);
+  EXPECT_FALSE(b.test(3));
+}
+
+TEST(BitsetTest, WordsForBits) {
+  EXPECT_EQ(words_for_bits(0), 0u);
+  EXPECT_EQ(words_for_bits(1), 1u);
+  EXPECT_EQ(words_for_bits(64), 1u);
+  EXPECT_EQ(words_for_bits(65), 2u);
+  EXPECT_EQ(words_for_bits(128), 2u);
+  EXPECT_EQ(words_for_bits(129), 3u);
+}
+
+TEST(BitsetTest, FlipAllKeepsTailZero) {
+  DynamicBitset b(70);
+  b.set(3);
+  b.flip_all();
+  EXPECT_FALSE(b.test(3));
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_EQ(b.count(), 69u);
+  // The 58 tail bits of word 1 must stay zero (canonical form).
+  EXPECT_EQ(b.words()[1] >> 6, 0u);
+}
+
+TEST(BitsetTest, DoubleFlipIsIdentity) {
+  Rng rng(7);
+  DynamicBitset b(200);
+  for (int i = 0; i < 50; ++i) {
+    b.set(rng.below(200));
+  }
+  DynamicBitset copy = b;
+  b.flip_all();
+  b.flip_all();
+  EXPECT_EQ(b, copy);
+}
+
+TEST(BitsetTest, BitwiseOps) {
+  DynamicBitset a(100);
+  DynamicBitset b(100);
+  a.set(1);
+  a.set(70);
+  b.set(70);
+  b.set(99);
+
+  const DynamicBitset u = a | b;
+  EXPECT_EQ(u.count(), 3u);
+  const DynamicBitset i = a & b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(70));
+  const DynamicBitset x = a ^ b;
+  EXPECT_EQ(x.count(), 2u);
+  EXPECT_TRUE(x.test(1));
+  EXPECT_TRUE(x.test(99));
+}
+
+TEST(BitsetTest, SizeMismatchThrows) {
+  DynamicBitset a(10);
+  DynamicBitset b(11);
+  EXPECT_THROW(a |= b, InvalidArgument);
+  EXPECT_THROW(a &= b, InvalidArgument);
+  EXPECT_THROW(a ^= b, InvalidArgument);
+  EXPECT_THROW((void)a.is_subset_of(b), InvalidArgument);
+  EXPECT_THROW((void)a.is_disjoint_with(b), InvalidArgument);
+}
+
+TEST(BitsetTest, SubsetAndDisjoint) {
+  DynamicBitset a(80);
+  DynamicBitset b(80);
+  a.set(5);
+  b.set(5);
+  b.set(77);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  EXPECT_FALSE(a.is_disjoint_with(b));
+
+  DynamicBitset c(80);
+  c.set(10);
+  EXPECT_TRUE(a.is_disjoint_with(c));
+  DynamicBitset empty(80);
+  EXPECT_TRUE(empty.is_subset_of(a));
+  EXPECT_TRUE(empty.is_disjoint_with(a));
+}
+
+TEST(BitsetTest, FindFirstAndNext) {
+  DynamicBitset b(150);
+  EXPECT_EQ(b.find_first(), 150u);
+  b.set(3);
+  b.set(64);
+  b.set(149);
+  EXPECT_EQ(b.find_first(), 3u);
+  EXPECT_EQ(b.find_next(3), 64u);
+  EXPECT_EQ(b.find_next(64), 149u);
+  EXPECT_EQ(b.find_next(149), 150u);
+  EXPECT_EQ(b.find_next(0), 3u);
+}
+
+TEST(BitsetTest, ForEachSetBitVisitsInOrder) {
+  DynamicBitset b(200);
+  const std::vector<std::size_t> want{0, 63, 64, 127, 128, 199};
+  for (const auto i : want) {
+    b.set(i);
+  }
+  std::vector<std::size_t> got;
+  b.for_each_set_bit([&got](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(BitsetTest, StringRoundTrip) {
+  const std::string s = "0110010001";
+  const DynamicBitset b = DynamicBitset::from_string(s);
+  EXPECT_EQ(b.size(), s.size());
+  EXPECT_EQ(b.to_string(), s);
+  EXPECT_THROW((void)DynamicBitset::from_string("01x"), ParseError);
+}
+
+TEST(BitsetTest, HashDiffersForDifferentContent) {
+  DynamicBitset a(100);
+  DynamicBitset b(100);
+  a.set(42);
+  b.set(43);
+  EXPECT_NE(a.hash(), b.hash());
+  DynamicBitset c(100);
+  c.set(42);
+  EXPECT_EQ(a.hash(), c.hash());
+}
+
+TEST(BitsetTest, HashDependsOnSize) {
+  // Same words, different logical size -> different hash (size is salted).
+  DynamicBitset a(60);
+  DynamicBitset b(61);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(BitsetTest, CompareWordsOrdersLexicographically) {
+  DynamicBitset a(128);
+  DynamicBitset b(128);
+  a.set(0);
+  b.set(1);
+  EXPECT_LT(compare_words(a.words(), b.words()), 0);
+  EXPECT_GT(compare_words(b.words(), a.words()), 0);
+  EXPECT_EQ(compare_words(a.words(), a.words()), 0);
+}
+
+TEST(BitsetTest, EqualWords) {
+  DynamicBitset a(128);
+  DynamicBitset b(128);
+  a.set(100);
+  EXPECT_FALSE(equal_words(a.words(), b.words()));
+  b.set(100);
+  EXPECT_TRUE(equal_words(a.words(), b.words()));
+}
+
+TEST(BitsetTest, ClearZeroesEverything) {
+  DynamicBitset b(100);
+  b.set(5);
+  b.set(99);
+  b.clear();
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_EQ(b.size(), 100u);
+}
+
+TEST(BitsetTest, AnyNoneAll) {
+  DynamicBitset b(65);
+  EXPECT_FALSE(b.any());
+  EXPECT_TRUE(b.none());
+  b.set(64);
+  EXPECT_TRUE(b.any());
+  b.flip_all();
+  b.set(64);
+  EXPECT_TRUE(b.all());
+}
+
+class BitsetSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitsetSizeSweep, PopcountMatchesSetBits) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  DynamicBitset b(n);
+  std::vector<bool> mirror(n, false);
+  for (std::size_t k = 0; k < n / 2 + 1; ++k) {
+    const std::size_t i = rng.below(n);
+    b.set(i);
+    mirror[i] = true;
+  }
+  const auto expected = static_cast<std::size_t>(
+      std::count(mirror.begin(), mirror.end(), true));
+  EXPECT_EQ(b.count(), expected);
+  EXPECT_EQ(popcount_words(b.words()), expected);
+}
+
+TEST_P(BitsetSizeSweep, ComplementPartitionsUniverse) {
+  const std::size_t n = GetParam();
+  Rng rng(n * 31);
+  DynamicBitset b(n);
+  for (std::size_t k = 0; k < n / 3 + 1; ++k) {
+    b.set(rng.below(n));
+  }
+  DynamicBitset c = b;
+  c.flip_all();
+  EXPECT_EQ(b.count() + c.count(), n);
+  EXPECT_TRUE(b.is_disjoint_with(c));
+  EXPECT_TRUE((b | c).all());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitsetSizeSweep,
+                         ::testing::Values(1, 7, 48, 63, 64, 65, 100, 127,
+                                           128, 129, 144, 500, 1000, 4096));
+
+}  // namespace
+}  // namespace bfhrf::util

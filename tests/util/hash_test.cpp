@@ -1,0 +1,78 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bfhrf::util {
+namespace {
+
+TEST(HashTest, Mix64IsDeterministic) {
+  EXPECT_EQ(mix64(0), mix64(0));
+  EXPECT_EQ(mix64(12345), mix64(12345));
+}
+
+TEST(HashTest, Mix64SpreadsNearbyInputs) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    outputs.insert(mix64(i));
+  }
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(HashTest, HashWordsEmptySpanIsStable) {
+  const std::vector<std::uint64_t> empty;
+  EXPECT_EQ(hash_words(empty), hash_words(empty));
+}
+
+TEST(HashTest, HashWordsSensitiveToEveryWord) {
+  std::vector<std::uint64_t> words{1, 2, 3, 4};
+  const std::uint64_t base = hash_words(words);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    auto mutated = words;
+    mutated[i] ^= 1;
+    EXPECT_NE(hash_words(mutated), base) << "word " << i;
+  }
+}
+
+TEST(HashTest, HashWordsSensitiveToSeed) {
+  const std::vector<std::uint64_t> words{42, 43};
+  EXPECT_NE(hash_words(words, 0), hash_words(words, 1));
+}
+
+TEST(HashTest, HashWordsOrderSensitive) {
+  const std::vector<std::uint64_t> ab{1, 2};
+  const std::vector<std::uint64_t> ba{2, 1};
+  EXPECT_NE(hash_words(ab), hash_words(ba));
+}
+
+TEST(HashTest, SeededFamilyMembersDisagree) {
+  const SeededWordHash h1(1);
+  const SeededWordHash h2(2);
+  const std::vector<std::uint64_t> words{7, 8, 9};
+  EXPECT_NE(h1(words), h2(words));
+  EXPECT_EQ(h1(words), SeededWordHash(1)(words));
+}
+
+TEST(HashTest, CollisionRateIsLowOnRandomKeys) {
+  Rng rng(99);
+  std::set<std::uint64_t> hashes;
+  constexpr int kKeys = 20000;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::vector<std::uint64_t> key{rng(), rng()};
+    hashes.insert(hash_words(key));
+  }
+  // Birthday bound at 64 bits: collisions among 2e4 keys are ~1e-11 likely.
+  EXPECT_EQ(hashes.size(), static_cast<std::size_t>(kKeys));
+}
+
+TEST(HashTest, HashCombineNotCommutative) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+}  // namespace
+}  // namespace bfhrf::util

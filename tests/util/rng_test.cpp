@@ -1,0 +1,130 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <vector>
+
+namespace bfhrf::util {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a() == b()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(55);
+  const auto first = a();
+  a.reseed(55);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(7), 7u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::array<int, 10> buckets{};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++buckets[rng.below(10)];
+  }
+  for (const int c : buckets) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, Uniform01InHalfOpenRange) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(19);
+  const double rate = 4.0;
+  double sum = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.exponential(rate);
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / kDraws, 1.0 / rate, 0.01);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(23);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a() == child()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace bfhrf::util
