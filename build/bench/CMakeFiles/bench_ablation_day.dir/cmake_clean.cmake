@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_day.dir/ablation_day.cpp.o"
+  "CMakeFiles/bench_ablation_day.dir/ablation_day.cpp.o.d"
+  "bench_ablation_day"
+  "bench_ablation_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

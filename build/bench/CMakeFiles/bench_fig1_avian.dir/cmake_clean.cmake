@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_avian.dir/fig1_avian.cpp.o"
+  "CMakeFiles/bench_fig1_avian.dir/fig1_avian.cpp.o.d"
+  "bench_fig1_avian"
+  "bench_fig1_avian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_avian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_complexity.cpp" "bench/CMakeFiles/bench_table1_complexity.dir/table1_complexity.cpp.o" "gcc" "bench/CMakeFiles/bench_table1_complexity.dir/table1_complexity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bfhrf_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bfhrf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bfhrf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/bfhrf_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phylo/CMakeFiles/bfhrf_phylo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bfhrf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

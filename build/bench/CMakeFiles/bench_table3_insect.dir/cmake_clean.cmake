@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_insect.dir/table3_insect.cpp.o"
+  "CMakeFiles/bench_table3_insect.dir/table3_insect.cpp.o.d"
+  "bench_table3_insect"
+  "bench_table3_insect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_insect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_variable_taxa.dir/table4_variable_taxa.cpp.o"
+  "CMakeFiles/bench_table4_variable_taxa.dir/table4_variable_taxa.cpp.o.d"
+  "bench_table4_variable_taxa"
+  "bench_table4_variable_taxa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_variable_taxa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_variable_trees.dir/table5_variable_trees.cpp.o"
+  "CMakeFiles/bench_table5_variable_trees.dir/table5_variable_trees.cpp.o.d"
+  "bench_table5_variable_trees"
+  "bench_table5_variable_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_variable_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfhrf_bench_common.dir/common.cpp.o"
+  "CMakeFiles/bfhrf_bench_common.dir/common.cpp.o.d"
+  "CMakeFiles/bfhrf_bench_common.dir/sweep.cpp.o"
+  "CMakeFiles/bfhrf_bench_common.dir/sweep.cpp.o.d"
+  "libbfhrf_bench_common.a"
+  "libbfhrf_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfhrf_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbfhrf_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfhrf_cli.dir/bfhrf_cli.cpp.o"
+  "CMakeFiles/bfhrf_cli.dir/bfhrf_cli.cpp.o.d"
+  "bfhrf_cli"
+  "bfhrf_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfhrf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

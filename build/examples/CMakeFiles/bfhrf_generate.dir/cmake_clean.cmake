@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfhrf_generate.dir/bfhrf_generate.cpp.o"
+  "CMakeFiles/bfhrf_generate.dir/bfhrf_generate.cpp.o.d"
+  "bfhrf_generate"
+  "bfhrf_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfhrf_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_trees.dir/cluster_trees.cpp.o"
+  "CMakeFiles/cluster_trees.dir/cluster_trees.cpp.o.d"
+  "cluster_trees"
+  "cluster_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rf_matrix_tool.dir/rf_matrix_tool.cpp.o"
+  "CMakeFiles/rf_matrix_tool.dir/rf_matrix_tool.cpp.o.d"
+  "rf_matrix_tool"
+  "rf_matrix_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rf_matrix_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supertree_search.dir/supertree_search.cpp.o"
+  "CMakeFiles/supertree_search.dir/supertree_search.cpp.o.d"
+  "supertree_search"
+  "supertree_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supertree_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

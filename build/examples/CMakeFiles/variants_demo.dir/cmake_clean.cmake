@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variants_demo.dir/variants_demo.cpp.o"
+  "CMakeFiles/variants_demo.dir/variants_demo.cpp.o.d"
+  "variants_demo"
+  "variants_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variants_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/all_pairs.cpp" "src/core/CMakeFiles/bfhrf_core.dir/all_pairs.cpp.o" "gcc" "src/core/CMakeFiles/bfhrf_core.dir/all_pairs.cpp.o.d"
+  "/root/repo/src/core/bfhrf.cpp" "src/core/CMakeFiles/bfhrf_core.dir/bfhrf.cpp.o" "gcc" "src/core/CMakeFiles/bfhrf_core.dir/bfhrf.cpp.o.d"
+  "/root/repo/src/core/branch_score.cpp" "src/core/CMakeFiles/bfhrf_core.dir/branch_score.cpp.o" "gcc" "src/core/CMakeFiles/bfhrf_core.dir/branch_score.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/bfhrf_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/bfhrf_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/compressed_hash.cpp" "src/core/CMakeFiles/bfhrf_core.dir/compressed_hash.cpp.o" "gcc" "src/core/CMakeFiles/bfhrf_core.dir/compressed_hash.cpp.o.d"
+  "/root/repo/src/core/consensus.cpp" "src/core/CMakeFiles/bfhrf_core.dir/consensus.cpp.o" "gcc" "src/core/CMakeFiles/bfhrf_core.dir/consensus.cpp.o.d"
+  "/root/repo/src/core/day.cpp" "src/core/CMakeFiles/bfhrf_core.dir/day.cpp.o" "gcc" "src/core/CMakeFiles/bfhrf_core.dir/day.cpp.o.d"
+  "/root/repo/src/core/frequency_hash.cpp" "src/core/CMakeFiles/bfhrf_core.dir/frequency_hash.cpp.o" "gcc" "src/core/CMakeFiles/bfhrf_core.dir/frequency_hash.cpp.o.d"
+  "/root/repo/src/core/hashrf.cpp" "src/core/CMakeFiles/bfhrf_core.dir/hashrf.cpp.o" "gcc" "src/core/CMakeFiles/bfhrf_core.dir/hashrf.cpp.o.d"
+  "/root/repo/src/core/key_codec.cpp" "src/core/CMakeFiles/bfhrf_core.dir/key_codec.cpp.o" "gcc" "src/core/CMakeFiles/bfhrf_core.dir/key_codec.cpp.o.d"
+  "/root/repo/src/core/matrix_io.cpp" "src/core/CMakeFiles/bfhrf_core.dir/matrix_io.cpp.o" "gcc" "src/core/CMakeFiles/bfhrf_core.dir/matrix_io.cpp.o.d"
+  "/root/repo/src/core/restrict.cpp" "src/core/CMakeFiles/bfhrf_core.dir/restrict.cpp.o" "gcc" "src/core/CMakeFiles/bfhrf_core.dir/restrict.cpp.o.d"
+  "/root/repo/src/core/rf.cpp" "src/core/CMakeFiles/bfhrf_core.dir/rf.cpp.o" "gcc" "src/core/CMakeFiles/bfhrf_core.dir/rf.cpp.o.d"
+  "/root/repo/src/core/sequential_rf.cpp" "src/core/CMakeFiles/bfhrf_core.dir/sequential_rf.cpp.o" "gcc" "src/core/CMakeFiles/bfhrf_core.dir/sequential_rf.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/bfhrf_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/bfhrf_core.dir/serialize.cpp.o.d"
+  "/root/repo/src/core/tree_source.cpp" "src/core/CMakeFiles/bfhrf_core.dir/tree_source.cpp.o" "gcc" "src/core/CMakeFiles/bfhrf_core.dir/tree_source.cpp.o.d"
+  "/root/repo/src/core/triplet.cpp" "src/core/CMakeFiles/bfhrf_core.dir/triplet.cpp.o" "gcc" "src/core/CMakeFiles/bfhrf_core.dir/triplet.cpp.o.d"
+  "/root/repo/src/core/variants.cpp" "src/core/CMakeFiles/bfhrf_core.dir/variants.cpp.o" "gcc" "src/core/CMakeFiles/bfhrf_core.dir/variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phylo/CMakeFiles/bfhrf_phylo.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/bfhrf_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bfhrf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

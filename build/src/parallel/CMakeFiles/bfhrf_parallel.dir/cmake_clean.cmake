@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfhrf_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/bfhrf_parallel.dir/thread_pool.cpp.o.d"
+  "libbfhrf_parallel.a"
+  "libbfhrf_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfhrf_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phylo/bipartition.cpp" "src/phylo/CMakeFiles/bfhrf_phylo.dir/bipartition.cpp.o" "gcc" "src/phylo/CMakeFiles/bfhrf_phylo.dir/bipartition.cpp.o.d"
+  "/root/repo/src/phylo/newick.cpp" "src/phylo/CMakeFiles/bfhrf_phylo.dir/newick.cpp.o" "gcc" "src/phylo/CMakeFiles/bfhrf_phylo.dir/newick.cpp.o.d"
+  "/root/repo/src/phylo/nexus.cpp" "src/phylo/CMakeFiles/bfhrf_phylo.dir/nexus.cpp.o" "gcc" "src/phylo/CMakeFiles/bfhrf_phylo.dir/nexus.cpp.o.d"
+  "/root/repo/src/phylo/taxon_set.cpp" "src/phylo/CMakeFiles/bfhrf_phylo.dir/taxon_set.cpp.o" "gcc" "src/phylo/CMakeFiles/bfhrf_phylo.dir/taxon_set.cpp.o.d"
+  "/root/repo/src/phylo/tree.cpp" "src/phylo/CMakeFiles/bfhrf_phylo.dir/tree.cpp.o" "gcc" "src/phylo/CMakeFiles/bfhrf_phylo.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bfhrf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

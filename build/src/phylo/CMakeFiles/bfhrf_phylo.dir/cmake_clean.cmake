@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfhrf_phylo.dir/bipartition.cpp.o"
+  "CMakeFiles/bfhrf_phylo.dir/bipartition.cpp.o.d"
+  "CMakeFiles/bfhrf_phylo.dir/newick.cpp.o"
+  "CMakeFiles/bfhrf_phylo.dir/newick.cpp.o.d"
+  "CMakeFiles/bfhrf_phylo.dir/nexus.cpp.o"
+  "CMakeFiles/bfhrf_phylo.dir/nexus.cpp.o.d"
+  "CMakeFiles/bfhrf_phylo.dir/taxon_set.cpp.o"
+  "CMakeFiles/bfhrf_phylo.dir/taxon_set.cpp.o.d"
+  "CMakeFiles/bfhrf_phylo.dir/tree.cpp.o"
+  "CMakeFiles/bfhrf_phylo.dir/tree.cpp.o.d"
+  "libbfhrf_phylo.a"
+  "libbfhrf_phylo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfhrf_phylo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbfhrf_phylo.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/datasets.cpp" "src/sim/CMakeFiles/bfhrf_sim.dir/datasets.cpp.o" "gcc" "src/sim/CMakeFiles/bfhrf_sim.dir/datasets.cpp.o.d"
+  "/root/repo/src/sim/generators.cpp" "src/sim/CMakeFiles/bfhrf_sim.dir/generators.cpp.o" "gcc" "src/sim/CMakeFiles/bfhrf_sim.dir/generators.cpp.o.d"
+  "/root/repo/src/sim/moves.cpp" "src/sim/CMakeFiles/bfhrf_sim.dir/moves.cpp.o" "gcc" "src/sim/CMakeFiles/bfhrf_sim.dir/moves.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bfhrf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/phylo/CMakeFiles/bfhrf_phylo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bfhrf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/bfhrf_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

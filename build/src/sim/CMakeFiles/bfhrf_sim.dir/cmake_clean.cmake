@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfhrf_sim.dir/datasets.cpp.o"
+  "CMakeFiles/bfhrf_sim.dir/datasets.cpp.o.d"
+  "CMakeFiles/bfhrf_sim.dir/generators.cpp.o"
+  "CMakeFiles/bfhrf_sim.dir/generators.cpp.o.d"
+  "CMakeFiles/bfhrf_sim.dir/moves.cpp.o"
+  "CMakeFiles/bfhrf_sim.dir/moves.cpp.o.d"
+  "libbfhrf_sim.a"
+  "libbfhrf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfhrf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfhrf_util.dir/bitset.cpp.o"
+  "CMakeFiles/bfhrf_util.dir/bitset.cpp.o.d"
+  "CMakeFiles/bfhrf_util.dir/memory.cpp.o"
+  "CMakeFiles/bfhrf_util.dir/memory.cpp.o.d"
+  "CMakeFiles/bfhrf_util.dir/rng.cpp.o"
+  "CMakeFiles/bfhrf_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bfhrf_util.dir/string_util.cpp.o"
+  "CMakeFiles/bfhrf_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/bfhrf_util.dir/table.cpp.o"
+  "CMakeFiles/bfhrf_util.dir/table.cpp.o.d"
+  "libbfhrf_util.a"
+  "libbfhrf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfhrf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

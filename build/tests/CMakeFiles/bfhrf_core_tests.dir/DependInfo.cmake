@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/all_pairs_test.cpp" "tests/CMakeFiles/bfhrf_core_tests.dir/core/all_pairs_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_core_tests.dir/core/all_pairs_test.cpp.o.d"
+  "/root/repo/tests/core/bfhrf_test.cpp" "tests/CMakeFiles/bfhrf_core_tests.dir/core/bfhrf_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_core_tests.dir/core/bfhrf_test.cpp.o.d"
+  "/root/repo/tests/core/branch_score_test.cpp" "tests/CMakeFiles/bfhrf_core_tests.dir/core/branch_score_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_core_tests.dir/core/branch_score_test.cpp.o.d"
+  "/root/repo/tests/core/cluster_test.cpp" "tests/CMakeFiles/bfhrf_core_tests.dir/core/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_core_tests.dir/core/cluster_test.cpp.o.d"
+  "/root/repo/tests/core/compressed_hash_test.cpp" "tests/CMakeFiles/bfhrf_core_tests.dir/core/compressed_hash_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_core_tests.dir/core/compressed_hash_test.cpp.o.d"
+  "/root/repo/tests/core/consensus_test.cpp" "tests/CMakeFiles/bfhrf_core_tests.dir/core/consensus_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_core_tests.dir/core/consensus_test.cpp.o.d"
+  "/root/repo/tests/core/day_test.cpp" "tests/CMakeFiles/bfhrf_core_tests.dir/core/day_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_core_tests.dir/core/day_test.cpp.o.d"
+  "/root/repo/tests/core/frequency_hash_test.cpp" "tests/CMakeFiles/bfhrf_core_tests.dir/core/frequency_hash_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_core_tests.dir/core/frequency_hash_test.cpp.o.d"
+  "/root/repo/tests/core/hashrf_test.cpp" "tests/CMakeFiles/bfhrf_core_tests.dir/core/hashrf_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_core_tests.dir/core/hashrf_test.cpp.o.d"
+  "/root/repo/tests/core/key_codec_test.cpp" "tests/CMakeFiles/bfhrf_core_tests.dir/core/key_codec_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_core_tests.dir/core/key_codec_test.cpp.o.d"
+  "/root/repo/tests/core/matrix_io_test.cpp" "tests/CMakeFiles/bfhrf_core_tests.dir/core/matrix_io_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_core_tests.dir/core/matrix_io_test.cpp.o.d"
+  "/root/repo/tests/core/restrict_test.cpp" "tests/CMakeFiles/bfhrf_core_tests.dir/core/restrict_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_core_tests.dir/core/restrict_test.cpp.o.d"
+  "/root/repo/tests/core/rf_test.cpp" "tests/CMakeFiles/bfhrf_core_tests.dir/core/rf_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_core_tests.dir/core/rf_test.cpp.o.d"
+  "/root/repo/tests/core/sequential_rf_test.cpp" "tests/CMakeFiles/bfhrf_core_tests.dir/core/sequential_rf_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_core_tests.dir/core/sequential_rf_test.cpp.o.d"
+  "/root/repo/tests/core/serialize_test.cpp" "tests/CMakeFiles/bfhrf_core_tests.dir/core/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_core_tests.dir/core/serialize_test.cpp.o.d"
+  "/root/repo/tests/core/triplet_test.cpp" "tests/CMakeFiles/bfhrf_core_tests.dir/core/triplet_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_core_tests.dir/core/triplet_test.cpp.o.d"
+  "/root/repo/tests/core/variants_test.cpp" "tests/CMakeFiles/bfhrf_core_tests.dir/core/variants_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_core_tests.dir/core/variants_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bfhrf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bfhrf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phylo/CMakeFiles/bfhrf_phylo.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/bfhrf_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bfhrf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

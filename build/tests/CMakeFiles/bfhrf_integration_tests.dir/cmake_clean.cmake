@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfhrf_integration_tests.dir/integration/fuzz_test.cpp.o"
+  "CMakeFiles/bfhrf_integration_tests.dir/integration/fuzz_test.cpp.o.d"
+  "CMakeFiles/bfhrf_integration_tests.dir/integration/pipeline_test.cpp.o"
+  "CMakeFiles/bfhrf_integration_tests.dir/integration/pipeline_test.cpp.o.d"
+  "CMakeFiles/bfhrf_integration_tests.dir/integration/property_test.cpp.o"
+  "CMakeFiles/bfhrf_integration_tests.dir/integration/property_test.cpp.o.d"
+  "bfhrf_integration_tests"
+  "bfhrf_integration_tests.pdb"
+  "bfhrf_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfhrf_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfhrf_parallel_tests.dir/parallel/thread_pool_test.cpp.o"
+  "CMakeFiles/bfhrf_parallel_tests.dir/parallel/thread_pool_test.cpp.o.d"
+  "bfhrf_parallel_tests"
+  "bfhrf_parallel_tests.pdb"
+  "bfhrf_parallel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfhrf_parallel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/phylo/bipartition_test.cpp" "tests/CMakeFiles/bfhrf_phylo_tests.dir/phylo/bipartition_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_phylo_tests.dir/phylo/bipartition_test.cpp.o.d"
+  "/root/repo/tests/phylo/newick_test.cpp" "tests/CMakeFiles/bfhrf_phylo_tests.dir/phylo/newick_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_phylo_tests.dir/phylo/newick_test.cpp.o.d"
+  "/root/repo/tests/phylo/nexus_test.cpp" "tests/CMakeFiles/bfhrf_phylo_tests.dir/phylo/nexus_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_phylo_tests.dir/phylo/nexus_test.cpp.o.d"
+  "/root/repo/tests/phylo/support_test.cpp" "tests/CMakeFiles/bfhrf_phylo_tests.dir/phylo/support_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_phylo_tests.dir/phylo/support_test.cpp.o.d"
+  "/root/repo/tests/phylo/taxon_set_test.cpp" "tests/CMakeFiles/bfhrf_phylo_tests.dir/phylo/taxon_set_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_phylo_tests.dir/phylo/taxon_set_test.cpp.o.d"
+  "/root/repo/tests/phylo/tree_test.cpp" "tests/CMakeFiles/bfhrf_phylo_tests.dir/phylo/tree_test.cpp.o" "gcc" "tests/CMakeFiles/bfhrf_phylo_tests.dir/phylo/tree_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bfhrf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bfhrf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phylo/CMakeFiles/bfhrf_phylo.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/bfhrf_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bfhrf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfhrf_phylo_tests.dir/phylo/bipartition_test.cpp.o"
+  "CMakeFiles/bfhrf_phylo_tests.dir/phylo/bipartition_test.cpp.o.d"
+  "CMakeFiles/bfhrf_phylo_tests.dir/phylo/newick_test.cpp.o"
+  "CMakeFiles/bfhrf_phylo_tests.dir/phylo/newick_test.cpp.o.d"
+  "CMakeFiles/bfhrf_phylo_tests.dir/phylo/nexus_test.cpp.o"
+  "CMakeFiles/bfhrf_phylo_tests.dir/phylo/nexus_test.cpp.o.d"
+  "CMakeFiles/bfhrf_phylo_tests.dir/phylo/support_test.cpp.o"
+  "CMakeFiles/bfhrf_phylo_tests.dir/phylo/support_test.cpp.o.d"
+  "CMakeFiles/bfhrf_phylo_tests.dir/phylo/taxon_set_test.cpp.o"
+  "CMakeFiles/bfhrf_phylo_tests.dir/phylo/taxon_set_test.cpp.o.d"
+  "CMakeFiles/bfhrf_phylo_tests.dir/phylo/tree_test.cpp.o"
+  "CMakeFiles/bfhrf_phylo_tests.dir/phylo/tree_test.cpp.o.d"
+  "bfhrf_phylo_tests"
+  "bfhrf_phylo_tests.pdb"
+  "bfhrf_phylo_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfhrf_phylo_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfhrf_sim_tests.dir/sim/datasets_test.cpp.o"
+  "CMakeFiles/bfhrf_sim_tests.dir/sim/datasets_test.cpp.o.d"
+  "CMakeFiles/bfhrf_sim_tests.dir/sim/generators_test.cpp.o"
+  "CMakeFiles/bfhrf_sim_tests.dir/sim/generators_test.cpp.o.d"
+  "CMakeFiles/bfhrf_sim_tests.dir/sim/moves_test.cpp.o"
+  "CMakeFiles/bfhrf_sim_tests.dir/sim/moves_test.cpp.o.d"
+  "bfhrf_sim_tests"
+  "bfhrf_sim_tests.pdb"
+  "bfhrf_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfhrf_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfhrf_util_tests.dir/util/bitset_test.cpp.o"
+  "CMakeFiles/bfhrf_util_tests.dir/util/bitset_test.cpp.o.d"
+  "CMakeFiles/bfhrf_util_tests.dir/util/hash_test.cpp.o"
+  "CMakeFiles/bfhrf_util_tests.dir/util/hash_test.cpp.o.d"
+  "CMakeFiles/bfhrf_util_tests.dir/util/misc_test.cpp.o"
+  "CMakeFiles/bfhrf_util_tests.dir/util/misc_test.cpp.o.d"
+  "CMakeFiles/bfhrf_util_tests.dir/util/rng_test.cpp.o"
+  "CMakeFiles/bfhrf_util_tests.dir/util/rng_test.cpp.o.d"
+  "bfhrf_util_tests"
+  "bfhrf_util_tests.pdb"
+  "bfhrf_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfhrf_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bfhrf_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/bfhrf_phylo_tests[1]_include.cmake")
+include("/root/repo/build/tests/bfhrf_parallel_tests[1]_include.cmake")
+include("/root/repo/build/tests/bfhrf_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/bfhrf_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/bfhrf_integration_tests[1]_include.cmake")
