@@ -1,19 +1,50 @@
 #include "common.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <thread>
 
 #include "core/bfhrf.hpp"
 #include "core/hashrf.hpp"
 #include "core/sequential_rf.hpp"
+#include "obs/metrics.hpp"
 #include "util/string_util.hpp"
 #include "util/timer.hpp"
 
 namespace bfhrf::bench {
+namespace {
+
+/// Slug recorded by print_header for export_metrics file naming.
+std::string& stored_slug() {
+  static std::string s;
+  return s;
+}
+
+std::string slugify(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  bool pending_sep = false;
+  for (const char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      if (pending_sep && !out.empty()) {
+        out.push_back('_');
+      }
+      pending_sep = false;
+      out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      pending_sep = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 Scale scale() {
   static const Scale s = [] {
@@ -307,8 +338,34 @@ void verdict(const std::string& name, bool pass, const std::string& detail) {
               pass ? "PASS" : "WARN", detail.c_str());
 }
 
+std::string experiment_slug() {
+  return stored_slug().empty() ? "bench" : stored_slug();
+}
+
+void export_metrics(const std::string& slug) {
+  const std::string name = slug.empty() ? experiment_slug() : slugify(slug);
+  std::string blob = "{\n\"experiment\": \"" + name + "\",\n\"scale\": \"" +
+                     scale_name() + "\",\n\"metrics\": " + obs::dump_string() +
+                     "}\n";
+  const char* env = std::getenv("BFHRF_OBS_JSON");
+  const std::string path = env != nullptr ? env : ("BENCH_" + name + ".json");
+  if (path != "-") {
+    std::ofstream out(path);
+    if (out) {
+      out << blob;
+      std::printf("\nmetrics JSON written to %s\n", path.c_str());
+    } else {
+      std::printf("\nWARNING: could not write metrics JSON to %s\n",
+                  path.c_str());
+    }
+  }
+  std::printf("--- BEGIN METRICS JSON (%s) ---\n%s--- END METRICS JSON ---\n",
+              name.c_str(), blob.c_str());
+}
+
 void print_header(const std::string& experiment,
                   const std::string& paper_ref) {
+  stored_slug() = slugify(experiment);
   std::printf("\n============================================================"
               "====\n");
   std::printf("bfhrf reproduction — %s\n", experiment.c_str());

@@ -120,6 +120,20 @@ struct LinearFit {
 void verdict(const std::string& name, bool pass, const std::string& detail);
 
 /// Print the standard bench header (paper citation, scale, host info).
+/// Also records a filesystem-safe slug of `experiment` for export_metrics.
 void print_header(const std::string& experiment, const std::string& paper_ref);
+
+// --- observability export ---------------------------------------------------
+
+/// Lower-snake slug of the experiment named in print_header ("bench" if
+/// print_header was never called).
+[[nodiscard]] std::string experiment_slug();
+
+/// Serialize the obs registry (engine counters, timers, spans) as a
+/// BENCH_*.json record: written to BENCH_<slug>.json — or to $BFHRF_OBS_JSON
+/// if set ("-" = stdout only) — and echoed to stdout between
+/// `--- BEGIN/END METRICS JSON ---` markers. Called by sweep_main after the
+/// report; standalone bench mains call it directly.
+void export_metrics(const std::string& slug = "");
 
 }  // namespace bfhrf::bench

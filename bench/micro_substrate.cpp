@@ -5,6 +5,7 @@
 // the constants behind the table-level results.
 #include <benchmark/benchmark.h>
 
+#include "common.hpp"
 #include "core/bfhrf.hpp"
 #include "core/day.hpp"
 #include "core/frequency_hash.hpp"
@@ -184,4 +185,13 @@ BENCHMARK(BM_TreeCopy)->Arg(144)->Arg(1000);
 }  // namespace
 }  // namespace bfhrf
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  bfhrf::bench::export_metrics("micro_substrate");
+  return 0;
+}

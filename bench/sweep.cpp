@@ -187,6 +187,7 @@ int sweep_main(int argc, char** argv, void (*report)()) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   report();
+  export_metrics();
   return 0;
 }
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Deeper verification tier than the plain `ctest` loop:
+#   1. ASan+UBSan build, full labeled suite
+#   2. TSan build, concurrency-sensitive labels only (parallel, obs)
+#   3. BFHRF_OBS=OFF build, full suite (instrumentation compiled out)
+# Run from the repo root. Each tier uses its own build directory (see
+# CMakePresets.json), so the default ./build is left untouched.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run() {
+  echo
+  echo "=== $* ==="
+  "$@"
+}
+
+run cmake --preset asan-ubsan
+run cmake --build --preset asan-ubsan -j "$(nproc)"
+run ctest --preset asan-ubsan
+
+run cmake --preset tsan
+run cmake --build --preset tsan -j "$(nproc)"
+run ctest --preset tsan
+
+run cmake --preset obs-off
+run cmake --build --preset obs-off -j "$(nproc)"
+run ctest --preset obs-off
+
+echo
+echo "check.sh: all tiers passed"

@@ -2,17 +2,27 @@
 
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "phylo/bipartition.hpp"
 #include "util/error.hpp"
 
 namespace bfhrf::core {
+namespace {
+
+const obs::Counter g_ap_trees = obs::counter("core.all_pairs.trees");
+const obs::Counter g_ap_pairs = obs::counter("core.all_pairs.pairs");
+const obs::Histogram g_ap_seconds = obs::histogram("core.all_pairs.seconds");
+
+}  // namespace
 
 RfMatrix all_pairs_rf(std::span<const phylo::Tree> trees,
                       const AllPairsOptions& opts) {
   if (trees.empty()) {
     throw InvalidArgument("all_pairs_rf: empty collection");
   }
+  const obs::TraceSpan span("all_pairs");
+  const obs::ScopedTimer timer(g_ap_seconds);
   const auto& taxa = trees.front().taxa();
   for (const auto& t : trees) {
     if (t.taxa() != taxa) {
@@ -47,6 +57,8 @@ RfMatrix all_pairs_rf(std::span<const phylo::Tree> trees,
         }
       },
       /*grain=*/1);
+  g_ap_trees.inc(r);
+  g_ap_pairs.inc(static_cast<std::uint64_t>(r) * (r - 1) / 2);
   return matrix;
 }
 

@@ -1,10 +1,28 @@
 #include "core/bfhrf.hpp"
 
 #include "core/compressed_hash.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
 
 namespace bfhrf::core {
+namespace {
+
+// Engine-phase metrics (docs/OBSERVABILITY.md): phase-1 build wall time and
+// tree/batch counts, merge cost, phase-2 query throughput inputs, and the
+// post-build store shape (U, resident bytes).
+const obs::Counter g_build_trees = obs::counter("bfhrf.build.trees");
+const obs::Counter g_build_batches = obs::counter("bfhrf.build.batches");
+const obs::Counter g_query_trees = obs::counter("bfhrf.query.trees");
+const obs::Counter g_query_batches = obs::counter("bfhrf.query.batches");
+const obs::Counter g_query_bips = obs::counter("bfhrf.query.bipartitions");
+const obs::Gauge g_unique = obs::gauge("bfhrf.unique_bipartitions");
+const obs::Gauge g_resident = obs::gauge("bfhrf.hash.resident_bytes");
+const obs::Histogram g_build_seconds = obs::histogram("bfhrf.build.seconds");
+const obs::Histogram g_merge_seconds = obs::histogram("bfhrf.merge.seconds");
+const obs::Histogram g_query_seconds = obs::histogram("bfhrf.query.seconds");
+
+}  // namespace
 
 Bfhrf::Bfhrf(std::size_t n_bits, BfhrfOptions opts)
     : n_bits_(n_bits), opts_(opts) {
@@ -43,6 +61,8 @@ void Bfhrf::add_tree(const phylo::Tree& tree, FrequencyStore& target) const {
 }
 
 void Bfhrf::build(std::span<const phylo::Tree> reference) {
+  const obs::TraceSpan span("bfhrf.build");
+  const obs::ScopedTimer timer(g_build_seconds);
   if (opts_.threads <= 1 || reference.size() < 2) {
     for (const auto& t : reference) {
       add_tree(t, *store_);
@@ -60,14 +80,19 @@ void Bfhrf::build(std::span<const phylo::Tree> reference) {
         [&](std::size_t rank, std::size_t i) {
           add_tree(reference[i], *partials[rank]);
         });
+    const obs::ScopedTimer merge_timer(g_merge_seconds);
     for (const auto& p : partials) {
       store_->merge_from(*p);
     }
   }
   reference_trees_ += reference.size();
+  g_build_trees.inc(reference.size());
+  publish_store_metrics();
 }
 
 void Bfhrf::build(TreeSource& reference) {
+  const obs::TraceSpan span("bfhrf.build");
+  const obs::ScopedTimer timer(g_build_seconds);
   std::vector<std::unique_ptr<FrequencyStore>> partials;
   partials.reserve(opts_.threads);
   for (std::size_t i = 0; i < opts_.threads; ++i) {
@@ -87,16 +112,22 @@ void Bfhrf::build(TreeSource& reference) {
       break;
     }
     seen += batch.size();
+    g_build_batches.inc();
+    g_build_trees.inc(batch.size());
     parallel::parallel_for_ranked(
         0, batch.size(), opts_.threads,
         [&](std::size_t rank, std::size_t i) {
           add_tree(batch[i], *partials[rank]);
         });
   }
-  for (const auto& p : partials) {
-    store_->merge_from(*p);
+  {
+    const obs::ScopedTimer merge_timer(g_merge_seconds);
+    for (const auto& p : partials) {
+      store_->merge_from(*p);
+    }
   }
   reference_trees_ += seen;
+  publish_store_metrics();
 }
 
 double Bfhrf::query_bipartitions(const phylo::BipartitionSet& bips) const {
@@ -111,6 +142,7 @@ double Bfhrf::query_bipartitions(const phylo::BipartitionSet& bips) const {
   double rf_right = 0.0;
   double query_weight_sum = 0.0;            // Σ w(b') for MaxScaled
 
+  std::uint64_t kept = 0;
   bips.for_each([&](util::ConstWordSpan words) {
     const BipartitionRef ref{words, n_bits_, util::popcount_words(words)};
     if (!v.keep(ref)) {
@@ -121,7 +153,9 @@ double Bfhrf::query_bipartitions(const phylo::BipartitionSet& bips) const {
     rf_left -= w * freq;
     rf_right += w * (r - freq);
     query_weight_sum += w;
+    ++kept;
   });
+  g_query_bips.inc(kept);
 
   const double avg = (rf_left + rf_right) / r;
   const double max_avg = (store_->total_weight() / r) + query_weight_sum;
@@ -139,13 +173,18 @@ double Bfhrf::query_one(const phylo::Tree& tree) const {
 
 std::vector<double> Bfhrf::query(
     std::span<const phylo::Tree> queries) const {
+  const obs::TraceSpan span("bfhrf.query");
+  const obs::ScopedTimer timer(g_query_seconds);
   std::vector<double> out(queries.size(), 0.0);
   parallel::parallel_for(0, queries.size(), opts_.threads,
                          [&](std::size_t i) { out[i] = query_one(queries[i]); });
+  g_query_trees.inc(queries.size());
   return out;
 }
 
 std::vector<double> Bfhrf::query(TreeSource& queries) const {
+  const obs::TraceSpan span("bfhrf.query");
+  const obs::ScopedTimer timer(g_query_seconds);
   std::vector<double> out;
   std::vector<phylo::Tree> batch;
   batch.reserve(opts_.batch_size * opts_.threads);
@@ -159,13 +198,20 @@ std::vector<double> Bfhrf::query(TreeSource& queries) const {
     if (batch.empty()) {
       break;
     }
+    g_query_batches.inc();
     const std::size_t base = out.size();
     out.resize(base + batch.size());
     parallel::parallel_for(
         0, batch.size(), opts_.threads,
         [&](std::size_t i) { out[base + i] = query_one(batch[i]); });
   }
+  g_query_trees.inc(out.size());
   return out;
+}
+
+void Bfhrf::publish_store_metrics() const {
+  g_unique.set(static_cast<double>(store_->unique_count()));
+  g_resident.set(static_cast<double>(store_->memory_bytes()));
 }
 
 BfhrfStats Bfhrf::stats() const {

@@ -118,6 +118,9 @@ class Bfhrf {
   [[nodiscard]] double query_bipartitions(
       const phylo::BipartitionSet& bips) const;
 
+  /// Publish post-build store shape (U, resident bytes) as obs gauges.
+  void publish_store_metrics() const;
+
   [[nodiscard]] const RfVariant& variant() const noexcept {
     return opts_.variant != nullptr ? *opts_.variant : classic_rf();
   }

@@ -2,11 +2,25 @@
 
 #include <cstring>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
 
 namespace bfhrf::core {
 namespace {
+
+// Mirrors core.frequency_hash.* for the compressed-key store.
+const obs::Counter g_probes = obs::counter("core.compressed_hash.probes");
+const obs::Counter g_collisions =
+    obs::counter("core.compressed_hash.collisions");
+const obs::Counter g_inserts = obs::counter("core.compressed_hash.inserts");
+
+void record_probe(std::size_t steps) noexcept {
+  g_probes.inc(steps);
+  if (steps > 1) {
+    g_collisions.inc(steps - 1);
+  }
+}
 
 std::size_t table_size_for(std::size_t expected_unique) {
   std::size_t want = 16;
@@ -34,17 +48,21 @@ std::size_t CompressedFrequencyHash::probe(ByteSpan encoded,
                                            std::uint64_t fp) const noexcept {
   const std::size_t mask = slots_.size() - 1;
   std::size_t idx = static_cast<std::size_t>(fp) & mask;
+  std::size_t steps = 1;
   while (true) {
     const Slot& s = slots_[idx];
     if (s.count == 0) {
+      record_probe(steps);
       return idx;
     }
     if (s.fingerprint == fp && s.length == encoded.size() &&
         std::memcmp(arena_.data() + s.offset, encoded.data(),
                     encoded.size()) == 0) {
+      record_probe(steps);
       return idx;
     }
     idx = (idx + 1) & mask;
+    ++steps;
   }
 }
 
@@ -57,6 +75,7 @@ void CompressedFrequencyHash::add_weighted(util::ConstWordSpan key,
       kMaxLoad * static_cast<double>(slots_.size())) {
     grow();
   }
+  g_inserts.inc();
   auto& scratch = tl_scratch();
   scratch.clear();
   codec_.encode(key, scratch);

@@ -2,10 +2,28 @@
 
 #include <bit>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace bfhrf::core {
 namespace {
+
+// probes = slot inspections; collisions = inspections of occupied,
+// non-matching slots (i.e. displaced probes). Recorded per probe() walk
+// into the thread-local sink, so concurrent read-path lookups stay
+// race-free.
+const obs::Counter g_probes = obs::counter("core.frequency_hash.probes");
+const obs::Counter g_collisions =
+    obs::counter("core.frequency_hash.collisions");
+const obs::Counter g_inserts = obs::counter("core.frequency_hash.inserts");
+const obs::Counter g_merges = obs::counter("core.frequency_hash.merges");
+
+void record_probe(std::size_t steps) noexcept {
+  g_probes.inc(steps);
+  if (steps > 1) {
+    g_collisions.inc(steps - 1);
+  }
+}
 
 std::size_t table_size_for(std::size_t expected_unique) {
   // Smallest power of two keeping the expected load under kMaxLoad,
@@ -31,16 +49,20 @@ std::size_t FrequencyHash::probe(util::ConstWordSpan key,
                                  std::uint64_t fp) const noexcept {
   const std::size_t mask = slots_.size() - 1;
   std::size_t idx = static_cast<std::size_t>(fp) & mask;
+  std::size_t steps = 1;
   while (true) {
     const Slot& s = slots_[idx];
     if (s.count == 0) {
+      record_probe(steps);
       return idx;  // empty: insertion point / not found
     }
     // Fingerprint fast-path, then full-key verification: collision-free.
     if (s.fingerprint == fp && util::equal_words(key_at(s.key_index), key)) {
+      record_probe(steps);
       return idx;
     }
     idx = (idx + 1) & mask;
+    ++steps;
   }
 }
 
@@ -52,6 +74,7 @@ void FrequencyHash::add_weighted(util::ConstWordSpan key, std::uint32_t count,
       kMaxLoad * static_cast<double>(slots_.size())) {
     grow();
   }
+  g_inserts.inc();
   const std::uint64_t fp = util::hash_words(key);
   const std::size_t idx = probe(key, fp);
   Slot& s = slots_[idx];
@@ -76,6 +99,7 @@ void FrequencyHash::merge(const FrequencyHash& other) {
   if (other.n_bits_ != n_bits_) {
     throw InvalidArgument("FrequencyHash::merge: universe width mismatch");
   }
+  g_merges.inc();
   // Weighted totals must be preserved exactly, so replay each unique key
   // with its aggregate weight contribution. Since weight is a pure function
   // of the key, other's per-key average weight equals the true weight.

@@ -2,12 +2,21 @@
 
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "phylo/bipartition.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
 
 namespace bfhrf::core {
 namespace {
+
+const obs::Counter g_hashrf_trees = obs::counter("core.hashrf.trees");
+const obs::Counter g_hashrf_bips = obs::counter("core.hashrf.bipartitions");
+const obs::Counter g_hashrf_credit_pairs =
+    obs::counter("core.hashrf.credit_pairs");
+const obs::Gauge g_hashrf_matrix_bytes =
+    obs::gauge("core.hashrf.matrix_bytes");
+const obs::Histogram g_hashrf_seconds = obs::histogram("core.hashrf.seconds");
 
 /// One inverted-index entry: the trees containing a (possibly fingerprint-
 /// merged) bipartition. Tree ids are appended in increasing order because
@@ -25,6 +34,8 @@ HashRfResult hash_rf(std::span<const phylo::Tree> trees,
   if (trees.empty()) {
     throw InvalidArgument("hash_rf: empty collection");
   }
+  const obs::TraceSpan span("hashrf");
+  const obs::ScopedTimer timer(g_hashrf_seconds);
   const auto& taxa = trees.front().taxa();
   for (const auto& t : trees) {
     if (t.taxa() != taxa) {
@@ -52,6 +63,7 @@ HashRfResult hash_rf(std::span<const phylo::Tree> trees,
   for (std::uint32_t i = 0; i < r; ++i) {
     const auto bips = phylo::extract_bipartitions(trees[i], bip_opts);
     bip_counts[i] = static_cast<std::uint32_t>(bips.size());
+    g_hashrf_bips.inc(bips.size());
     bips.for_each([&](util::ConstWordSpan words) {
       const std::uint64_t bucket =
           opts.mode == HashRfOptions::Mode::Compressed ? (h2(words) & fp_mask)
@@ -94,11 +106,13 @@ HashRfResult hash_rf(std::span<const phylo::Tree> trees,
   // This nested pair loop is the Θ(Σ|list|²) = O(r²) step.
   HashRfResult result;
   result.matrix = RfMatrix(r);
+  std::uint64_t credit_pairs = 0;
   for (const auto& [bucket, chain] : index) {
     (void)bucket;
     for (const auto& entry : chain) {
       ++result.unique_bipartitions;
       const auto& ids = entry.tree_ids;
+      credit_pairs += ids.size() * (ids.size() - 1) / 2;
       for (std::size_t a = 0; a < ids.size(); ++a) {
         for (std::size_t b = a + 1; b < ids.size(); ++b) {
           result.matrix.add(ids[a], ids[b], 1);  // shared count, for now
@@ -108,6 +122,7 @@ HashRfResult hash_rf(std::span<const phylo::Tree> trees,
           sizeof(IndexEntry) + ids.capacity() * sizeof(std::uint32_t);
     }
   }
+  g_hashrf_credit_pairs.inc(credit_pairs);
   result.index_memory_bytes += key_arena.capacity() * sizeof(std::uint64_t);
 
   // Convert shared counts to RF distances and average the rows.
@@ -125,6 +140,8 @@ HashRfResult hash_rf(std::span<const phylo::Tree> trees,
     v /= static_cast<double>(r);
   }
   result.matrix_memory_bytes = result.matrix.memory_bytes();
+  g_hashrf_trees.inc(r);
+  g_hashrf_matrix_bytes.set(static_cast<double>(result.matrix_memory_bytes));
   return result;
 }
 

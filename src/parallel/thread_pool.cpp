@@ -3,14 +3,38 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "util/timer.hpp"
+
 namespace bfhrf::parallel {
+namespace {
+
+// Pool-level series (totals across all pools in the process).
+const obs::Counter g_pool_tasks = obs::counter("parallel.pool.tasks");
+const obs::Counter g_pool_waits = obs::counter("parallel.pool.waits");
+const obs::Counter g_pool_idle_us = obs::counter("parallel.pool.idle_us");
+
+// parallel_for layer: chunk handout over the atomic cursor.
+const obs::Counter g_pf_invocations = obs::counter("parallel.for.invocations");
+const obs::Counter g_pf_items = obs::counter("parallel.for.items");
+const obs::Counter g_pf_chunks = obs::counter("parallel.for.chunks");
+const obs::Counter g_pf_steals = obs::counter("parallel.for.steals");
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   threads = std::max<std::size_t>(1, threads);
+  pending_.resize(threads);
+  cumulative_.resize(threads);
+  worker_task_counters_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    worker_task_counters_.push_back(
+        obs::counter("parallel.pool.worker." + std::to_string(i) + ".tasks"));
+  }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back(
-        [this](const std::stop_token& st) { worker_loop(st); });
+        [this, i](const std::stop_token& st) { worker_loop(st, i); });
   }
 }
 
@@ -19,7 +43,16 @@ ThreadPool::~ThreadPool() {
     w.request_stop();
   }
   cv_task_.notify_all();
-  // jthread joins on destruction.
+  for (auto& w : workers_) {
+    if (w.joinable()) {
+      w.join();
+    }
+  }
+  {
+    const std::lock_guard lock(mu_);
+    drain_stats_locked();
+  }
+  obs::flush_thread();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -34,24 +67,66 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mu_);
   cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  drain_stats_locked();
   if (first_error_) {
     const std::exception_ptr e = std::exchange(first_error_, nullptr);
     lock.unlock();
+    obs::flush_thread();
     std::rethrow_exception(e);
+  }
+  lock.unlock();
+  obs::flush_thread();
+}
+
+std::vector<ThreadPool::WorkerStats> ThreadPool::stats() {
+  const std::lock_guard lock(mu_);
+  std::vector<WorkerStats> out = cumulative_;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].tasks += pending_[i].tasks;
+    out[i].waits += pending_[i].waits;
+    out[i].idle_seconds += pending_[i].idle_seconds;
+  }
+  return out;
+}
+
+void ThreadPool::drain_stats_locked() {
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    WorkerStats& ws = pending_[i];
+    if (ws.tasks != 0) {
+      g_pool_tasks.inc(ws.tasks);
+      worker_task_counters_[i].inc(ws.tasks);
+    }
+    if (ws.waits != 0) {
+      g_pool_waits.inc(ws.waits);
+    }
+    if (ws.idle_seconds > 0) {
+      g_pool_idle_us.inc(static_cast<std::uint64_t>(ws.idle_seconds * 1e6));
+    }
+    cumulative_[i].tasks += ws.tasks;
+    cumulative_[i].waits += ws.waits;
+    cumulative_[i].idle_seconds += ws.idle_seconds;
+    ws = WorkerStats{};
   }
 }
 
-void ThreadPool::worker_loop(const std::stop_token& st) {
+void ThreadPool::worker_loop(const std::stop_token& st, std::size_t rank) {
   while (true) {
     std::function<void()> task;
     {
       std::unique_lock lock(mu_);
-      cv_task_.wait(lock, st, [this] { return !queue_.empty(); });
       if (queue_.empty()) {
-        return;  // stop requested and queue drained
+        WorkerStats& ws = pending_[rank];
+        ++ws.waits;
+        const util::WallTimer idle;
+        cv_task_.wait(lock, st, [this] { return !queue_.empty(); });
+        ws.idle_seconds += idle.seconds();
+        if (queue_.empty()) {
+          return;  // stop requested and queue drained
+        }
       }
       task = std::move(queue_.front());
       queue_.pop();
+      ++pending_[rank].tasks;
     }
     try {
       task();
@@ -61,6 +136,10 @@ void ThreadPool::worker_loop(const std::stop_token& st) {
         first_error_ = std::current_exception();
       }
     }
+    // Publish the task's thread-local metrics BEFORE its completion becomes
+    // visible, so wait_idle() callers never observe finished work whose
+    // increments are still buffered.
+    obs::flush_thread();
     {
       const std::lock_guard lock(mu_);
       if (--in_flight_ == 0) {
@@ -85,12 +164,15 @@ void parallel_for_ranked(
   if (begin >= end) {
     return;
   }
+  g_pf_invocations.inc();
   const std::size_t t =
       std::min(effective_threads(threads), (end - begin + grain - 1) / grain);
   if (t <= 1) {
     for (std::size_t i = begin; i < end; ++i) {
       fn(0, i);
     }
+    g_pf_items.inc(end - begin);
+    g_pf_chunks.inc();
     return;
   }
 
@@ -99,14 +181,21 @@ void parallel_for_ranked(
   std::mutex err_mu;
 
   const auto body = [&](std::size_t rank) {
+    // Flush this worker's sink when the body unwinds (normally or not);
+    // ranks > 0 also flush via thread-exit, rank 0 runs on the caller.
+    const obs::ScopedThreadSink sink_flush;
+    std::uint64_t chunks = 0;
+    std::uint64_t items = 0;
     try {
       while (true) {
         const std::size_t chunk_begin =
             cursor.fetch_add(grain, std::memory_order_relaxed);
         if (chunk_begin >= end) {
-          return;
+          break;
         }
         const std::size_t chunk_end = std::min(end, chunk_begin + grain);
+        ++chunks;
+        items += chunk_end - chunk_begin;
         for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
           fn(rank, i);
         }
@@ -116,6 +205,13 @@ void parallel_for_ranked(
       if (!first_error) {
         first_error = std::current_exception();
       }
+    }
+    if (chunks != 0) {
+      g_pf_chunks.inc(chunks);
+      g_pf_items.inc(items);
+      // Everything after a worker's first claim came off the shared
+      // cursor: chunk steals in the work-stealing sense.
+      g_pf_steals.inc(chunks - 1);
     }
   };
 

@@ -11,11 +11,20 @@
 //    thread (first one wins), so failures are not silently swallowed;
 //  * `threads == 1` executes inline with zero synchronization, which keeps
 //    the sequential baselines honest in benchmarks.
+//
+// Observability: each worker keeps a private stats record (tasks executed,
+// sleep/wake waits, idle seconds) written only inside the lock windows the
+// queue protocol already holds — no extra synchronization on the hot path.
+// The records are drained into the obs registry (parallel.pool.* counters,
+// plus a per-worker parallel.pool.worker.<i>.tasks series) on wait_idle()
+// and destruction, and a task's own thread-local metrics are flushed after
+// the task body so wait_idle() observes every increment of completed work.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -23,12 +32,21 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace bfhrf::parallel {
 
 class ThreadPool {
  public:
+  /// Per-worker execution statistics (deltas since the last drain are held
+  /// privately; this is the cumulative view returned by stats()).
+  struct WorkerStats {
+    std::uint64_t tasks = 0;  ///< tasks executed by this worker
+    std::uint64_t waits = 0;  ///< times the worker went to sleep
+    double idle_seconds = 0;  ///< total time spent asleep
+  };
+
   /// Spin up `threads` workers (>= 1).
   explicit ThreadPool(std::size_t threads);
 
@@ -43,11 +61,18 @@ class ThreadPool {
   void submit(std::function<void()> task);
 
   /// Block until every submitted task has finished. Rethrows the first
-  /// captured task exception, if any.
+  /// captured task exception, if any. Drains worker metrics into the obs
+  /// registry before returning.
   void wait_idle();
 
+  /// Cumulative per-worker statistics (index = worker rank).
+  [[nodiscard]] std::vector<WorkerStats> stats();
+
  private:
-  void worker_loop(const std::stop_token& st);
+  void worker_loop(const std::stop_token& st, std::size_t rank);
+
+  /// Publish pending per-worker deltas to the obs registry. mu_ held.
+  void drain_stats_locked();
 
   std::mutex mu_;
   std::condition_variable_any cv_task_;
@@ -55,6 +80,9 @@ class ThreadPool {
   std::queue<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;
   std::exception_ptr first_error_;
+  std::vector<WorkerStats> pending_;     ///< deltas since last drain (mu_)
+  std::vector<WorkerStats> cumulative_;  ///< lifetime totals (mu_)
+  std::vector<obs::Counter> worker_task_counters_;
   std::vector<std::jthread> workers_;
 };
 

@@ -6,10 +6,15 @@
 #include <istream>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "util/string_util.hpp"
 
 namespace bfhrf::phylo {
 namespace {
+
+// Streaming-reader throughput: records yielded and bytes consumed.
+const obs::Counter g_newick_trees = obs::counter("phylo.newick.trees");
+const obs::Counter g_newick_bytes = obs::counter("phylo.newick.bytes");
 
 /// Character-level cursor with comment and whitespace skipping.
 class Cursor {
@@ -394,6 +399,8 @@ std::optional<Tree> NewickReader::next() {
       case ';': {
         buffer_.push_back(c);
         ++count_;
+        g_newick_trees.inc();
+        g_newick_bytes.inc(buffer_.size());
         return parse_newick(buffer_, taxa_, opts_);
       }
       default:
@@ -404,6 +411,8 @@ std::optional<Tree> NewickReader::next() {
   if (!util::trim(buffer_).empty()) {
     // Trailing record without ';' — accept it for robustness.
     ++count_;
+    g_newick_trees.inc();
+    g_newick_bytes.inc(buffer_.size());
     return parse_newick(buffer_, taxa_, opts_);
   }
   return std::nullopt;

@@ -1,8 +1,12 @@
 // Robustness ("fuzz-lite") suite: randomly corrupted inputs must either
 // parse to a valid tree or throw a typed bfhrf::Error — never crash,
-// hang, or corrupt state. Deterministic seeds keep failures reproducible.
+// hang, or corrupt state. Every test draws its seed through
+// test::fuzz_seed, so the defaults are deterministic yet any failure can
+// be replayed with `--seed=N` (or BFHRF_FUZZ_SEED); the seed is printed
+// up front and attached to assertion traces.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -36,7 +40,9 @@ std::string mutate(std::string s, std::size_t edits, util::Rng& rng) {
 }
 
 TEST(FuzzTest, MutatedNewickNeverCrashes) {
-  util::Rng rng(0xF422);
+  const std::uint64_t seed = test::fuzz_seed(0xF422);
+  SCOPED_TRACE("seed=" + test::hex_seed(seed));
+  util::Rng rng(seed);
   const auto taxa = phylo::TaxonSet::make_numbered(12);
   const std::string base =
       phylo::write_newick(sim::yule_tree(taxa, rng));
@@ -61,7 +67,9 @@ TEST(FuzzTest, MutatedNewickNeverCrashes) {
 }
 
 TEST(FuzzTest, MutatedNexusNeverCrashes) {
-  util::Rng rng(0xF423);
+  const std::uint64_t seed = test::fuzz_seed(0xF423);
+  SCOPED_TRACE("seed=" + test::hex_seed(seed));
+  util::Rng rng(seed);
   const std::string base =
       "#NEXUS\nBEGIN TAXA;\n TAXLABELS A B C D E;\nEND;\n"
       "BEGIN TREES;\n TRANSLATE 1 A, 2 B, 3 C, 4 D, 5 E;\n"
@@ -86,7 +94,9 @@ TEST(FuzzTest, MutatedNexusNeverCrashes) {
 }
 
 TEST(FuzzTest, TruncatedNewickAlwaysRejectedOrValid) {
-  util::Rng rng(0xF424);
+  const std::uint64_t seed = test::fuzz_seed(0xF424);
+  SCOPED_TRACE("seed=" + test::hex_seed(seed));
+  util::Rng rng(seed);
   const auto taxa = phylo::TaxonSet::make_numbered(20);
   const std::string base = phylo::write_newick(
       sim::yule_tree(taxa, rng, sim::GeneratorOptions{.branch_lengths = true}));
@@ -103,7 +113,9 @@ TEST(FuzzTest, TruncatedNewickAlwaysRejectedOrValid) {
 }
 
 TEST(FuzzTest, GarbageBytesRejected) {
-  util::Rng rng(0xF425);
+  const std::uint64_t seed = test::fuzz_seed(0xF425);
+  SCOPED_TRACE("seed=" + test::hex_seed(seed));
+  util::Rng rng(seed);
   for (int rep = 0; rep < 500; ++rep) {
     std::string garbage(1 + rng.below(64), '\0');
     for (auto& c : garbage) {
@@ -122,7 +134,9 @@ TEST(FuzzTest, EngineSurvivesAdversarialCollections) {
   // Collections mixing tiny trees, stars, caterpillars and multifurcations
   // over one namespace: every engine path must stay exact or throw typed.
   const auto taxa = phylo::TaxonSet::make_numbered(9);
-  util::Rng rng(0xF426);
+  const std::uint64_t seed = test::fuzz_seed(0xF426);
+  SCOPED_TRACE("seed=" + test::hex_seed(seed));
+  util::Rng rng(seed);
   std::vector<phylo::Tree> zoo;
   zoo.push_back(sim::caterpillar_tree(taxa, rng));
   zoo.push_back(sim::multifurcating_tree(taxa, rng, 0.9));

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <fstream>
+#include <string>
+
+#include <unistd.h>
 
 #include "core/bfhrf.hpp"
 #include "core/day.hpp"
@@ -29,8 +32,11 @@ class PipelineTest : public ::testing::Test {
     util::Rng rng(99);
     reference_ = test::random_collection(taxa_, 40, 4, rng, true);
     queries_ = test::random_collection(taxa_, 15, 6, rng, true);
-    ref_path_ = dir_ + "/ref.nwk";
-    query_path_ = dir_ + "/query.nwk";
+    // ctest runs each TEST_F as its own process, concurrently; the paths
+    // must be per-process or parallel runs race on the shared tmp dir.
+    const std::string tag = std::to_string(::getpid());
+    ref_path_ = dir_ + "/bfhrf_ref_" + tag + ".nwk";
+    query_path_ = dir_ + "/bfhrf_query_" + tag + ".nwk";
     phylo::write_newick_file(ref_path_, reference_);
     phylo::write_newick_file(query_path_, queries_);
   }
@@ -128,7 +134,8 @@ TEST_F(PipelineTest, FrozenTaxaCatchForeignTrees) {
   Tree t;
   EXPECT_TRUE(source.next(t));  // known taxa stream fine
 
-  const std::string bad_path = dir_ + "/bad.nwk";
+  const std::string bad_path =
+      dir_ + "/bfhrf_bad_" + std::to_string(::getpid()) + ".nwk";
   {
     std::ofstream out(bad_path);
     out << "((t0,t1),(t2,WRONG));\n";

@@ -1,0 +1,142 @@
+// JSON exporter golden tests. dump(os, snap) is a pure formatter compiled
+// in BOTH obs modes, so these run (and the goldens hold) with
+// -DBFHRF_OBS=OFF too — only the live-registry checks gate on
+// compiled_in().
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace bfhrf::obs {
+namespace {
+
+TEST(ObsExport, GoldenEmptySnapshot) {
+  Snapshot snap;
+  snap.compiled = false;
+  snap.enabled = false;
+  const std::string expected =
+      "{\n"
+      "  \"version\": 1,\n"
+      "  \"compiled\": false,\n"
+      "  \"enabled\": false,\n"
+      "  \"counters\": {},\n"
+      "  \"gauges\": {},\n"
+      "  \"histograms\": {},\n"
+      "  \"spans\": [],\n"
+      "  \"spans_dropped\": 0\n"
+      "}\n";
+  EXPECT_EQ(dump_string(snap), expected);
+}
+
+TEST(ObsExport, GoldenPopulatedSnapshot) {
+  Snapshot snap;
+  snap.compiled = true;
+  snap.enabled = true;
+  snap.counters = {{"a.b.c", 42}, {"z", 0}};
+  snap.gauges = {{"g.bytes", 1048576.0}, {"g.ratio", 0.5}};
+  HistogramSnapshot h;
+  h.edges = {1.0, 2.0};
+  h.buckets = {1, 2, 3};
+  h.count = 6;
+  h.sum = 7.5;
+  h.min = 0.25;
+  h.max = 4.0;
+  snap.histograms = {{"h.seconds", h}};
+  snap.spans = {{.name = "build", .start_ns = 1500, .dur_ns = 2500,
+                 .thread = 0}};
+  snap.spans_dropped = 1;
+
+  const std::string expected =
+      "{\n"
+      "  \"version\": 1,\n"
+      "  \"compiled\": true,\n"
+      "  \"enabled\": true,\n"
+      "  \"counters\": {\n"
+      "    \"a.b.c\": 42,\n"
+      "    \"z\": 0\n"
+      "  },\n"
+      "  \"gauges\": {\n"
+      "    \"g.bytes\": 1048576,\n"
+      "    \"g.ratio\": 0.5\n"
+      "  },\n"
+      "  \"histograms\": {\n"
+      "    \"h.seconds\": {\"count\": 6, \"sum\": 7.5, \"min\": 0.25, "
+      "\"max\": 4, \"edges\": [1, 2], \"buckets\": [1, 2, 3]}\n"
+      "  },\n"
+      "  \"spans\": [\n"
+      "    {\"name\": \"build\", \"thread\": 0, \"start_us\": 1, "
+      "\"dur_us\": 2}\n"
+      "  ],\n"
+      "  \"spans_dropped\": 1\n"
+      "}\n";
+  EXPECT_EQ(dump_string(snap), expected);
+}
+
+TEST(ObsExport, EscapesNamesAndNullsNonFiniteValues) {
+  Snapshot snap;
+  snap.compiled = true;
+  snap.enabled = true;
+  snap.counters = {{std::string("we\"ird\\name\n\x01"), 1}};
+  snap.gauges = {{"inf", std::numeric_limits<double>::infinity()},
+                 {"nan", std::numeric_limits<double>::quiet_NaN()}};
+  const std::string out = dump_string(snap);
+  EXPECT_NE(out.find("\"we\\\"ird\\\\name\\n\\u0001\": 1"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"inf\": null"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"nan\": null"), std::string::npos) << out;
+}
+
+TEST(ObsExport, NumbersKeepIntegersExactAndDoublesRoundTrip) {
+  Snapshot snap;
+  snap.compiled = true;
+  snap.enabled = true;
+  // 2^53 - 1 is the largest double-exact integer; it must not be emitted
+  // in scientific notation.
+  snap.gauges = {{"big", 9007199254740991.0}, {"third", 1.0 / 3.0}};
+  const std::string out = dump_string(snap);
+  EXPECT_NE(out.find("\"big\": 9007199254740991"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"third\": 0.33333333333333331"), std::string::npos)
+      << out;
+}
+
+TEST(ObsExport, LiveDumpIsWellFormedInBothModes) {
+  // Smoke-check the zero-argument overload against the real registry; the
+  // envelope must be present whether or not the layer is compiled in.
+  const std::string out = dump_string();
+  EXPECT_EQ(out.front(), '{');
+  EXPECT_EQ(out.substr(out.size() - 2), "}\n");
+  EXPECT_NE(out.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(out.find("\"counters\""), std::string::npos);
+  EXPECT_NE(out.find("\"spans_dropped\""), std::string::npos);
+}
+
+TEST(ObsExport, LiveCounterAppearsInDump) {
+  if (!compiled_in()) {
+    GTEST_SKIP() << "observability compiled out";
+  }
+  reset();
+  const Counter c = counter("test.export.live");
+  c.inc(11);
+  const std::string out = dump_string();  // snapshots (and flushes) first
+  EXPECT_NE(out.find("\"test.export.live\": 11"), std::string::npos) << out;
+}
+
+TEST(ObsExport, SnapshotNamesAreSorted) {
+  if (!compiled_in()) {
+    GTEST_SKIP() << "observability compiled out";
+  }
+  reset();
+  counter("test.sort.zz").inc();
+  counter("test.sort.aa").inc();
+  counter("test.sort.mm").inc();
+  const Snapshot snap = snapshot();
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+  }
+}
+
+}  // namespace
+}  // namespace bfhrf::obs

@@ -1,0 +1,105 @@
+// Instrumentation invariance: observability must never change results.
+// The engines are run with metrics enabled and disabled (runtime kill
+// switch) and their outputs compared bit-for-bit; both are also checked
+// against the sequential ground truth. With -DBFHRF_OBS=OFF the kill
+// switch is a no-op and the comparison degenerates to determinism across
+// repeated runs — still a meaningful check.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/all_pairs.hpp"
+#include "core/bfhrf.hpp"
+#include "core/rf_matrix.hpp"
+#include "core/sequential_rf.hpp"
+#include "obs/metrics.hpp"
+#include "support/test_util.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf {
+namespace {
+
+struct EngineOutputs {
+  std::vector<double> avg;
+  std::vector<double> avg_compressed;
+  core::RfMatrix matrix;
+};
+
+EngineOutputs run_engines(const std::vector<phylo::Tree>& trees) {
+  EngineOutputs out;
+  out.avg = core::bfhrf_average_rf(trees, trees, {.threads = 4});
+  out.avg_compressed =
+      core::bfhrf_average_rf(trees, trees,
+                             {.threads = 4, .compressed_keys = true});
+  out.matrix = core::all_pairs_rf(trees, {.threads = 4});
+  return out;
+}
+
+bool bit_identical(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+TEST(ObsInvariance, RfOutputsIdenticalWithMetricsOnAndOff) {
+  const auto taxa = phylo::TaxonSet::make_numbered(24);
+  util::Rng rng(0x0B5ECAFE);
+  const auto trees = test::random_collection(taxa, 24, 4, rng);
+
+  obs::set_enabled(true);
+  const EngineOutputs on = run_engines(trees);
+  obs::set_enabled(false);
+  const EngineOutputs off = run_engines(trees);
+  obs::set_enabled(true);
+
+  EXPECT_TRUE(bit_identical(on.avg, off.avg));
+  EXPECT_TRUE(bit_identical(on.avg_compressed, off.avg_compressed));
+  ASSERT_EQ(on.matrix.size(), off.matrix.size());
+  for (std::size_t i = 0; i < on.matrix.size(); ++i) {
+    for (std::size_t j = i + 1; j < on.matrix.size(); ++j) {
+      ASSERT_EQ(on.matrix.at(i, j), off.matrix.at(i, j))
+          << "matrix divergence at (" << i << ", " << j << ")";
+    }
+  }
+
+  // Both instrumented and uninstrumented runs must match the sequential
+  // ground truth — invariance alone would also pass if both were wrong.
+  const auto seq = core::sequential_avg_rf(trees, trees).avg_rf;
+  ASSERT_EQ(on.avg.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_DOUBLE_EQ(on.avg[i], seq[i]) << "query tree " << i;
+    EXPECT_DOUBLE_EQ(on.avg_compressed[i], seq[i]) << "query tree " << i;
+  }
+}
+
+TEST(ObsInvariance, MetricsActuallyRecordWhenEnabled) {
+  // Guards the test above against vacuous success: with the layer compiled
+  // in and enabled, running the engine must move the counters.
+  if (!obs::compiled_in()) {
+    GTEST_SKIP() << "observability compiled out";
+  }
+  obs::reset();
+  obs::set_enabled(true);
+  const auto taxa = phylo::TaxonSet::make_numbered(16);
+  util::Rng rng(0x0B5);
+  const auto trees = test::random_collection(taxa, 8, 3, rng);
+  const auto avg = core::bfhrf_average_rf(trees, trees, {.threads = 2});
+  ASSERT_EQ(avg.size(), trees.size());
+  EXPECT_EQ(obs::counter_value("bfhrf.build.trees"), trees.size());
+  EXPECT_EQ(obs::counter_value("bfhrf.query.trees"), trees.size());
+  EXPECT_GT(obs::counter_value("core.frequency_hash.probes"), 0u);
+  const auto snap = obs::snapshot();
+  bool unique_gauge_seen = false;
+  for (const auto& [name, v] : snap.gauges) {
+    if (name == "bfhrf.unique_bipartitions") {
+      unique_gauge_seen = true;
+      EXPECT_GT(v, 0.0);
+    }
+  }
+  EXPECT_TRUE(unique_gauge_seen);
+}
+
+}  // namespace
+}  // namespace bfhrf

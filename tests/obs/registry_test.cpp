@@ -1,0 +1,260 @@
+// Registry semantics: handle registration, per-thread sink merging
+// (associative/commutative), histogram bucket placement, timer
+// monotonicity, the runtime kill switch, and reset().
+//
+// Tests that need the real registry skip themselves when the layer is
+// compiled out (-DBFHRF_OBS=OFF); the structural ones (bucket_edges,
+// ScopedTimer) run in both modes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace bfhrf::obs {
+namespace {
+
+TEST(ObsBuckets, LogSpacedEdges) {
+  const auto edges = bucket_edges({.min = 1.0, .factor = 2.0, .buckets = 4});
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_DOUBLE_EQ(edges[0], 1.0);
+  EXPECT_DOUBLE_EQ(edges[1], 2.0);
+  EXPECT_DOUBLE_EQ(edges[2], 4.0);
+  EXPECT_DOUBLE_EQ(edges[3], 8.0);
+}
+
+TEST(ObsBuckets, SpecIsSanitized) {
+  // Degenerate specs are clamped rather than trusted: non-positive min,
+  // factor <= 1 and zero bucket counts all fall back to usable values.
+  const auto bad = bucket_edges({.min = -3.0, .factor = 0.5, .buckets = 0});
+  ASSERT_FALSE(bad.empty());
+  EXPECT_GT(bad[0], 0.0);
+  for (std::size_t i = 1; i < bad.size(); ++i) {
+    EXPECT_GT(bad[i], bad[i - 1]);
+  }
+  EXPECT_LE(bucket_edges({.min = 1.0, .factor = 2.0, .buckets = 100000})
+                .size(),
+            512u);
+}
+
+TEST(ObsTimer, SecondsIsMonotonicAndNonNegative) {
+  const Histogram h = histogram("test.timer.seconds");
+  const ScopedTimer t(h);
+  const double s1 = t.seconds();
+  // A little real work so the clock can advance (not required to).
+  volatile double sink = 0;
+  for (int i = 0; i < 10000; ++i) {
+    sink = sink + static_cast<double>(i);
+  }
+  const double s2 = t.seconds();
+  EXPECT_GE(s1, 0.0);
+  EXPECT_GE(s2, s1);
+}
+
+TEST(ObsRegistry, CounterAggregatesAcrossThreads) {
+  if (!compiled_in()) {
+    GTEST_SKIP() << "observability compiled out";
+  }
+  reset();
+  const Counter c = counter("test.registry.multithread");
+  // Each thread contributes a distinct total and flushes at a different
+  // cadence; the merge must be order-independent (associative and
+  // commutative), so the aggregate is the plain sum regardless of how the
+  // per-thread flushes interleave.
+  constexpr std::uint64_t kPerThread[] = {1000, 777, 431};
+  std::vector<std::thread> threads;
+  for (const std::uint64_t total : kPerThread) {
+    threads.emplace_back([c, total] {
+      const ScopedThreadSink sink;
+      for (std::uint64_t i = 0; i < total; ++i) {
+        c.inc();
+        if (i % 97 == 0) {
+          flush_thread();  // partial flushes must not double-count
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(counter_value("test.registry.multithread"), 1000u + 777u + 431u);
+}
+
+TEST(ObsRegistry, HandlesAreInternedByName) {
+  if (!compiled_in()) {
+    GTEST_SKIP() << "observability compiled out";
+  }
+  reset();
+  const Counter a = counter("test.registry.interned");
+  const Counter b = counter("test.registry.interned");
+  a.inc(2);
+  b.inc(3);
+  flush_thread();
+  EXPECT_EQ(counter_value("test.registry.interned"), 5u);
+}
+
+TEST(ObsRegistry, HistogramBucketPlacement) {
+  if (!compiled_in()) {
+    GTEST_SKIP() << "observability compiled out";
+  }
+  reset();
+  const Histogram h = histogram("test.registry.hist",
+                                {.min = 1.0, .factor = 2.0, .buckets = 4});
+  // "le" semantics: a value lands in the first bucket whose upper edge is
+  // >= v; values above the last edge go to the implicit overflow bucket.
+  h.observe(0.5);  // <= 1       -> bucket 0
+  h.observe(1.0);  // <= 1       -> bucket 0
+  h.observe(2.0);  // <= 2       -> bucket 1
+  h.observe(3.0);  // <= 4       -> bucket 2
+  h.observe(8.0);  // <= 8       -> bucket 3
+  h.observe(9.0);  // >  8       -> overflow
+  flush_thread();
+
+  const Snapshot snap = snapshot();
+  const HistogramSnapshot* found = nullptr;
+  for (const auto& [name, hist] : snap.histograms) {
+    if (name == "test.registry.hist") {
+      found = &hist;
+    }
+  }
+  ASSERT_NE(found, nullptr);
+  ASSERT_EQ(found->edges.size(), 4u);
+  EXPECT_DOUBLE_EQ(found->edges[3], 8.0);
+  ASSERT_EQ(found->buckets.size(), 5u);  // 4 finite + overflow
+  EXPECT_EQ(found->buckets[0], 2u);
+  EXPECT_EQ(found->buckets[1], 1u);
+  EXPECT_EQ(found->buckets[2], 1u);
+  EXPECT_EQ(found->buckets[3], 1u);
+  EXPECT_EQ(found->buckets[4], 1u);
+  EXPECT_EQ(found->count, 6u);
+  EXPECT_DOUBLE_EQ(found->sum, 23.5);
+  EXPECT_DOUBLE_EQ(found->min, 0.5);
+  EXPECT_DOUBLE_EQ(found->max, 9.0);
+}
+
+TEST(ObsRegistry, HistogramMergesAcrossThreads) {
+  if (!compiled_in()) {
+    GTEST_SKIP() << "observability compiled out";
+  }
+  reset();
+  const Histogram h = histogram("test.registry.hist_merge",
+                                {.min = 1.0, .factor = 2.0, .buckets = 3});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([h, t] {
+      const ScopedThreadSink sink;
+      for (int i = 0; i < 100; ++i) {
+        h.observe(static_cast<double>(t) + 0.5);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  const Snapshot snap = snapshot();
+  for (const auto& [name, hist] : snap.histograms) {
+    if (name == "test.registry.hist_merge") {
+      EXPECT_EQ(hist.count, 400u);
+      EXPECT_DOUBLE_EQ(hist.min, 0.5);
+      EXPECT_DOUBLE_EQ(hist.max, 3.5);
+      EXPECT_DOUBLE_EQ(hist.sum, 100 * (0.5 + 1.5 + 2.5 + 3.5));
+      return;
+    }
+  }
+  FAIL() << "histogram not found in snapshot";
+}
+
+TEST(ObsRegistry, GaugeIsLastWriteWins) {
+  if (!compiled_in()) {
+    GTEST_SKIP() << "observability compiled out";
+  }
+  reset();
+  const Gauge g = gauge("test.registry.gauge");
+  g.set(1.0);
+  g.set(42.5);
+  const Snapshot snap = snapshot();
+  for (const auto& [name, v] : snap.gauges) {
+    if (name == "test.registry.gauge") {
+      EXPECT_DOUBLE_EQ(v, 42.5);
+      return;
+    }
+  }
+  FAIL() << "gauge not found in snapshot";
+}
+
+TEST(ObsRegistry, RuntimeKillSwitchDropsIncrements) {
+  if (!compiled_in()) {
+    GTEST_SKIP() << "observability compiled out";
+  }
+  reset();
+  const Counter c = counter("test.registry.kill_switch");
+  set_enabled(false);
+  c.inc(100);
+  flush_thread();
+  EXPECT_EQ(counter_value("test.registry.kill_switch"), 0u);
+  EXPECT_FALSE(snapshot().enabled);
+  set_enabled(true);
+  c.inc(3);
+  EXPECT_EQ(counter_value("test.registry.kill_switch"), 3u);
+}
+
+TEST(ObsRegistry, ResetZeroesValuesButKeepsRegistrations) {
+  if (!compiled_in()) {
+    GTEST_SKIP() << "observability compiled out";
+  }
+  reset();
+  const Counter c = counter("test.registry.reset");
+  c.inc(7);
+  flush_thread();
+  EXPECT_EQ(counter_value("test.registry.reset"), 7u);
+  reset();
+  EXPECT_EQ(counter_value("test.registry.reset"), 0u);
+  // The old handle still routes to the (zeroed) slot.
+  c.inc(2);
+  EXPECT_EQ(counter_value("test.registry.reset"), 2u);
+}
+
+TEST(ObsRegistry, TraceSpansAreRecorded) {
+  if (!compiled_in()) {
+    GTEST_SKIP() << "observability compiled out";
+  }
+  reset();
+  {
+    const TraceSpan span("test.span.outer");
+  }
+  const Snapshot snap = snapshot();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  EXPECT_EQ(snap.spans[0].name, "test.span.outer");
+}
+
+TEST(ObsRegistry, CompiledOutIsInert) {
+  if (compiled_in()) {
+    GTEST_SKIP() << "only meaningful with -DBFHRF_OBS=OFF";
+  }
+  const Counter c = counter("test.registry.off");
+  c.inc(5);
+  flush_thread();
+  EXPECT_EQ(counter_value("test.registry.off"), 0u);
+  const Snapshot snap = snapshot();
+  EXPECT_FALSE(snap.compiled);
+  EXPECT_FALSE(snap.enabled);
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.spans.empty());
+}
+
+TEST(ObsRegistry, DefaultHandlesAreInert) {
+  const Counter c;
+  const Gauge g;
+  const Histogram h;
+  c.inc(10);
+  g.set(1.0);
+  h.observe(1.0);
+  flush_thread();  // must not crash; nothing to record
+}
+
+}  // namespace
+}  // namespace bfhrf::obs

@@ -1,0 +1,27 @@
+// Shared gtest main for every bfhrf test binary.
+//
+// Adds one flag on top of the stock runner: `--seed=N` (decimal or
+// 0x-prefixed hex) is exported as BFHRF_FUZZ_SEED before gtest parses the
+// command line, so the randomized suites (see support/test_util.hpp's
+// fuzz_seed) can replay a failing run exactly:
+//
+//   ./bfhrf_fuzz_tests --seed=0xF422
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+
+int main(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      ::setenv("BFHRF_FUZZ_SEED", argv[i] + 7, /*overwrite=*/1);
+      continue;  // strip it: gtest rejects unknown flags
+    }
+    argv[kept++] = argv[i];
+  }
+  argc = kept;
+  argv[argc] = nullptr;
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -1,6 +1,9 @@
 // Shared helpers for the bfhrf test suites.
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,6 +16,28 @@
 #include "util/rng.hpp"
 
 namespace bfhrf::test {
+
+inline std::string hex_seed(std::uint64_t seed) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%llX",
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+/// Seed for a randomized test. BFHRF_FUZZ_SEED (set directly or via the
+/// `--seed=N` flag handled in support/test_main.cpp; decimal or 0x-hex)
+/// overrides `default_seed`. The seed is announced on stdout so a run that
+/// dies before gtest reports is still reproducible; pair it with a
+/// SCOPED_TRACE so ordinary assertion failures carry it too.
+inline std::uint64_t fuzz_seed(std::uint64_t default_seed) {
+  const char* env = std::getenv("BFHRF_FUZZ_SEED");
+  const std::uint64_t seed = (env != nullptr && *env != '\0')
+                                 ? std::strtoull(env, nullptr, 0)
+                                 : default_seed;
+  std::printf("[fuzz] seed=%s (replay with --seed=%s)\n",
+              hex_seed(seed).c_str(), hex_seed(seed).c_str());
+  return seed;
+}
 
 /// Parse a Newick string over a fresh taxon set.
 inline phylo::Tree tree_of(const std::string& newick,
