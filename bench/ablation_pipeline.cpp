@@ -1,0 +1,210 @@
+// Ablation A7: pipelined streaming engine vs the legacy barrier-batch loop.
+//
+// The original streaming engines alternated a single-threaded parse burst
+// with a barrier-synchronized worker burst, and the hot path re-allocated
+// extraction buffers per tree and resolved every split through a virtual
+// per-key lookup. This bench isolates the overhaul:
+//
+//   legacy    : StreamingMode::BarrierBatch + reuse_scratch=false +
+//               batched_hash=false — the pre-overhaul engine, byte for
+//               byte (fill a batch, barrier, repeat).
+//   pipelined : StreamingMode::Pipelined + scratch reuse + sort-free
+//               classic extraction + batched prefetched hash inserts and
+//               lookups — parser feeds a bounded queue while workers
+//               drain continuously (inline zero-sync loop on 1-core
+//               hosts, where overlap is impossible).
+//
+// Reported: build+query wall time for both paths across thread counts, a
+// queue-capacity sweep at the widest thread count, and bitwise equality of
+// the two paths' outputs (classic RF is integer-valued, so ANY difference
+// is a bug, not roundoff).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/bfhrf.hpp"
+#include "core/tree_source.hpp"
+#include "sim/datasets.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace bfhrf::bench {
+namespace {
+
+std::size_t r_trees() {
+  switch (scale()) {
+    case Scale::Smoke:
+      return 300;
+    case Scale::Small:
+      return 8000;
+    case Scale::Paper:
+      return 50000;
+  }
+  return 0;
+}
+
+constexpr std::size_t kTaxa = 144;  // the Insect width (2 words per key)
+const std::size_t kThreadCounts[] = {1, 2, 4, 8};
+const std::size_t kQueueCapacities[] = {1, 4, 16, 64, 256};
+constexpr std::size_t kSweepThreads = 8;
+
+struct RunResult {
+  double seconds = 0;
+  std::vector<double> avg;
+};
+std::map<std::string, RunResult> g_results;
+
+std::string dataset_path() {
+  static const std::string path = [] {
+    const std::string p = "/tmp/bfhrf_a7_pipeline.nwk";
+    sim::DatasetSpec spec = sim::insect_like(r_trees());
+    (void)sim::generate_to_file(spec, p);
+    return p;
+  }();
+  return path;
+}
+
+phylo::TaxonSetPtr file_taxa() {
+  static const phylo::TaxonSetPtr taxa = [] {
+    auto t = std::make_shared<phylo::TaxonSet>();
+    core::FileTreeSource scan(dataset_path(), t);
+    phylo::Tree tree;
+    while (scan.next(tree)) {
+    }
+    return t;
+  }();
+  return taxa;
+}
+
+/// Streamed build + streamed query (Q == R, both from file), timed.
+RunResult run_config(const core::BfhrfOptions& opts) {
+  const auto taxa = file_taxa();
+  RunResult out;
+  util::WallTimer timer;
+  core::Bfhrf engine(taxa->size(), opts);
+  core::FileTreeSource reference(dataset_path(), taxa);
+  engine.build(reference);
+  reference.reset();
+  out.avg = engine.query(reference);
+  out.seconds = timer.seconds();
+  return out;
+}
+
+core::BfhrfOptions legacy_opts(std::size_t threads) {
+  return core::BfhrfOptions{.threads = threads,
+                            .batch_size = 64,
+                            .streaming = core::StreamingMode::BarrierBatch,
+                            .reuse_scratch = false,
+                            .batched_hash = false};
+}
+
+core::BfhrfOptions pipelined_opts(std::size_t threads,
+                                  std::size_t queue_capacity = 0) {
+  return core::BfhrfOptions{.threads = threads,
+                            .streaming = core::StreamingMode::Pipelined,
+                            .queue_capacity = queue_capacity};
+}
+
+void register_cell(const std::string& label, core::BfhrfOptions opts) {
+  benchmark::RegisterBenchmark(label.c_str(),
+                               [label, opts](benchmark::State& state) {
+                                 for (auto _ : state) {
+                                   g_results[label] = run_config(opts);
+                                 }
+                               })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+bool same_results(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void report() {
+  std::printf("\n--- Ablation A7: barrier-batch legacy vs pipelined engine "
+              "(n=%zu, r=q=%zu, streamed from file) ---\n",
+              kTaxa, r_trees());
+
+  util::TextTable table({"Threads", "legacy(s)", "pipelined(s)", "Speedup"});
+  for (const std::size_t t : kThreadCounts) {
+    const RunResult& legacy = g_results["legacy/t" + std::to_string(t)];
+    const RunResult& pipe = g_results["pipelined/t" + std::to_string(t)];
+    table.add_row({std::to_string(t), util::format_fixed(legacy.seconds, 2),
+                   util::format_fixed(pipe.seconds, 2),
+                   util::format_fixed(legacy.seconds / pipe.seconds, 2) +
+                       "x"});
+  }
+  table.print(std::cout);
+
+  std::printf("\nQueue-capacity sweep (pipelined, threads=%zu; 0 means the "
+              "max(4*threads,16) default):\n",
+              kSweepThreads);
+  util::TextTable sweep({"Capacity", "Time(s)"});
+  for (const std::size_t cap : kQueueCapacities) {
+    const RunResult& run = g_results["pipelined/q" + std::to_string(cap)];
+    sweep.add_row({std::to_string(cap), util::format_fixed(run.seconds, 2)});
+  }
+  sweep.print(std::cout);
+
+  // Bitwise equality: every configuration against the sequential legacy
+  // ground truth.
+  const RunResult& truth = g_results["legacy/t1"];
+  bool all_equal = true;
+  for (const auto& [label, run] : g_results) {
+    if (!same_results(run.avg, truth.avg)) {
+      all_equal = false;
+      std::printf("MISMATCH: %s differs from legacy/t1\n", label.c_str());
+    }
+  }
+  verdict("all engine configurations agree bitwise", all_equal,
+          std::to_string(g_results.size()) + " configurations x " +
+              std::to_string(truth.avg.size()) + " averages");
+
+  const double legacy8 = g_results["legacy/t8"].seconds;
+  const double pipe8 = g_results["pipelined/t8"].seconds;
+  verdict("pipelined >= 1.3x vs barrier-batch legacy at 8 threads",
+          pipe8 * 1.3 <= legacy8,
+          util::format_fixed(legacy8 / pipe8, 2) + "x (" +
+              util::format_fixed(legacy8, 2) + "s -> " +
+              util::format_fixed(pipe8, 2) + "s)");
+}
+
+}  // namespace
+}  // namespace bfhrf::bench
+
+int main(int argc, char** argv) {
+  using namespace bfhrf::bench;
+  print_header("Ablation A7 — pipelined streaming engine",
+               "engine overhaul; paper SVI threading methodology");
+  for (const std::size_t t : kThreadCounts) {
+    register_cell("legacy/t" + std::to_string(t), legacy_opts(t));
+    register_cell("pipelined/t" + std::to_string(t), pipelined_opts(t));
+  }
+  for (const std::size_t cap : kQueueCapacities) {
+    register_cell("pipelined/q" + std::to_string(cap),
+                  pipelined_opts(kSweepThreads, cap));
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  report();
+  export_metrics();
+  return 0;
+}

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Diff two bench metrics exports (BENCH_<slug>.json) for regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [--tolerance 0.15]
+                     [--filter PREFIX] [--strict-counters]
+
+Both inputs are the JSON blobs written by ``bfhrf::bench::export_metrics()``
+(docs/OBSERVABILITY.md). The comparison is asymmetric on purpose:
+
+* **Timing histograms** (names ending in ``.seconds``): the candidate's
+  ``sum`` may not exceed the baseline's by more than ``--tolerance``
+  (relative). Exceeding it is a REGRESSION and the exit code is non-zero.
+  Improvements are reported but never fail.
+* **Counters and gauges**: relative drift beyond the tolerance is reported
+  as a CHANGE (work-volume metrics legitimately move when code changes);
+  with ``--strict-counters`` those also fail. Metrics present on only one
+  side are always reported.
+
+Typical flow: keep a known-good export under version control or CI
+artifacts, re-run the bench, then gate with::
+
+    ./build/bench/bench_ablation_pipeline
+    python3 scripts/bench_compare.py baseline/BENCH_ablation_a7.json \
+        BENCH_ablation_a7_pipelined_streaming_engine.json
+
+scripts/check.sh runs this automatically when BFHRF_BENCH_BASELINE and
+BFHRF_BENCH_CANDIDATE are set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        blob = json.load(fh)
+    if "metrics" not in blob:
+        raise SystemExit(f"{path}: not a bench export (no 'metrics' key)")
+    return blob
+
+
+def rel_delta(base: float, cand: float) -> float:
+    if base == 0:
+        return 0.0 if cand == 0 else float("inf")
+    return (cand - base) / abs(base)
+
+
+def fmt_delta(base: float, cand: float) -> str:
+    d = rel_delta(base, cand)
+    sign = "+" if d >= 0 else ""
+    return f"{base:g} -> {cand:g} ({sign}{d * 100:.1f}%)"
+
+
+def compare(base: dict, cand: dict, tolerance: float, prefix: str,
+            strict_counters: bool) -> int:
+    regressions: list[str] = []
+    changes: list[str] = []
+    improvements: list[str] = []
+
+    bm, cm = base["metrics"], cand["metrics"]
+    if base.get("experiment") != cand.get("experiment"):
+        changes.append(
+            f"experiment differs: {base.get('experiment')!r} vs "
+            f"{cand.get('experiment')!r}")
+    if base.get("scale") != cand.get("scale"):
+        # Different scales make every number incomparable; treat as fatal.
+        regressions.append(
+            f"scale differs: {base.get('scale')!r} vs {cand.get('scale')!r} "
+            "(comparison meaningless)")
+
+    # Timing histograms: sum of wall seconds, one-sided gate.
+    bh = bm.get("histograms", {})
+    ch = cm.get("histograms", {})
+    for name in sorted(set(bh) | set(ch)):
+        if not name.startswith(prefix) or not name.endswith(".seconds"):
+            continue
+        if name not in bh or name not in ch:
+            changes.append(f"{name}: only in "
+                           f"{'candidate' if name not in bh else 'baseline'}")
+            continue
+        bsum, csum = bh[name]["sum"], ch[name]["sum"]
+        if bsum == 0 and csum == 0:
+            continue
+        d = rel_delta(bsum, csum)
+        line = f"{name}: {fmt_delta(bsum, csum)}"
+        if d > tolerance:
+            regressions.append(line)
+        elif d < -tolerance:
+            improvements.append(line)
+
+    # Counters and gauges: two-sided drift report.
+    for kind in ("counters", "gauges"):
+        bk = bm.get(kind, {})
+        ck = cm.get(kind, {})
+        for name in sorted(set(bk) | set(ck)):
+            if not name.startswith(prefix):
+                continue
+            if name not in bk or name not in ck:
+                changes.append(
+                    f"{name}: only in "
+                    f"{'candidate' if name not in bk else 'baseline'}")
+                continue
+            bval, cval = bk[name], ck[name]
+            if bval == cval:
+                continue
+            if abs(rel_delta(bval, cval)) > tolerance:
+                changes.append(f"{name}: {fmt_delta(bval, cval)}")
+
+    for title, lines in (("REGRESSION", regressions), ("CHANGE", changes),
+                         ("IMPROVEMENT", improvements)):
+        for line in lines:
+            print(f"{title}  {line}")
+
+    failed = bool(regressions) or (strict_counters and bool(changes))
+    n_checked = len([n for n in set(bh) | set(ch)
+                     if n.startswith(prefix) and n.endswith(".seconds")])
+    print(f"\nbench_compare: {n_checked} timing series checked, "
+          f"{len(regressions)} regression(s), {len(changes)} change(s), "
+          f"{len(improvements)} improvement(s) "
+          f"[tolerance {tolerance * 100:.0f}%] -> "
+          f"{'FAIL' if failed else 'OK'}")
+    return 1 if failed else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_*.json metric exports for regressions.")
+    parser.add_argument("baseline", help="known-good export")
+    parser.add_argument("candidate", help="fresh export to vet")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="relative slack before a timing delta is a "
+                             "regression (default 0.15)")
+    parser.add_argument("--filter", default="", metavar="PREFIX",
+                        help="only compare metrics whose name starts with "
+                             "PREFIX (e.g. 'bfhrf.')")
+    parser.add_argument("--strict-counters", action="store_true",
+                        help="counter/gauge drift beyond tolerance also "
+                             "fails, not just timing regressions")
+    args = parser.parse_args()
+    if args.tolerance < 0:
+        parser.error("--tolerance must be >= 0")
+    return compare(load_metrics(args.baseline), load_metrics(args.candidate),
+                   args.tolerance, args.filter, args.strict_counters)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

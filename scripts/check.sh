@@ -27,5 +27,15 @@ run cmake --preset obs-off
 run cmake --build --preset obs-off -j "$(nproc)"
 run ctest --preset obs-off
 
+# Optional tier 4: bench regression gate. Opt in by pointing
+# BFHRF_BENCH_BASELINE at a known-good BENCH_*.json export and
+# BFHRF_BENCH_CANDIDATE at a fresh one (tolerance override:
+# BFHRF_BENCH_TOLERANCE, default 0.15 relative).
+if [[ -n "${BFHRF_BENCH_BASELINE:-}" && -n "${BFHRF_BENCH_CANDIDATE:-}" ]]; then
+  run python3 scripts/bench_compare.py \
+    "${BFHRF_BENCH_BASELINE}" "${BFHRF_BENCH_CANDIDATE}" \
+    --tolerance "${BFHRF_BENCH_TOLERANCE:-0.15}"
+fi
+
 echo
 echo "check.sh: all tiers passed"

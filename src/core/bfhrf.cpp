@@ -1,7 +1,13 @@
 #include "core/bfhrf.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
 #include "core/compressed_hash.hpp"
 #include "obs/metrics.hpp"
+#include "parallel/pipeline.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
 
@@ -22,6 +28,17 @@ const obs::Histogram g_build_seconds = obs::histogram("bfhrf.build.seconds");
 const obs::Histogram g_merge_seconds = obs::histogram("bfhrf.merge.seconds");
 const obs::Histogram g_query_seconds = obs::histogram("bfhrf.query.seconds");
 
+// Batched-query path (FrequencyHash::frequency_many): one batch per query
+// tree, plus the split count resolved through the prefetch pipeline and the
+// subset that took the single-word-key fast path (words_per_key == 1, e.g.
+// the paper's Avian n=48 case).
+const obs::Counter g_prefetch_batches =
+    obs::counter("bfhrf.query.prefetch.batches");
+const obs::Counter g_prefetch_bips =
+    obs::counter("bfhrf.query.prefetch.bipartitions");
+const obs::Counter g_prefetch_fast_path =
+    obs::counter("bfhrf.query.prefetch.fast_path_keys");
+
 }  // namespace
 
 Bfhrf::Bfhrf(std::size_t n_bits, BfhrfOptions opts)
@@ -33,14 +50,26 @@ Bfhrf::Bfhrf(std::size_t n_bits, BfhrfOptions opts)
   if (opts_.batch_size == 0) {
     opts_.batch_size = 1;
   }
-  store_ = make_store();
+  store_ = make_store(opts_.expected_unique);
+  if (!opts_.compressed_keys) {
+    fast_store_ = static_cast<const FrequencyHash*>(store_.get());
+  }
 }
 
-std::unique_ptr<FrequencyStore> Bfhrf::make_store() const {
+std::unique_ptr<FrequencyStore> Bfhrf::make_store(
+    std::size_t expected_unique) const {
   if (opts_.compressed_keys) {
-    return std::make_unique<CompressedFrequencyHash>(n_bits_);
+    return std::make_unique<CompressedFrequencyHash>(n_bits_,
+                                                     expected_unique);
   }
-  return std::make_unique<FrequencyHash>(n_bits_);
+  return std::make_unique<FrequencyHash>(n_bits_, expected_unique);
+}
+
+std::size_t Bfhrf::queue_capacity() const noexcept {
+  if (opts_.queue_capacity != 0) {
+    return opts_.queue_capacity;
+  }
+  return std::max<std::size_t>(4 * opts_.threads, 16);
 }
 
 void Bfhrf::add_tree(const phylo::Tree& tree, FrequencyStore& target) const {
@@ -60,30 +89,126 @@ void Bfhrf::add_tree(const phylo::Tree& tree, FrequencyStore& target) const {
   });
 }
 
+void Bfhrf::add_tree(const phylo::Tree& tree, FrequencyStore& target,
+                     WorkerScratch& scratch) const {
+  if (!opts_.reuse_scratch && !use_batched_add()) {
+    add_tree(tree, target);  // full legacy path (ablation baseline)
+    return;
+  }
+  if (!tree.taxa() || tree.taxa()->size() != n_bits_) {
+    throw InvalidArgument("Bfhrf: tree taxon universe width mismatch");
+  }
+  // Classic RF needs neither sorted arenas nor per-split values, so skip
+  // the finalize sort; variants keep sorted order so their floating-point
+  // weight sums accumulate in exactly the legacy order.
+  const phylo::BipartitionOptions bip_opts{
+      .include_trivial = opts_.include_trivial,
+      .sorted = opts_.variant != nullptr};
+  phylo::BipartitionSet local;
+  const phylo::BipartitionSet& bips =
+      opts_.reuse_scratch
+          ? scratch.extractor.extract(tree, bip_opts)
+          : (local = phylo::extract_bipartitions(tree, bip_opts));
+
+  if (use_batched_add()) {
+    // make_store() only hands out FrequencyHash when keys are uncompressed.
+    auto& hash = static_cast<FrequencyHash&>(target);
+    if (opts_.variant == nullptr) {
+      // Classic RF keeps every split at unit weight: insert the arena
+      // wholesale — no per-split popcount, virtual keep/weight, or
+      // virtual add.
+      hash.add_many(bips.arena_view().data(), bips.size(), nullptr);
+    } else {
+      const RfVariant& v = variant();
+      scratch.kept_keys.clear();
+      scratch.kept_weights.clear();
+      bips.for_each([&](util::ConstWordSpan words) {
+        const BipartitionRef ref{words, n_bits_,
+                                 util::popcount_words(words)};
+        if (!v.keep(ref)) {
+          return;
+        }
+        scratch.kept_keys.insert(scratch.kept_keys.end(), words.begin(),
+                                 words.end());
+        scratch.kept_weights.push_back(v.weight(ref));
+      });
+      hash.add_many(scratch.kept_keys.data(), scratch.kept_weights.size(),
+                    scratch.kept_weights.data());
+    }
+    return;
+  }
+
+  const RfVariant& v = variant();
+  bips.for_each([&](util::ConstWordSpan words) {
+    const BipartitionRef ref{words, n_bits_, util::popcount_words(words)};
+    if (!v.keep(ref)) {
+      return;
+    }
+    target.add_weighted(words, 1, v.weight(ref));
+  });
+}
+
+void Bfhrf::merge_partials(
+    std::vector<std::unique_ptr<FrequencyStore>>& partials) {
+  const obs::ScopedTimer merge_timer(g_merge_seconds);
+  if (partials.empty()) {
+    return;
+  }
+  // Pre-size the final store for the union before keys start landing: the
+  // largest partial is a lower bound on U, the caller's hint may be better.
+  std::size_t largest = 0;
+  for (const auto& p : partials) {
+    largest = std::max(largest, p->unique_count());
+  }
+  store_->reserve(std::max(opts_.expected_unique,
+                           store_->unique_count() + largest));
+
+  // Pairwise tree reduction: each round merges disjoint partial pairs in
+  // parallel (log2 k rounds instead of a k-long sequential fold). Counts
+  // are integers, so the merged frequencies are identical to the rank-order
+  // fold in any order; only weighted totals can differ in the last ulp,
+  // exactly as they already do across parallel_for chunk assignments.
+  for (std::size_t stride = 1; stride < partials.size(); stride *= 2) {
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    for (std::size_t i = 0; i + stride < partials.size(); i += 2 * stride) {
+      pairs.emplace_back(i, i + stride);
+    }
+    parallel::parallel_for(
+        0, pairs.size(), opts_.threads,
+        [&](std::size_t j) {
+          const auto [dst, src] = pairs[j];
+          partials[dst]->reserve(partials[dst]->unique_count() +
+                                 partials[src]->unique_count());
+          partials[dst]->merge_from(*partials[src]);
+          partials[src].reset();
+        },
+        /*grain=*/1);
+  }
+  store_->merge_from(*partials.front());
+}
+
 void Bfhrf::build(std::span<const phylo::Tree> reference) {
   const obs::TraceSpan span("bfhrf.build");
   const obs::ScopedTimer timer(g_build_seconds);
   if (opts_.threads <= 1 || reference.size() < 2) {
+    WorkerScratch scratch;
     for (const auto& t : reference) {
-      add_tree(t, *store_);
+      add_tree(t, *store_, scratch);
     }
   } else {
-    // Per-worker private stores; merged in rank order (deterministic
-    // counts).
+    // Per-worker private stores; pairwise-merged (deterministic counts).
     std::vector<std::unique_ptr<FrequencyStore>> partials;
     partials.reserve(opts_.threads);
     for (std::size_t i = 0; i < opts_.threads; ++i) {
-      partials.push_back(make_store());
+      partials.push_back(make_store(opts_.expected_unique));
     }
+    std::vector<WorkerScratch> scratch(opts_.threads);
     parallel::parallel_for_ranked(
         0, reference.size(), opts_.threads,
         [&](std::size_t rank, std::size_t i) {
-          add_tree(reference[i], *partials[rank]);
+          add_tree(reference[i], *partials[rank], scratch[rank]);
         });
-    const obs::ScopedTimer merge_timer(g_merge_seconds);
-    for (const auto& p : partials) {
-      store_->merge_from(*p);
-    }
+    merge_partials(partials);
   }
   reference_trees_ += reference.size();
   g_build_trees.inc(reference.size());
@@ -93,6 +218,64 @@ void Bfhrf::build(std::span<const phylo::Tree> reference) {
 void Bfhrf::build(TreeSource& reference) {
   const obs::TraceSpan span("bfhrf.build");
   const obs::ScopedTimer timer(g_build_seconds);
+  if (opts_.streaming == StreamingMode::Pipelined) {
+    build_stream_pipelined(reference);
+  } else {
+    build_stream_barrier(reference);
+  }
+}
+
+std::size_t Bfhrf::pipeline_workers() const noexcept {
+  // The calling thread parses; `workers` consumers drain the queue. With
+  // threads <= 1 — or on a single-hardware-thread host, where parse/hash
+  // overlap is physically impossible and the queue would only add
+  // synchronization — the pipeline degenerates to an inline zero-sync
+  // loop (results are identical either way).
+  if (opts_.threads <= 1 || std::thread::hardware_concurrency() <= 1) {
+    return 0;
+  }
+  return opts_.threads;
+}
+
+void Bfhrf::build_stream_pipelined(TreeSource& reference) {
+  const std::size_t workers = pipeline_workers();
+  const std::size_t lanes = std::max<std::size_t>(1, workers);
+
+  std::vector<std::unique_ptr<FrequencyStore>> partials;
+  std::vector<WorkerScratch> scratch(lanes);
+  if (workers > 0) {
+    partials.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) {
+      partials.push_back(make_store(opts_.expected_unique));
+    }
+  }
+
+  std::size_t seen = 0;
+  parallel::pipeline_run<phylo::Tree>(
+      workers, queue_capacity(),
+      [&](const parallel::PipelineEmit<phylo::Tree>& emit) {
+        phylo::Tree t;
+        while (reference.next(t)) {
+          ++seen;
+          if (!emit(std::move(t))) {
+            break;  // pipeline aborted; the failure rethrows after join
+          }
+        }
+      },
+      [&](std::size_t rank, phylo::Tree& t) {
+        FrequencyStore& target = workers > 0 ? *partials[rank] : *store_;
+        add_tree(t, target, scratch[rank]);
+      });
+
+  if (workers > 0) {
+    merge_partials(partials);
+  }
+  reference_trees_ += seen;
+  g_build_trees.inc(seen);
+  publish_store_metrics();
+}
+
+void Bfhrf::build_stream_barrier(TreeSource& reference) {
   std::vector<std::unique_ptr<FrequencyStore>> partials;
   partials.reserve(opts_.threads);
   for (std::size_t i = 0; i < opts_.threads; ++i) {
@@ -162,13 +345,98 @@ double Bfhrf::query_bipartitions(const phylo::BipartitionSet& bips) const {
   return apply_norm(avg, max_avg, opts_.norm);
 }
 
-double Bfhrf::query_one(const phylo::Tree& tree) const {
+double Bfhrf::query_bipartitions(const phylo::BipartitionSet& bips,
+                                 WorkerScratch& scratch) const {
+  if (!use_batched_query()) {
+    return query_bipartitions(bips);
+  }
+  if (reference_trees_ == 0) {
+    throw InvalidArgument("Bfhrf::query before build");
+  }
+  const auto r = static_cast<double>(reference_trees_);
+  const FrequencyHash& store = *fast_store_;
+  const std::size_t wp = store.words_per_key();
+
+  double rf_left = store.total_weight();  // sumBFHR
+  double rf_right = 0.0;
+  double query_weight_sum = 0.0;
+  std::size_t kept = 0;
+
+  if (opts_.variant == nullptr) {
+    // Classic RF: every split kept with unit weight — resolve frequencies
+    // straight off the sorted arena; all terms are integer-valued, so the
+    // rearranged accumulation is bit-identical to the per-split loop.
+    kept = bips.size();
+    scratch.freqs.resize(kept);
+    store.frequency_many(bips.arena_view().data(), kept,
+                         scratch.freqs.data());
+    double sum_freq = 0.0;
+    for (std::size_t i = 0; i < kept; ++i) {
+      sum_freq += static_cast<double>(scratch.freqs[i]);
+    }
+    rf_left -= sum_freq;
+    rf_right = static_cast<double>(kept) * r - sum_freq;
+    query_weight_sum = static_cast<double>(kept);
+  } else {
+    // Variant path: gather kept splits (and weights) into the staging
+    // arena, then batch-resolve. Same per-split accumulation order as the
+    // legacy loop.
+    const RfVariant& v = variant();
+    scratch.kept_keys.clear();
+    scratch.kept_weights.clear();
+    bips.for_each([&](util::ConstWordSpan words) {
+      const BipartitionRef ref{words, n_bits_, util::popcount_words(words)};
+      if (!v.keep(ref)) {
+        return;
+      }
+      scratch.kept_keys.insert(scratch.kept_keys.end(), words.begin(),
+                               words.end());
+      scratch.kept_weights.push_back(v.weight(ref));
+    });
+    kept = scratch.kept_weights.size();
+    scratch.freqs.resize(kept);
+    store.frequency_many(scratch.kept_keys.data(), kept,
+                         scratch.freqs.data());
+    for (std::size_t i = 0; i < kept; ++i) {
+      const double w = scratch.kept_weights[i];
+      const double freq = static_cast<double>(scratch.freqs[i]);
+      rf_left -= w * freq;
+      rf_right += w * (r - freq);
+      query_weight_sum += w;
+    }
+  }
+
+  g_query_bips.inc(kept);
+  g_prefetch_batches.inc();
+  g_prefetch_bips.inc(kept);
+  if (wp == 1) {
+    g_prefetch_fast_path.inc(kept);
+  }
+
+  const double avg = (rf_left + rf_right) / r;
+  const double max_avg = (store.total_weight() / r) + query_weight_sum;
+  return apply_norm(avg, max_avg, opts_.norm);
+}
+
+double Bfhrf::query_one(const phylo::Tree& tree,
+                        WorkerScratch& scratch) const {
   if (!tree.taxa() || tree.taxa()->size() != n_bits_) {
     throw InvalidArgument("Bfhrf: tree taxon universe width mismatch");
   }
-  const phylo::BipartitionOptions bip_opts{.include_trivial =
-                                               opts_.include_trivial};
-  return query_bipartitions(phylo::extract_bipartitions(tree, bip_opts));
+  const phylo::BipartitionOptions bip_opts{
+      .include_trivial = opts_.include_trivial,
+      .sorted = opts_.variant != nullptr};
+  if (opts_.reuse_scratch) {
+    return query_bipartitions(scratch.extractor.extract(tree, bip_opts),
+                              scratch);
+  }
+  return query_bipartitions(phylo::extract_bipartitions(tree, bip_opts),
+                            scratch);
+}
+
+double Bfhrf::query_one(const phylo::Tree& tree) const {
+  WorkerScratch scratch;
+  return query_one(tree, scratch);
 }
 
 std::vector<double> Bfhrf::query(
@@ -176,8 +444,12 @@ std::vector<double> Bfhrf::query(
   const obs::TraceSpan span("bfhrf.query");
   const obs::ScopedTimer timer(g_query_seconds);
   std::vector<double> out(queries.size(), 0.0);
-  parallel::parallel_for(0, queries.size(), opts_.threads,
-                         [&](std::size_t i) { out[i] = query_one(queries[i]); });
+  std::vector<WorkerScratch> scratch(std::max<std::size_t>(1, opts_.threads));
+  parallel::parallel_for_ranked(
+      0, queries.size(), opts_.threads,
+      [&](std::size_t rank, std::size_t i) {
+        out[i] = query_one(queries[i], scratch[rank]);
+      });
   g_query_trees.inc(queries.size());
   return out;
 }
@@ -185,7 +457,67 @@ std::vector<double> Bfhrf::query(
 std::vector<double> Bfhrf::query(TreeSource& queries) const {
   const obs::TraceSpan span("bfhrf.query");
   const obs::ScopedTimer timer(g_query_seconds);
+  std::vector<double> out = opts_.streaming == StreamingMode::Pipelined
+                                ? query_stream_pipelined(queries)
+                                : query_stream_barrier(queries);
+  g_query_trees.inc(out.size());
+  return out;
+}
+
+std::vector<double> Bfhrf::query_stream_pipelined(TreeSource& queries) const {
+  // Order-preserving pipeline: the producer tags each parsed tree with its
+  // stream index; workers drop (index, value) pairs into per-lane buffers
+  // that are scattered into the result vector afterwards, so no lock or
+  // resize happens on the hot path.
+  struct IndexedTree {
+    phylo::Tree tree;
+    std::size_t index = 0;
+  };
+  const std::size_t workers = pipeline_workers();
+  const std::size_t lanes = std::max<std::size_t>(1, workers);
+
+  std::vector<WorkerScratch> scratch(lanes);
+  std::vector<std::vector<std::pair<std::size_t, double>>> lane_results(
+      lanes);
+  const std::optional<std::size_t> hint = queries.size_hint();
+  if (hint) {
+    for (auto& lane : lane_results) {
+      lane.reserve(*hint / lanes + 1);
+    }
+  }
+
+  std::size_t seen = 0;
+  parallel::pipeline_run<IndexedTree>(
+      workers, queue_capacity(),
+      [&](const parallel::PipelineEmit<IndexedTree>& emit) {
+        phylo::Tree t;
+        while (queries.next(t)) {
+          IndexedTree item{std::move(t), seen};
+          ++seen;
+          if (!emit(std::move(item))) {
+            break;
+          }
+        }
+      },
+      [&](std::size_t rank, IndexedTree& item) {
+        lane_results[rank].emplace_back(
+            item.index, query_one(item.tree, scratch[rank]));
+      });
+
+  std::vector<double> out(seen, 0.0);
+  for (const auto& lane : lane_results) {
+    for (const auto& [index, value] : lane) {
+      out[index] = value;
+    }
+  }
+  return out;
+}
+
+std::vector<double> Bfhrf::query_stream_barrier(TreeSource& queries) const {
   std::vector<double> out;
+  if (const auto hint = queries.size_hint()) {
+    out.reserve(*hint);
+  }
   std::vector<phylo::Tree> batch;
   batch.reserve(opts_.batch_size * opts_.threads);
   while (true) {
@@ -205,7 +537,6 @@ std::vector<double> Bfhrf::query(TreeSource& queries) const {
         0, batch.size(), opts_.threads,
         [&](std::size_t i) { out[base + i] = query_one(batch[i]); });
   }
-  g_query_trees.inc(out.size());
   return out;
 }
 

@@ -38,11 +38,26 @@
 
 namespace bfhrf::core {
 
+/// How the streaming (TreeSource) overloads couple parsing to hash work.
+enum class StreamingMode {
+  /// Producer/consumer pipeline over a bounded queue: the parser thread
+  /// feeds trees continuously while workers drain into per-worker private
+  /// stores, so parse and hash work overlap instead of alternating.
+  Pipelined,
+  /// Legacy fill-then-barrier loop: parse threads·batch_size trees on the
+  /// calling thread, process them under a parallel_for barrier, repeat.
+  /// Workers idle for the entire parse of every batch; kept as the
+  /// ablation baseline (bench_ablation_pipeline).
+  BarrierBatch,
+};
+
 struct BfhrfOptions {
   /// Worker threads for both phases (1 = sequential; 0 = hardware default).
   std::size_t threads = 1;
 
-  /// Trees per streaming batch; bounds resident memory for TreeSource input.
+  /// Trees per streaming batch; bounds resident memory for TreeSource input
+  /// under StreamingMode::BarrierBatch (the pipeline bounds residency with
+  /// queue_capacity instead).
   std::size_t batch_size = 256;
 
   /// RF variant hooks applied identically at build and query time.
@@ -60,6 +75,32 @@ struct BfhrfOptions {
   /// bitmasks — the paper's §IX memory-reduction future work. Exactness
   /// and all variants are unaffected; see bench_ablation_hash (A4c).
   bool compressed_keys = false;
+
+  /// Expected number of unique bipartitions U. Pre-sizes the frequency
+  /// store, the per-worker partial stores, and the merge targets, so a
+  /// build is one table allocation instead of a rehash cascade. 0 = grow
+  /// on demand. A prior build's stats().unique_bipartitions is a good
+  /// value (U saturates as r grows, §VII-C).
+  std::size_t expected_unique = 0;
+
+  /// Streaming engine for the TreeSource overloads.
+  StreamingMode streaming = StreamingMode::Pipelined;
+
+  /// Bounded-queue capacity (trees) for StreamingMode::Pipelined;
+  /// 0 = max(4·threads, 16). Resident trees are bounded by this plus one
+  /// in flight per worker.
+  std::size_t queue_capacity = 0;
+
+  /// Reuse per-worker extraction scratch (phylo::BipartitionExtractor)
+  /// instead of allocating fresh traversal buffers and a fresh arena for
+  /// every tree. Off reproduces the legacy hot loop (ablation baseline).
+  bool reuse_scratch = true;
+
+  /// Route hash operations through the batched, software-prefetched,
+  /// devirtualized FrequencyHash paths — add_many on build, frequency_many
+  /// on query — when the store is a raw FrequencyHash. Off reproduces the
+  /// legacy virtual per-split loops (ablation baseline).
+  bool batched_hash = true;
 };
 
 /// Build/query statistics surfaced to the bench harness.
@@ -108,15 +149,56 @@ class Bfhrf {
   [[nodiscard]] const BfhrfOptions& options() const noexcept { return opts_; }
 
  private:
-  /// Create an empty store of the configured kind.
-  [[nodiscard]] std::unique_ptr<FrequencyStore> make_store() const;
+  /// Per-worker hot-loop scratch: extraction buffers plus the batched-query
+  /// staging vectors. One per worker rank; never shared across threads.
+  struct WorkerScratch {
+    phylo::BipartitionExtractor extractor;
+    std::vector<std::uint32_t> freqs;        ///< frequency_many output
+    std::vector<std::uint64_t> kept_keys;    ///< variant-filtered key arena
+    std::vector<double> kept_weights;        ///< weights aligned with keys
+  };
 
-  /// Insert one tree's bipartitions into `target`.
+  /// Create an empty store of the configured kind, pre-sized for
+  /// `expected_unique` distinct keys (0 = minimal).
+  [[nodiscard]] std::unique_ptr<FrequencyStore> make_store(
+      std::size_t expected_unique = 0) const;
+
+  /// Insert one tree's bipartitions into `target` (legacy allocating path;
+  /// the scratch overload is the hot loop).
   void add_tree(const phylo::Tree& tree, FrequencyStore& target) const;
+  void add_tree(const phylo::Tree& tree, FrequencyStore& target,
+                WorkerScratch& scratch) const;
 
-  /// The Algorithm-2 inner loop for one query tree.
+  /// The Algorithm-2 inner loop for one query tree: legacy virtual
+  /// per-split lookup, and the batched/prefetched overload.
   [[nodiscard]] double query_bipartitions(
       const phylo::BipartitionSet& bips) const;
+  [[nodiscard]] double query_bipartitions(const phylo::BipartitionSet& bips,
+                                          WorkerScratch& scratch) const;
+
+  /// query_one through a caller-owned scratch (per-worker in the engines).
+  [[nodiscard]] double query_one(const phylo::Tree& tree,
+                                 WorkerScratch& scratch) const;
+
+  /// Streaming phase-1/2 drivers per StreamingMode.
+  void build_stream_pipelined(TreeSource& reference);
+  void build_stream_barrier(TreeSource& reference);
+  [[nodiscard]] std::vector<double> query_stream_pipelined(
+      TreeSource& queries) const;
+  [[nodiscard]] std::vector<double> query_stream_barrier(
+      TreeSource& queries) const;
+
+  /// Fold per-worker partial stores into store_: pairwise tree reduction
+  /// on the pool, with merge targets pre-sized from observed uniques.
+  void merge_partials(
+      std::vector<std::unique_ptr<FrequencyStore>>& partials);
+
+  /// Effective bounded-queue capacity for the pipelined mode.
+  [[nodiscard]] std::size_t queue_capacity() const noexcept;
+
+  /// Consumer count for the pipelined mode (0 = inline zero-sync loop;
+  /// chosen when threads <= 1 or the host has one hardware thread).
+  [[nodiscard]] std::size_t pipeline_workers() const noexcept;
 
   /// Publish post-build store shape (U, resident bytes) as obs gauges.
   void publish_store_metrics() const;
@@ -125,9 +207,23 @@ class Bfhrf {
     return opts_.variant != nullptr ? *opts_.variant : classic_rf();
   }
 
+  /// True when queries should run the batched frequency_many path.
+  [[nodiscard]] bool use_batched_query() const noexcept {
+    return opts_.batched_hash && fast_store_ != nullptr;
+  }
+
+  /// True when builds should insert through FrequencyHash::add_many
+  /// (every non-compressed store make_store() hands out qualifies).
+  [[nodiscard]] bool use_batched_add() const noexcept {
+    return opts_.batched_hash && !opts_.compressed_keys;
+  }
+
   std::size_t n_bits_;
   BfhrfOptions opts_;
   std::unique_ptr<FrequencyStore> store_;
+  /// store_ downcast when it is a raw FrequencyHash (devirtualized query
+  /// path); nullptr for compressed stores.
+  const FrequencyHash* fast_store_ = nullptr;
   std::size_t reference_trees_ = 0;
 };
 

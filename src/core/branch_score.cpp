@@ -1,5 +1,7 @@
 #include "core/branch_score.hpp"
 
+#include <algorithm>
+
 #include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
 #include "util/hash.hpp"
@@ -132,7 +134,8 @@ void BranchScoreBfhrf::grow() {
   }
 }
 
-void BranchScoreBfhrf::add_tree(const phylo::Tree& tree) {
+void BranchScoreBfhrf::add_tree(const phylo::Tree& tree,
+                                phylo::BipartitionExtractor& extractor) {
   if (!tree.taxa() || tree.taxa()->size() != n_bits_) {
     throw InvalidArgument("BranchScoreBfhrf: taxon universe mismatch");
   }
@@ -141,7 +144,9 @@ void BranchScoreBfhrf::add_tree(const phylo::Tree& tree) {
         "BranchScoreBfhrf: tree carries none of the requested per-edge "
         "values; the score would be identically zero");
   }
-  const auto bips = lengths_of(tree, opts_);
+  const phylo::BipartitionOptions bip_opts{
+      .include_trivial = opts_.include_trivial, .value = opts_.value};
+  const phylo::BipartitionSet& bips = extractor.extract(tree, bip_opts);
   for (std::size_t i = 0; i < bips.size(); ++i) {
     insert(bips[i], bips.value(i));
   }
@@ -150,14 +155,17 @@ void BranchScoreBfhrf::add_tree(const phylo::Tree& tree) {
 void BranchScoreBfhrf::build(std::span<const phylo::Tree> reference) {
   // The length-stats hash is small; a sequential build keeps it simple and
   // exact (parallel extraction would dominate only for huge r, where the
-  // classic Bfhrf path is the bottleneck being studied anyway).
+  // classic Bfhrf path is the bottleneck being studied anyway). One
+  // extractor reuses the traversal/arena scratch across all r trees.
+  phylo::BipartitionExtractor extractor;
   for (const auto& t : reference) {
-    add_tree(t);
+    add_tree(t, extractor);
   }
   reference_trees_ += reference.size();
 }
 
-double BranchScoreBfhrf::query_one(const phylo::Tree& tree) const {
+double BranchScoreBfhrf::query_one(
+    const phylo::Tree& tree, phylo::BipartitionExtractor& extractor) const {
   if (reference_trees_ == 0) {
     throw InvalidArgument("BranchScoreBfhrf::query before build");
   }
@@ -165,7 +173,9 @@ double BranchScoreBfhrf::query_one(const phylo::Tree& tree) const {
     throw InvalidArgument("BranchScoreBfhrf: taxon universe mismatch");
   }
   const auto r = static_cast<double>(reference_trees_);
-  const auto bips = lengths_of(tree, opts_);
+  const phylo::BipartitionOptions bip_opts{
+      .include_trivial = opts_.include_trivial, .value = opts_.value};
+  const phylo::BipartitionSet& bips = extractor.extract(tree, bip_opts);
 
   // Σ_T BS²(T, T') = S2 + Σ_{b'} ( r·l'² − 2·l'·sumlen(b') ).
   double total = sum_len_sq_total_;
@@ -177,11 +187,21 @@ double BranchScoreBfhrf::query_one(const phylo::Tree& tree) const {
   return total / r;
 }
 
+double BranchScoreBfhrf::query_one(const phylo::Tree& tree) const {
+  phylo::BipartitionExtractor extractor;
+  return query_one(tree, extractor);
+}
+
 std::vector<double> BranchScoreBfhrf::query(
     std::span<const phylo::Tree> queries) const {
+  const std::size_t threads = opts_.threads;
   std::vector<double> out(queries.size(), 0.0);
-  parallel::parallel_for(0, queries.size(), opts_.threads,
-                         [&](std::size_t i) { out[i] = query_one(queries[i]); });
+  std::vector<phylo::BipartitionExtractor> extractors(
+      std::max<std::size_t>(1, threads));
+  parallel::parallel_for_ranked(
+      0, queries.size(), threads, [&](std::size_t rank, std::size_t i) {
+        out[i] = query_one(queries[i], extractors[rank]);
+      });
   return out;
 }
 

@@ -101,7 +101,10 @@ class BranchScoreBfhrf {
                                   std::uint64_t fp) const noexcept;
   void insert(util::ConstWordSpan key, double length);
   [[nodiscard]] LookupResult lookup(util::ConstWordSpan key) const;
-  void add_tree(const phylo::Tree& tree);
+  void add_tree(const phylo::Tree& tree,
+                phylo::BipartitionExtractor& extractor);
+  [[nodiscard]] double query_one(const phylo::Tree& tree,
+                                 phylo::BipartitionExtractor& extractor) const;
   void grow();
 
   static constexpr double kMaxLoad = 0.7;

@@ -89,10 +89,154 @@ void FrequencyHash::add_weighted(util::ConstWordSpan key, std::uint32_t count,
   total_weight_ += static_cast<double>(count) * weight;
 }
 
+std::size_t FrequencyHash::probe_word(std::uint64_t key,
+                                      std::uint64_t fp) const noexcept {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t idx = static_cast<std::size_t>(fp) & mask;
+  std::size_t steps = 1;
+  while (true) {
+    const Slot& s = slots_[idx];
+    if (s.count == 0 || (s.fingerprint == fp && keys_[s.key_index] == key)) {
+      record_probe(steps);
+      return idx;
+    }
+    idx = (idx + 1) & mask;
+    ++steps;
+  }
+}
+
 std::uint32_t FrequencyHash::frequency(util::ConstWordSpan key) const {
   BFHRF_ASSERT(key.size() == words_per_);
   const std::uint64_t fp = util::hash_words(key);
   return slots_[probe(key, fp)].count;
+}
+
+void FrequencyHash::frequency_many(const std::uint64_t* keys,
+                                   std::size_t count,
+                                   std::uint32_t* out) const {
+  // Three-stage prefetch pipeline. Stage A fingerprints key i+kSlotAhead
+  // and prefetches its home slot line; stage B, at i+kKeyAhead (slot line
+  // now resident), reads the slot and prefetches the key-arena line its
+  // verification will touch; stage C resolves key i with both lines hot.
+  // In the common no-collision case every memory access of the probe has
+  // been prefetched.
+  constexpr std::size_t kSlotAhead = 8;
+  constexpr std::size_t kKeyAhead = 4;
+  static_assert(kKeyAhead < kSlotAhead);
+  const std::size_t wp = words_per_;
+  const std::size_t mask = slots_.size() - 1;
+  const bool one_word = (wp == 1);
+
+  std::uint64_t fps[kSlotAhead];
+  const auto key_i = [&](std::size_t i) {
+    return util::ConstWordSpan{keys + i * wp, wp};
+  };
+  const std::size_t warm = count < kSlotAhead ? count : kSlotAhead;
+  for (std::size_t i = 0; i < warm; ++i) {
+    const std::uint64_t fp = util::hash_words(key_i(i));
+    fps[i % kSlotAhead] = fp;
+    __builtin_prefetch(&slots_[static_cast<std::size_t>(fp) & mask]);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t fp = fps[i % kSlotAhead];  // read before stage A
+                                                   // overwrites the ring slot
+    if (i + kSlotAhead < count) {
+      const std::uint64_t ahead = util::hash_words(key_i(i + kSlotAhead));
+      fps[(i + kSlotAhead) % kSlotAhead] = ahead;
+      __builtin_prefetch(&slots_[static_cast<std::size_t>(ahead) & mask]);
+    }
+    if (i + kKeyAhead < count) {
+      const std::uint64_t near = fps[(i + kKeyAhead) % kSlotAhead];
+      const Slot& s = slots_[static_cast<std::size_t>(near) & mask];
+      if (s.count != 0) {
+        __builtin_prefetch(keys_.data() +
+                           static_cast<std::size_t>(s.key_index) * wp);
+      }
+    }
+    out[i] = one_word ? slots_[probe_word(keys[i], fp)].count
+                      : slots_[probe(key_i(i), fp)].count;
+  }
+}
+
+void FrequencyHash::add_many(const std::uint64_t* keys, std::size_t count,
+                             const double* weights) {
+  if (count == 0) {
+    return;
+  }
+  // Pre-size for the worst case (every key new) so the table never rehashes
+  // mid-batch: prefetched slot lines stay valid for the whole pipeline.
+  if (static_cast<double>(size_ + count) >
+      kMaxLoad * static_cast<double>(slots_.size())) {
+    std::size_t want = slots_.size();
+    while (static_cast<double>(size_ + count) >
+           kMaxLoad * static_cast<double>(want)) {
+      want <<= 1;
+    }
+    rehash(want);
+  }
+  g_inserts.inc(count);
+
+  constexpr std::size_t kSlotAhead = 8;
+  constexpr std::size_t kKeyAhead = 4;
+  const std::size_t wp = words_per_;
+  const std::size_t mask = slots_.size() - 1;
+  const bool one_word = (wp == 1);
+  // keys_ growth is left to the vector's geometric policy — an exact
+  // reserve per batch would reallocate (and copy) the whole arena on
+  // almost every call. Arena prefetches read data() fresh each iteration,
+  // so intra-batch reallocation is safe.
+
+  std::uint64_t fps[kSlotAhead];
+  const auto key_i = [&](std::size_t i) {
+    return util::ConstWordSpan{keys + i * wp, wp};
+  };
+  const std::size_t warm = count < kSlotAhead ? count : kSlotAhead;
+  for (std::size_t i = 0; i < warm; ++i) {
+    const std::uint64_t fp = util::hash_words(key_i(i));
+    fps[i % kSlotAhead] = fp;
+    __builtin_prefetch(&slots_[static_cast<std::size_t>(fp) & mask], 1);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t fp = fps[i % kSlotAhead];  // read before the
+                                                   // stage-A overwrite
+    if (i + kSlotAhead < count) {
+      const std::uint64_t ahead = util::hash_words(key_i(i + kSlotAhead));
+      fps[(i + kSlotAhead) % kSlotAhead] = ahead;
+      __builtin_prefetch(&slots_[static_cast<std::size_t>(ahead) & mask], 1);
+    }
+    if (i + kKeyAhead < count) {
+      const std::uint64_t near = fps[(i + kKeyAhead) % kSlotAhead];
+      const Slot& ns = slots_[static_cast<std::size_t>(near) & mask];
+      if (ns.count != 0) {
+        __builtin_prefetch(keys_.data() +
+                           static_cast<std::size_t>(ns.key_index) * wp);
+      }
+    }
+    const std::size_t idx =
+        one_word ? probe_word(keys[i], fp) : probe(key_i(i), fp);
+    Slot& s = slots_[idx];
+    if (s.count == 0) {
+      s.fingerprint = fp;
+      s.key_index = static_cast<std::uint32_t>(keys_.size() / wp);
+      keys_.insert(keys_.end(), keys + i * wp, keys + (i + 1) * wp);
+      ++size_;
+    }
+    s.count += 1;
+    total_ += 1;
+    total_weight_ += weights != nullptr ? weights[i] : 1.0;
+  }
+}
+
+void FrequencyHash::reserve(std::size_t expected_unique) {
+  keys_.reserve(expected_unique * words_per_);
+  std::size_t want = slots_.size();
+  while (static_cast<double>(expected_unique) >
+         kMaxLoad * static_cast<double>(want)) {
+    want <<= 1;
+  }
+  if (want != slots_.size()) {
+    rehash(want);
+  }
 }
 
 void FrequencyHash::merge(const FrequencyHash& other) {
@@ -120,9 +264,11 @@ void FrequencyHash::merge_from(const FrequencyStore& other) {
   merge(*o);
 }
 
-void FrequencyHash::grow() {
+void FrequencyHash::grow() { rehash(slots_.size() * 2); }
+
+void FrequencyHash::rehash(std::size_t new_slot_count) {
   std::vector<Slot> old = std::move(slots_);
-  slots_.assign(old.size() * 2, Slot{});
+  slots_.assign(new_slot_count, Slot{});
   const std::size_t mask = slots_.size() - 1;
   for (const Slot& s : old) {
     if (s.count == 0) {

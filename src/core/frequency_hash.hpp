@@ -68,6 +68,32 @@ class FrequencyHash final : public FrequencyStore {
   [[nodiscard]] std::uint32_t frequency(
       util::ConstWordSpan key) const override;
 
+  /// Batched lookup: `keys` is a contiguous arena of `count` keys of
+  /// words_per_key() words each (a BipartitionSet arena qualifies);
+  /// out[i] receives the frequency of key i. Runs a software-prefetch
+  /// pipeline — fingerprints are computed ahead, the slot cache line is
+  /// prefetched 8 keys out and the key-arena line 4 keys out — and takes a
+  /// single-word-key fast path (words_per_key() == 1, i.e. n <= 64) that
+  /// replaces the full-key memcmp loop with one 64-bit compare. This is
+  /// the devirtualized hot path of Bfhrf::query (Algorithm 2's per-split
+  /// lookup).
+  void frequency_many(const std::uint64_t* keys, std::size_t count,
+                      std::uint32_t* out) const;
+
+  /// Batched insert: add `count` keys from a contiguous arena (one
+  /// occurrence each), with per-key weights (`weights[i]`; nullptr = unit
+  /// weights). Runs the same software-prefetch pipeline as
+  /// frequency_many — the table is pre-sized for the whole batch up front,
+  /// so no rehash invalidates prefetched slot lines mid-batch. Insertion
+  /// order matches the arena order, so totals accumulate exactly as the
+  /// per-key add_weighted loop would.
+  void add_many(const std::uint64_t* keys, std::size_t count,
+                const double* weights);
+
+  /// Pre-size for `expected_unique` distinct keys: one rehash now instead
+  /// of a cascade of doublings during build/merge. Never shrinks.
+  void reserve(std::size_t expected_unique) override;
+
   /// Fold another hash into this one (used to combine per-thread builds).
   void merge(const FrequencyHash& other);
 
@@ -121,7 +147,13 @@ class FrequencyHash final : public FrequencyStore {
   [[nodiscard]] std::size_t probe(util::ConstWordSpan key,
                                   std::uint64_t fp) const noexcept;
 
+  /// probe() specialized for words_per_ == 1: the full-key verification is
+  /// a single word compare against the arena (no span loop).
+  [[nodiscard]] std::size_t probe_word(std::uint64_t key,
+                                       std::uint64_t fp) const noexcept;
+
   void grow();
+  void rehash(std::size_t new_slot_count);
 
   static constexpr double kMaxLoad = 0.7;
 

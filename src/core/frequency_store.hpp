@@ -51,6 +51,11 @@ class FrequencyStore {
   /// Throws InvalidArgument on type or width mismatch.
   virtual void merge_from(const FrequencyStore& other) = 0;
 
+  /// Hint that ~`expected_unique` distinct keys are coming, so the store
+  /// can size its table once instead of growing through a rehash cascade.
+  /// Default: no-op.
+  virtual void reserve(std::size_t expected_unique) { (void)expected_unique; }
+
   /// Enumerate every (key, frequency) pair; keys are decoded to the raw
   /// canonical word form. Order unspecified.
   virtual void for_each_key(

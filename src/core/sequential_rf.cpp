@@ -1,5 +1,7 @@
 #include "core/sequential_rf.hpp"
 
+#include <algorithm>
+
 #include "core/day.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/error.hpp"
@@ -58,21 +60,26 @@ struct ReferenceSets {
 ReferenceSets precompute_reference(std::span<const phylo::Tree> reference,
                                    const SequentialRfOptions& opts) {
   ReferenceSets out;
-  out.sets.reserve(reference.size());
+  out.sets.resize(reference.size());
   const phylo::BipartitionOptions bip_opts{.include_trivial =
                                                opts.include_trivial};
-  for (const auto& t : reference) {
-    out.sets.push_back(phylo::extract_bipartitions(t, bip_opts));
-    out.memory_bytes += out.sets.back().memory_bytes();
+  // One extractor for the whole precompute: the sets own their arenas, but
+  // the traversal/sort scratch is reused across all r extractions.
+  phylo::BipartitionExtractor extractor;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    extractor.extract_into(reference[i], bip_opts, out.sets[i]);
+    out.memory_bytes += out.sets[i].memory_bytes();
   }
   return out;
 }
 
 /// Average RF of one query tree against precomputed reference sets.
+/// `extractor` is the caller's per-worker scratch.
 double query_against(const phylo::Tree& query,
                      std::span<const phylo::Tree> reference,
                      const ReferenceSets& ref_sets,
-                     const SequentialRfOptions& opts) {
+                     const SequentialRfOptions& opts,
+                     phylo::BipartitionExtractor& extractor) {
   const auto r = static_cast<double>(ref_sets.sets.size());
 
   if (opts.engine == PairwiseEngine::Day) {
@@ -94,7 +101,7 @@ double query_against(const phylo::Tree& query,
 
   const phylo::BipartitionOptions bip_opts{.include_trivial =
                                                opts.include_trivial};
-  const auto qb = phylo::extract_bipartitions(query, bip_opts);
+  const phylo::BipartitionSet& qb = extractor.extract(query, bip_opts);
   double sum = 0.0;
   double max_sum = 0.0;
   if (opts.variant == nullptr) {
@@ -121,14 +128,18 @@ SequentialRfResult sequential_avg_rf(std::span<const phylo::Tree> queries,
     throw InvalidArgument("sequential_avg_rf: empty reference collection");
   }
   const ReferenceSets ref_sets = precompute_reference(reference, opts);
+  const std::size_t threads = parallel::effective_threads(opts.threads);
 
   SequentialRfResult result;
   result.reference_memory_bytes = ref_sets.memory_bytes;
   result.avg_rf.assign(queries.size(), 0.0);
-  parallel::parallel_for(
-      0, queries.size(), parallel::effective_threads(opts.threads),
-      [&](std::size_t i) {
-        result.avg_rf[i] = query_against(queries[i], reference, ref_sets, opts);
+  std::vector<phylo::BipartitionExtractor> extractors(
+      std::max<std::size_t>(1, threads));
+  parallel::parallel_for_ranked(
+      0, queries.size(), threads,
+      [&](std::size_t rank, std::size_t i) {
+        result.avg_rf[i] = query_against(queries[i], reference, ref_sets,
+                                         opts, extractors[rank]);
       },
       /*grain=*/1);
   return result;
@@ -145,6 +156,8 @@ SequentialRfResult sequential_avg_rf(TreeSource& queries,
 
   SequentialRfResult result;
   result.reference_memory_bytes = ref_sets.memory_bytes;
+  std::vector<phylo::BipartitionExtractor> extractors(
+      std::max<std::size_t>(1, threads));
 
   std::vector<phylo::Tree> batch;
   const std::size_t batch_cap = std::max<std::size_t>(1, threads) * 64;
@@ -159,11 +172,12 @@ SequentialRfResult sequential_avg_rf(TreeSource& queries,
     }
     const std::size_t base = result.avg_rf.size();
     result.avg_rf.resize(base + batch.size());
-    parallel::parallel_for(
+    parallel::parallel_for_ranked(
         0, batch.size(), threads,
-        [&](std::size_t i) {
-          result.avg_rf[base + i] =
-              query_against(batch[i], reference, ref_sets, opts);
+        [&](std::size_t rank, std::size_t i) {
+          result.avg_rf[base + i] = query_against(batch[i], reference,
+                                                  ref_sets, opts,
+                                                  extractors[rank]);
         },
         /*grain=*/1);
   }

@@ -40,13 +40,17 @@ void BipartitionSet::append(util::ConstWordSpan words, double value) {
   finalized_ = false;
 }
 
-void BipartitionSet::finalize() {
+void BipartitionSet::finalize(FinalizeScratch* scratch) {
   if (finalized_ || count_ <= 1) {
     finalized_ = true;
     return;
   }
+  FinalizeScratch local;
+  FinalizeScratch& s = scratch != nullptr ? *scratch : local;
+
   // Sort indices, then rebuild the arena in sorted, deduplicated order.
-  std::vector<std::uint32_t> order(count_);
+  std::vector<std::uint32_t>& order = s.order;
+  order.resize(count_);
   for (std::uint32_t i = 0; i < count_; ++i) {
     order[i] = i;
   }
@@ -56,9 +60,11 @@ void BipartitionSet::finalize() {
   });
 
   const bool with_values = !values_.empty();
-  std::vector<std::uint64_t> sorted;
+  std::vector<std::uint64_t>& sorted = s.sorted;
+  sorted.clear();
   sorted.reserve(arena_.size());
-  std::vector<double> sorted_values;
+  std::vector<double>& sorted_values = s.values;
+  sorted_values.clear();
   if (with_values) {
     sorted_values.reserve(values_.size());
   }
@@ -88,10 +94,26 @@ void BipartitionSet::finalize() {
     }
     ++kept;
   }
-  arena_ = std::move(sorted);
-  values_ = std::move(sorted_values);
+  // Swap rather than move: the displaced arena becomes next call's sort
+  // buffer, so a reused scratch keeps both allocations warm.
+  std::swap(arena_, sorted);
+  std::swap(values_, sorted_values);
+  if (!with_values) {
+    values_.clear();
+  }
   count_ = kept;
   finalized_ = true;
+}
+
+void BipartitionSet::clear(std::size_t n_bits) {
+  n_bits_ = n_bits;
+  words_per_ = util::words_for_bits(n_bits);
+  count_ = 0;
+  finalized_ = true;
+  value_merge_ = ValueMerge::Sum;
+  arena_.clear();
+  values_.clear();
+  // leaf_mask_ is left untouched; extraction overwrites it.
 }
 
 std::size_t BipartitionSet::intersection_size(const BipartitionSet& a,
@@ -132,6 +154,20 @@ void canonicalize_bipartition(util::DynamicBitset& mask,
 
 BipartitionSet extract_bipartitions(const Tree& tree,
                                     const BipartitionOptions& opts) {
+  BipartitionExtractor extractor;
+  (void)extractor.extract(tree, opts);
+  return extractor.take();
+}
+
+const BipartitionSet& BipartitionExtractor::extract(
+    const Tree& tree, const BipartitionOptions& opts) {
+  extract_into(tree, opts, set_);
+  return set_;
+}
+
+void BipartitionExtractor::extract_into(const Tree& tree,
+                                        const BipartitionOptions& opts,
+                                        BipartitionSet& out) {
   if (tree.empty() || !tree.taxa()) {
     throw InvalidArgument("extract_bipartitions: empty tree or no taxa");
   }
@@ -139,44 +175,63 @@ BipartitionSet extract_bipartitions(const Tree& tree,
   const std::size_t words = util::words_for_bits(n_bits);
   const std::size_t n_tree = tree.num_leaves();
 
-  BipartitionSet out(n_bits);
+  out.clear(n_bits);
   if (opts.value == SplitValue::Support) {
     out.set_value_merge(BipartitionSet::ValueMerge::Max);
   }
+  if (side_.size() != n_bits) {
+    side_ = util::DynamicBitset(n_bits);
+    leaf_mask_ = util::DynamicBitset(n_bits);
+  }
 
   // Postorder accumulation: every node's mask is the OR of its children.
-  const std::vector<NodeId> order = tree.postorder();
-  std::vector<std::uint64_t> masks(tree.num_nodes() * words, 0);
+  tree.postorder_into(order_, stack_);
+  masks_.assign(tree.num_nodes() * words, 0);
   const auto mask_of = [&](NodeId id) {
     return std::span<std::uint64_t>(
-        masks.data() + static_cast<std::size_t>(id) * words, words);
+        masks_.data() + static_cast<std::size_t>(id) * words, words);
   };
 
-  util::DynamicBitset scratch(n_bits);
-  util::DynamicBitset leaf_mask(n_bits);
-
-  for (const NodeId id : order) {
+  bool has_unary = false;
+  for (const NodeId id : order_) {
     auto m = mask_of(id);
     if (tree.is_leaf(id)) {
       const auto taxon = static_cast<std::size_t>(tree.node(id).taxon);
       m[taxon >> 6] |= (std::uint64_t{1} << (taxon & 63));
     } else {
+      std::size_t degree = 0;
       tree.for_each_child(id, [&](NodeId c) {
+        ++degree;
         const auto cm = mask_of(c);
         for (std::size_t w = 0; w < words; ++w) {
           m[w] |= cm[w];
         }
       });
+      has_unary |= (degree == 1);
     }
   }
   {
     const auto rm = mask_of(tree.root());
-    std::copy(rm.begin(), rm.end(), leaf_mask.mutable_words().begin());
+    std::copy(rm.begin(), rm.end(), leaf_mask_.mutable_words().begin());
+  }
+  const std::size_t lowest = leaf_mask_.find_first();
+  BFHRF_ASSERT(lowest < n_bits);
+
+  // Unsorted fast path: on a unary-free tree, the ONLY possible duplicate
+  // split is the pair of half-edges under a degree-2 root (they describe
+  // one unrooted edge and canonicalize identically), so skipping one of
+  // them makes the arena duplicate-free without the finalize sort. Unary
+  // chains would replicate their child's mask, so they fall back.
+  const bool unsorted = !opts.sorted && opts.value == SplitValue::None &&
+                        !has_unary;
+  NodeId skip_root_dup = kNoNode;
+  if (unsorted && tree.num_children(tree.root()) == 2) {
+    skip_root_dup = tree.node(tree.node(tree.root()).first_child).next_sibling;
   }
 
   const std::size_t min_side = opts.include_trivial ? 1 : 2;
-  for (const NodeId id : order) {
-    if (tree.is_root(id)) {
+  for (const NodeId id : order_) {
+    if (tree.is_root(id) || id == skip_root_dup) {
       continue;
     }
     const auto m = mask_of(id);
@@ -185,24 +240,35 @@ BipartitionSet extract_bipartitions(const Tree& tree,
     if (ones < min_side || ones > n_tree - min_side) {
       continue;
     }
-    std::copy(m.begin(), m.end(), scratch.mutable_words().begin());
-    canonicalize_bipartition(scratch, leaf_mask);
+    // Canonical polarity: store the side NOT containing the lowest taxon.
+    const bool flip = ((m[lowest >> 6] >> (lowest & 63)) & 1) != 0;
+    util::ConstWordSpan canon{m.data(), words};
+    if (flip) {
+      auto sw = side_.mutable_words();
+      const auto lm = leaf_mask_.words();
+      for (std::size_t w = 0; w < words; ++w) {
+        sw[w] = m[w] ^ lm[w];
+      }
+      canon = side_.words();
+    }
     switch (opts.value) {
       case SplitValue::None:
-        out.append(scratch.words());
+        out.append(canon);
         break;
       case SplitValue::BranchLength:
-        out.append(scratch.words(), tree.node(id).length);
+        out.append(canon, tree.node(id).length);
         break;
       case SplitValue::Support:
-        out.append(scratch.words(), tree.node(id).support);
+        out.append(canon, tree.node(id).support);
         break;
     }
   }
 
-  out.set_leaf_mask(std::move(leaf_mask));
-  out.finalize();  // sorts and removes the rooted-edge duplicate, if any
-  return out;
+  out.assign_leaf_mask(leaf_mask_);
+  if (!unsorted) {
+    // Sorts and removes the rooted-edge duplicate, if any.
+    out.finalize(&finalize_scratch_);
+  }
 }
 
 bool bipartitions_compatible(const util::DynamicBitset& a,

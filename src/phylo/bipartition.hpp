@@ -41,6 +41,16 @@ struct BipartitionOptions {
   /// by max for supports (they describe the same unrooted edge). Used by
   /// the generalized engines (core/branch_score.hpp).
   SplitValue value = SplitValue::None;
+
+  /// Keep the arena sorted + deduplicated (the BipartitionSet contract its
+  /// merge-based set operations need). `false` skips the O(k log k)
+  /// finalize sort and leaves the arena in traversal order, removing the
+  /// one possible duplicate (the two half-edges of a degree-2 root)
+  /// structurally instead. Only honoured for value == None on unary-free
+  /// trees — anything else falls back to the sorted path. Unsorted sets
+  /// must not be used with contains()/intersection/symmetric-difference;
+  /// the BFHRF hash paths use this (insertion and lookup need no order).
+  bool sorted = true;
 };
 
 /// A tree's bipartitions: sorted, deduplicated, arena-backed bitmasks of a
@@ -65,6 +75,13 @@ class BipartitionSet {
     return {arena_.data() + i * words_per_, words_per_};
   }
 
+  /// The whole sorted arena as one contiguous word span (size() keys of
+  /// words_per_bipartition() words each) — the zero-copy input to batched
+  /// lookups (core::FrequencyHash::frequency_many).
+  [[nodiscard]] util::ConstWordSpan arena_view() const noexcept {
+    return {arena_.data(), count_ * words_per_};
+  }
+
   /// Copy the i-th bipartition into an owning bitset.
   [[nodiscard]] util::DynamicBitset bitset(std::size_t i) const {
     return util::DynamicBitset(n_bits_, (*this)[i]);
@@ -86,9 +103,27 @@ class BipartitionSet {
   enum class ValueMerge { Sum, Max };
   void set_value_merge(ValueMerge m) noexcept { value_merge_ = m; }
 
+  /// Reusable sort/dedup buffers for finalize(). Buffers ping-pong with the
+  /// set's arena across calls, so repeated finalize()s allocate nothing
+  /// once warm.
+  struct FinalizeScratch {
+    std::vector<std::uint32_t> order;
+    std::vector<std::uint64_t> sorted;
+    std::vector<double> values;
+  };
+
   /// Sort + deduplicate the arena (duplicate values combine per
-  /// ValueMerge). Idempotent.
-  void finalize();
+  /// ValueMerge). Idempotent. Pass a FinalizeScratch to reuse the sort
+  /// buffers across trees (per-worker scratch in the streaming engines).
+  void finalize(FinalizeScratch* scratch = nullptr);
+
+  /// Reset to an empty set over a (possibly new) universe width, keeping
+  /// the arena capacity for reuse.
+  void clear(std::size_t n_bits);
+
+  /// Copy-assign the leaf mask, reusing this set's existing buffer (unlike
+  /// set_leaf_mask, which takes ownership of a freshly built mask).
+  void assign_leaf_mask(const util::DynamicBitset& mask) { leaf_mask_ = mask; }
 
   /// True if this set carries per-bipartition values.
   [[nodiscard]] bool has_values() const noexcept { return !values_.empty(); }
@@ -142,6 +177,40 @@ class BipartitionSet {
 /// Cost: O(n^2 / 64) — O(n) edges, each masked over O(n/64) words.
 [[nodiscard]] BipartitionSet extract_bipartitions(
     const Tree& tree, const BipartitionOptions& opts = {});
+
+/// Reusable extraction engine. extract_bipartitions() allocates traversal
+/// buffers, node masks, sort scratch, and a fresh arena for EVERY tree; a
+/// BipartitionExtractor owns all of those and reuses them, so per-tree
+/// extraction is allocation-free once warm. This is the hot-loop API the
+/// streaming engines thread through their per-worker scratch
+/// (core/bfhrf, core/sequential_rf, core/branch_score).
+///
+/// Not thread-safe: one extractor per worker.
+class BipartitionExtractor {
+ public:
+  /// Extract into the internal set and return a reference to it. The
+  /// reference is invalidated by the next extract()/extract_into()/take().
+  const BipartitionSet& extract(const Tree& tree,
+                                const BipartitionOptions& opts = {});
+
+  /// Extract into `out` (cleared first), reusing `out`'s own capacity as
+  /// well as the extractor's scratch.
+  void extract_into(const Tree& tree, const BipartitionOptions& opts,
+                    BipartitionSet& out);
+
+  /// Move the last extract() result out of the extractor. The internal
+  /// arena restarts cold afterwards; use extract_into for bulk storage.
+  [[nodiscard]] BipartitionSet take() { return std::move(set_); }
+
+ private:
+  BipartitionSet set_;
+  std::vector<NodeId> order_;              ///< postorder nodes
+  std::vector<NodeId> stack_;              ///< traversal scratch
+  std::vector<std::uint64_t> masks_;       ///< per-node leaf masks
+  util::DynamicBitset side_;               ///< canonicalization scratch
+  util::DynamicBitset leaf_mask_;          ///< tree's leaf universe
+  BipartitionSet::FinalizeScratch finalize_scratch_;
+};
 
 /// Canonicalize one raw side-mask in place: flip to the side avoiding the
 /// lowest taxon of `leaf_mask`. Exposed for the variants framework.

@@ -51,21 +51,29 @@ std::vector<NodeId> Tree::children(NodeId id) const {
 
 std::vector<NodeId> Tree::postorder() const {
   std::vector<NodeId> order;
+  std::vector<NodeId> stack;
+  postorder_into(order, stack);
+  return order;
+}
+
+void Tree::postorder_into(std::vector<NodeId>& out,
+                          std::vector<NodeId>& stack) const {
+  out.clear();
+  stack.clear();
   if (empty()) {
-    return order;
+    return;
   }
-  order.reserve(nodes_.size());
+  out.reserve(nodes_.size());
   // Two-stack trick: emit in reverse preorder with children reversed,
   // then flip — yields postorder without recursion.
-  std::vector<NodeId> stack{root_};
+  stack.push_back(root_);
   while (!stack.empty()) {
     const NodeId id = stack.back();
     stack.pop_back();
-    order.push_back(id);
+    out.push_back(id);
     for_each_child(id, [&stack](NodeId c) { stack.push_back(c); });
   }
-  std::reverse(order.begin(), order.end());
-  return order;
+  std::reverse(out.begin(), out.end());
 }
 
 std::vector<NodeId> Tree::leaves() const {

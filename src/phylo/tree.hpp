@@ -111,6 +111,13 @@ class Tree {
   /// safe for arbitrarily deep (caterpillar) trees.
   [[nodiscard]] std::vector<NodeId> postorder() const;
 
+  /// postorder() into caller-owned buffers: `out` receives the order and
+  /// `stack` is traversal scratch; both are cleared and reused without
+  /// reallocating once warm. The allocation-free path for per-tree loops
+  /// (phylo::BipartitionExtractor).
+  void postorder_into(std::vector<NodeId>& out,
+                      std::vector<NodeId>& stack) const;
+
   /// Leaf node ids in postorder.
   [[nodiscard]] std::vector<NodeId> leaves() const;
 

@@ -1,0 +1,207 @@
+// Streaming-engine equivalence: the pipelined producer/consumer path, the
+// legacy barrier-batch path, and the in-memory span path must produce
+// BIT-IDENTICAL per-tree averages for classic RF (all three accumulate
+// integer-valued terms), regardless of thread count, queue capacity, or the
+// scratch-reuse and batched-hash toggles.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/bfhrf.hpp"
+#include "core/tree_source.hpp"
+#include "phylo/taxon_set.hpp"
+#include "support/test_util.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+using phylo::TaxonSet;
+using phylo::Tree;
+
+struct Collections {
+  std::vector<Tree> reference;
+  std::vector<Tree> queries;
+  std::size_t n_bits = 0;
+};
+
+Collections make_collections(std::size_t n_taxa, std::size_t r,
+                             std::size_t q, std::uint64_t seed) {
+  const auto taxa = TaxonSet::make_numbered(n_taxa);
+  util::Rng rng(seed);
+  Collections c;
+  c.reference = test::random_collection(taxa, r, 4, rng);
+  c.queries = test::random_collection(taxa, q, 6, rng);
+  c.n_bits = taxa->size();
+  return c;
+}
+
+std::vector<double> run_engine(const Collections& c, BfhrfOptions opts,
+                               bool stream) {
+  Bfhrf engine(c.n_bits, opts);
+  if (stream) {
+    SpanTreeSource ref_source(c.reference);
+    SpanTreeSource query_source(c.queries);
+    engine.build(ref_source);
+    return engine.query(query_source);
+  }
+  engine.build(c.reference);
+  return engine.query(c.queries);
+}
+
+/// Baseline: fully sequential span path with every new fast path disabled.
+std::vector<double> legacy_baseline(const Collections& c) {
+  return run_engine(c,
+                    BfhrfOptions{.threads = 1,
+                                 .reuse_scratch = false,
+                                 .batched_hash = false},
+                    /*stream=*/false);
+}
+
+TEST(BfhrfStreamTest, PipelinedStreamMatchesSpanPathBitwise) {
+  const Collections c = make_collections(18, 40, 13, 11);
+  const auto expect = legacy_baseline(c);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    const auto got = run_engine(
+        c,
+        BfhrfOptions{.threads = threads,
+                     .streaming = StreamingMode::Pipelined},
+        /*stream=*/true);
+    ASSERT_EQ(got.size(), expect.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], expect[i]) << "threads=" << threads << " query " << i;
+    }
+  }
+}
+
+TEST(BfhrfStreamTest, BarrierStreamMatchesPipelinedStreamBitwise) {
+  const Collections c = make_collections(16, 30, 9, 12);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+    const auto barrier = run_engine(
+        c,
+        BfhrfOptions{.threads = threads,
+                     .batch_size = 4,
+                     .streaming = StreamingMode::BarrierBatch},
+        /*stream=*/true);
+    const auto pipelined = run_engine(
+        c,
+        BfhrfOptions{.threads = threads,
+                     .streaming = StreamingMode::Pipelined},
+        /*stream=*/true);
+    ASSERT_EQ(barrier.size(), pipelined.size());
+    for (std::size_t i = 0; i < barrier.size(); ++i) {
+      EXPECT_EQ(barrier[i], pipelined[i])
+          << "threads=" << threads << " query " << i;
+    }
+  }
+}
+
+TEST(BfhrfStreamTest, TinyQueueCapacityDoesNotChangeResults) {
+  // Capacity 1 forces maximal producer/consumer blocking; results must not
+  // depend on scheduling.
+  const Collections c = make_collections(14, 25, 7, 13);
+  const auto expect = legacy_baseline(c);
+  const auto got = run_engine(c,
+                              BfhrfOptions{.threads = 4,
+                                           .streaming =
+                                               StreamingMode::Pipelined,
+                                           .queue_capacity = 1},
+                              /*stream=*/true);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expect[i]) << "query " << i;
+  }
+}
+
+TEST(BfhrfStreamTest, ScratchReuseIsInvariant) {
+  // Reusing per-worker extraction scratch across trees must be invisible:
+  // same results with the toggle on and off, across repeated queries (a
+  // warm extractor must not leak state from the previous tree).
+  const Collections c = make_collections(20, 35, 11, 14);
+  const auto without = run_engine(
+      c, BfhrfOptions{.threads = 2, .reuse_scratch = false},
+      /*stream=*/false);
+  const auto with = run_engine(
+      c, BfhrfOptions{.threads = 2, .reuse_scratch = true},
+      /*stream=*/false);
+  ASSERT_EQ(with.size(), without.size());
+  for (std::size_t i = 0; i < with.size(); ++i) {
+    EXPECT_EQ(with[i], without[i]) << "query " << i;
+  }
+
+  // Re-querying through the same engine (same warm scratch) is stable.
+  Bfhrf engine(c.n_bits, BfhrfOptions{.threads = 2});
+  engine.build(c.reference);
+  const auto first = engine.query(c.queries);
+  const auto second = engine.query(c.queries);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "query " << i;
+  }
+}
+
+TEST(BfhrfStreamTest, BatchedQueryIsInvariant) {
+  // The frequency_many prefetch path and the legacy virtual per-split
+  // lookup must agree bitwise (classic RF terms are integers in doubles).
+  const Collections c = make_collections(70, 30, 9, 15);  // 2 words per key
+  const auto legacy = run_engine(
+      c, BfhrfOptions{.threads = 1, .batched_hash = false},
+      /*stream=*/false);
+  const auto batched = run_engine(
+      c, BfhrfOptions{.threads = 1, .batched_hash = true},
+      /*stream=*/false);
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(batched[i], legacy[i]) << "query " << i;
+  }
+
+  const Collections small = make_collections(24, 20, 7, 16);  // 1 word
+  const auto legacy1 = run_engine(
+      small, BfhrfOptions{.threads = 1, .batched_hash = false},
+      /*stream=*/false);
+  const auto batched1 = run_engine(
+      small, BfhrfOptions{.threads = 1, .batched_hash = true},
+      /*stream=*/false);
+  for (std::size_t i = 0; i < legacy1.size(); ++i) {
+    EXPECT_EQ(batched1[i], legacy1[i]) << "query " << i;
+  }
+}
+
+TEST(BfhrfStreamTest, ExpectedUniqueHintDoesNotChangeResults) {
+  const Collections c = make_collections(15, 30, 8, 17);
+  const auto expect = legacy_baseline(c);
+
+  Bfhrf sized(c.n_bits, BfhrfOptions{.threads = 2, .expected_unique = 4096});
+  sized.build(c.reference);
+  const auto got = sized.query(c.queries);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expect[i]) << "query " << i;
+  }
+  // The hint pre-sizes; it must never undercount what was actually stored.
+  EXPECT_EQ(sized.stats().unique_bipartitions,
+            [&] {
+              Bfhrf plain(c.n_bits, BfhrfOptions{.threads = 1});
+              plain.build(c.reference);
+              return plain.stats().unique_bipartitions;
+            }());
+}
+
+TEST(BfhrfStreamTest, CompressedStoreStreamsThroughPipeline) {
+  // Compressed stores have no frequency_many fast path; the pipeline and
+  // scratch reuse must still hold exactly.
+  const Collections c = make_collections(17, 25, 7, 18);
+  const auto expect = legacy_baseline(c);
+  const auto got = run_engine(c,
+                              BfhrfOptions{.threads = 3,
+                                           .compressed_keys = true,
+                                           .streaming =
+                                               StreamingMode::Pipelined},
+                              /*stream=*/true);
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expect[i]) << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace bfhrf::core

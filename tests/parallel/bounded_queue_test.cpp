@@ -1,0 +1,265 @@
+#include "parallel/bounded_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "parallel/pipeline.hpp"
+
+namespace bfhrf::parallel {
+namespace {
+
+TEST(BoundedQueueTest, FifoSingleThread) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.push(int{i}));
+  }
+  q.close();
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.pop(out));  // closed and drained
+}
+
+TEST(BoundedQueueTest, ZeroCapacityClampsToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(BoundedQueueTest, PushFailsAfterClose) {
+  BoundedQueue<int> q(4);
+  q.close();
+  EXPECT_FALSE(q.push(42));
+  int out = 0;
+  EXPECT_FALSE(q.pop(out));
+}
+
+TEST(BoundedQueueTest, CloseDrainsPendingItems) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.close();
+  int out = 0;
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(q.pop(out));
+}
+
+TEST(BoundedQueueTest, AbortDiscardsPendingItems) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  q.abort();
+  EXPECT_TRUE(q.aborted());
+  EXPECT_EQ(q.size(), 0u);
+  int out = 0;
+  EXPECT_FALSE(q.pop(out));
+  EXPECT_FALSE(q.push(3));
+}
+
+TEST(BoundedQueueTest, ProducerBlocksUntilSpaceFreesUp) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(0));  // queue now full
+  std::atomic<bool> second_pushed{false};
+  std::jthread producer([&] {
+    EXPECT_TRUE(q.push(1));  // blocks until the pop below
+    second_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(second_pushed.load());  // still blocked on the full queue
+  int out = -1;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 0);
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 1);
+}
+
+TEST(BoundedQueueTest, ShutdownWhileFullUnblocksProducers) {
+  // Producers blocked on a full queue must wake on close() and observe a
+  // failed push; items already queued still drain.
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(7));
+  std::atomic<int> failed_pushes{0};
+  std::vector<std::jthread> producers;
+  producers.reserve(3);
+  for (int i = 0; i < 3; ++i) {
+    producers.emplace_back([&q, &failed_pushes] {
+      if (!q.push(99)) {
+        failed_pushes.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  producers.clear();  // join
+  EXPECT_EQ(failed_pushes.load(), 3);
+  int out = 0;
+  ASSERT_TRUE(q.pop(out));
+  EXPECT_EQ(out, 7);
+  EXPECT_FALSE(q.pop(out));
+}
+
+TEST(BoundedQueueTest, AbortWhileFullUnblocksProducers) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(7));
+  std::atomic<bool> push_failed{false};
+  std::jthread producer([&] {
+    if (!q.push(99)) {
+      push_failed.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.abort();
+  producer.join();
+  EXPECT_TRUE(push_failed.load());
+  int out = 0;
+  EXPECT_FALSE(q.pop(out));  // aborted queues discard even queued items
+}
+
+TEST(BoundedQueueTest, MpmcStressPreservesEveryItem) {
+  // 4 producers × 4 consumers over a deliberately tiny queue: every pushed
+  // value must be popped exactly once, under heavy blocking on both sides.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  constexpr int kTotal = kProducers * kPerProducer;
+
+  BoundedQueue<int> q(3);
+  std::vector<std::atomic<int>> seen(kTotal);
+  std::atomic<int> popped{0};
+
+  std::vector<std::jthread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      int item = -1;
+      while (q.pop(item)) {
+        seen[static_cast<std::size_t>(item)].fetch_add(1);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  {
+    std::vector<std::jthread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&q, p] {
+        for (int i = 0; i < kPerProducer; ++i) {
+          EXPECT_TRUE(q.push(p * kPerProducer + i));
+        }
+      });
+    }
+  }  // producers join
+  q.close();
+  consumers.clear();  // consumers join
+
+  EXPECT_EQ(popped.load(), kTotal);
+  for (int i = 0; i < kTotal; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+  }
+}
+
+TEST(PipelineTest, InlineModeRunsOnCallingThreadInOrder) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<int> consumed;
+  pipeline_run<int>(
+      /*consumers=*/0, /*queue_capacity=*/4,
+      [](const PipelineEmit<int>& emit) {
+        for (int i = 0; i < 10; ++i) {
+          ASSERT_TRUE(emit(int{i}));
+        }
+      },
+      [&](std::size_t rank, int& item) {
+        EXPECT_EQ(rank, 0u);
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        consumed.push_back(item);
+      });
+  ASSERT_EQ(consumed.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(consumed[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(PipelineTest, EveryItemConsumedExactlyOnce) {
+  constexpr int kItems = 500;
+  std::vector<std::atomic<int>> seen(kItems);
+  pipeline_run<int>(
+      /*consumers=*/3, /*queue_capacity=*/4,
+      [](const PipelineEmit<int>& emit) {
+        for (int i = 0; i < kItems; ++i) {
+          ASSERT_TRUE(emit(int{i}));
+        }
+      },
+      [&](std::size_t /*rank*/, int& item) {
+        seen[static_cast<std::size_t>(item)].fetch_add(1);
+      });
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+  }
+}
+
+TEST(PipelineTest, ConsumerExceptionPropagatesWithoutDeadlock) {
+  // The queue is tiny and the producer has far more items than capacity, so
+  // without the abort protocol the producer would block forever on a full
+  // queue after the consumer dies. The emit() false return must also reach
+  // the producer so it stops early.
+  std::atomic<int> emitted{0};
+  const auto run = [&] {
+    pipeline_run<int>(
+        /*consumers=*/2, /*queue_capacity=*/2,
+        [&](const PipelineEmit<int>& emit) {
+          for (int i = 0; i < 100000; ++i) {
+            if (!emit(int{i})) {
+              return;  // pipeline aborted underneath us
+            }
+            emitted.fetch_add(1);
+          }
+        },
+        [](std::size_t /*rank*/, int& item) {
+          if (item == 5) {
+            throw std::runtime_error("consumer boom");
+          }
+        });
+  };
+  EXPECT_THROW(run(), std::runtime_error);
+  EXPECT_LT(emitted.load(), 100000);  // production stopped early
+}
+
+TEST(PipelineTest, ProducerExceptionPropagatesAndUnblocksConsumers) {
+  const auto run = [] {
+    pipeline_run<int>(
+        /*consumers=*/2, /*queue_capacity=*/2,
+        [](const PipelineEmit<int>& emit) {
+          ASSERT_TRUE(emit(1));
+          throw std::runtime_error("producer boom");
+        },
+        [](std::size_t /*rank*/, int& /*item*/) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        });
+  };
+  EXPECT_THROW(run(), std::runtime_error);
+}
+
+TEST(PipelineTest, EmptyStreamCompletes) {
+  int consumed = 0;
+  pipeline_run<int>(
+      /*consumers=*/2, /*queue_capacity=*/4,
+      [](const PipelineEmit<int>& /*emit*/) {},
+      [&](std::size_t /*rank*/, int& /*item*/) { ++consumed; });
+  EXPECT_EQ(consumed, 0);
+}
+
+}  // namespace
+}  // namespace bfhrf::parallel

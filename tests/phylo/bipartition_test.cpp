@@ -251,5 +251,73 @@ TEST(BipartitionTest, CrossWordBoundarySplit) {
   EXPECT_LE(BipartitionSet::symmetric_difference_size(ba, bb), 2u * 67);
 }
 
+TEST(BipartitionTest, UnsortedExtractionMatchesSortedSplitSet) {
+  // The sort-free hot path (BipartitionOptions::sorted = false) must yield
+  // exactly the same multiset of canonical splits, duplicate-free, across
+  // tree shapes and key widths.
+  const BipartitionOptions unsorted{.sorted = false};
+  for (const std::size_t n : {std::size_t{5}, std::size_t{16},
+                              std::size_t{70}, std::size_t{144}}) {
+    const auto taxa = TaxonSet::make_numbered(n);
+    util::Rng rng(n);
+    for (int rep = 0; rep < 5; ++rep) {
+      const Tree t = rep % 2 == 0 ? sim::uniform_tree(taxa, rng)
+                                  : sim::yule_tree(taxa, rng);
+      const auto expect = extract_bipartitions(t);
+      const auto fast = extract_bipartitions(t, unsorted);
+      EXPECT_EQ(fast.size(), expect.size()) << "n=" << n << " rep=" << rep;
+      const auto strings = bip_strings(fast);
+      EXPECT_EQ(strings.size(), fast.size()) << "duplicate split, n=" << n;
+      EXPECT_EQ(strings, bip_strings(expect)) << "n=" << n << " rep=" << rep;
+    }
+  }
+}
+
+TEST(BipartitionTest, UnsortedExtractionDedupsDegree2Root) {
+  // The two half-edges of a rooted-binary root describe one unrooted edge;
+  // the unsorted path must drop one structurally (finalize isn't run).
+  auto taxa = std::make_shared<TaxonSet>(
+      std::vector<std::string>{"A", "B", "C", "D"});
+  const Tree t = parse_newick("((A,B),(C,D));", taxa);
+  const auto fast =
+      extract_bipartitions(t, BipartitionOptions{.sorted = false});
+  EXPECT_EQ(fast.size(), 1u);
+  EXPECT_EQ(bip_strings(fast), (std::set<std::string>{"0011"}));
+
+  const BipartitionOptions trivial_unsorted{.include_trivial = true,
+                                            .sorted = false};
+  const auto triv = extract_bipartitions(t, trivial_unsorted);
+  EXPECT_EQ(triv.size(), 2u * 4 - 3);
+  EXPECT_EQ(bip_strings(triv),
+            bip_strings(extract_bipartitions(
+                t, BipartitionOptions{.include_trivial = true})));
+}
+
+TEST(BipartitionTest, UnsortedExtractionFallsBackOnUnaryNodes) {
+  // A unary node replicates its child's mask, which the structural dedup
+  // doesn't cover — such trees must fall back to the sorted finalize path
+  // (the parser suppresses unary nodes, so build one directly).
+  const auto taxa = TaxonSet::make_numbered(6);
+  Tree t(taxa);
+  const NodeId root = t.add_root();
+  (void)t.add_leaf(root, 0);
+  (void)t.add_leaf(root, 1);
+  const NodeId unary = t.add_child(root);
+  const NodeId inner = t.add_child(unary);  // unary -> inner: equal masks
+  (void)t.add_leaf(inner, 2);
+  (void)t.add_leaf(inner, 3);
+  const NodeId inner2 = t.add_child(inner);
+  (void)t.add_leaf(inner2, 4);
+  (void)t.add_leaf(inner2, 5);
+
+  const auto expect = extract_bipartitions(t);
+  const auto fast =
+      extract_bipartitions(t, BipartitionOptions{.sorted = false});
+  EXPECT_EQ(fast.size(), expect.size());
+  const auto strings = bip_strings(fast);
+  EXPECT_EQ(strings.size(), fast.size()) << "duplicate split leaked through";
+  EXPECT_EQ(strings, bip_strings(expect));
+}
+
 }  // namespace
 }  // namespace bfhrf::phylo
