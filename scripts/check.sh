@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Deeper verification tier than the plain `ctest` loop:
-#   1. ASan+UBSan build, full labeled suite
-#   2. TSan build, concurrency-sensitive labels only (parallel, obs)
+#   1. ASan+UBSan build, full labeled suite + bfhrf_verify differential run
+#   2. TSan build, concurrency-sensitive labels only (parallel, obs,
+#      verify) + bfhrf_verify differential run
 #   3. BFHRF_OBS=OFF build, full suite (instrumentation compiled out)
 # Run from the repo root. Each tier uses its own build directory (see
 # CMakePresets.json), so the default ./build is left untouched.
@@ -15,13 +16,22 @@ run() {
   "$@"
 }
 
+# Differential verification workload (docs/TESTING.md): every engine and
+# mode over a generated collection, full matrices cross-checked
+# bit-for-bit. Size can be overridden, e.g. BFHRF_VERIFY_ARGS="n=128 r=64".
+VERIFY_ARGS=${BFHRF_VERIFY_ARGS:-"n=64 r=32 q=32"}
+
 run cmake --preset asan-ubsan
 run cmake --build --preset asan-ubsan -j "$(nproc)"
 run ctest --preset asan-ubsan
+# shellcheck disable=SC2086  # VERIFY_ARGS is a word list by design
+run ./build-asan/tools/bfhrf_verify --generate ${VERIFY_ARGS}
 
 run cmake --preset tsan
 run cmake --build --preset tsan -j "$(nproc)"
 run ctest --preset tsan
+# shellcheck disable=SC2086
+run ./build-tsan/tools/bfhrf_verify --generate ${VERIFY_ARGS}
 
 run cmake --preset obs-off
 run cmake --build --preset obs-off -j "$(nproc)"

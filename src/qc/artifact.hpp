@@ -1,0 +1,47 @@
+// Replayable failure artifacts.
+//
+// When the harness finds a divergence it emits a single self-contained
+// text file — the (minimized) Newick bundle plus the seed and engine
+// configuration — so one command reruns the exact failure:
+//
+//   bfhrf_verify --replay failure.repro
+//
+// Format (line-oriented, '#' comments):
+//
+//   # bfhrf-verify artifact v1
+//   seed 0x1F2E
+//   threads 1,2,0
+//   include_trivial 0
+//   note <one line: the first divergence observed>
+//   taxon t0            (one line per taxon, in bit-index order, so the
+//   taxon t1             bitmask universe is reproduced exactly even for
+//   ...                  taxa the shrinker pruned from every tree)
+//   tree (t0,(t1,t2),t3);
+//   tree ...;
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "phylo/taxon_set.hpp"
+#include "phylo/tree.hpp"
+
+namespace bfhrf::qc {
+
+struct Artifact {
+  std::uint64_t seed = 0;
+  std::vector<std::size_t> thread_counts = {1, 2, 0};
+  bool include_trivial = false;
+  std::string note;  ///< single line; newlines are replaced on write
+  phylo::TaxonSetPtr taxa;
+  std::vector<phylo::Tree> trees;
+};
+
+/// Serialize to `path`. Throws Error on I/O failure.
+void write_artifact(const std::string& path, const Artifact& artifact);
+
+/// Parse an artifact file. Throws ParseError on malformed input.
+[[nodiscard]] Artifact read_artifact(const std::string& path);
+
+}  // namespace bfhrf::qc

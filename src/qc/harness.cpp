@@ -1,0 +1,227 @@
+#include "qc/harness.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "phylo/taxon_set.hpp"
+#include "qc/artifact.hpp"
+#include "qc/tree_ops.hpp"
+#include "sim/generators.hpp"
+#include "sim/moves.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::qc {
+namespace {
+
+using phylo::Tree;
+
+std::string hex_seed(std::uint64_t seed) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%llX", static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+std::vector<Tree> combined(std::span<const Tree> reference,
+                           std::span<const Tree> queries) {
+  std::vector<Tree> all(reference.begin(), reference.end());
+  all.insert(all.end(), queries.begin(), queries.end());
+  return all;
+}
+
+/// Fill the check sub-options from the harness-level knobs so every
+/// failure message downstream carries the one workload seed.
+void propagate(HarnessOptions& opts) {
+  if (opts.oracle.seed == 0) {
+    opts.oracle.seed = opts.seed;
+  }
+  opts.invariant.seed = opts.seed;
+}
+
+Tree make_one(WorkloadKind kind, std::size_t index, const Tree& base,
+              const phylo::TaxonSetPtr& taxa, util::Rng& rng,
+              std::size_t moves, const sim::GeneratorOptions& gen) {
+  switch (kind) {
+    case WorkloadKind::Clustered: {
+      Tree t = base;
+      sim::perturb(t, rng, moves);
+      return t;
+    }
+    case WorkloadKind::Independent:
+      return sim::uniform_tree(taxa, rng, gen);
+    case WorkloadKind::Multifurcating:
+      return sim::multifurcating_tree(taxa, rng, 0.3, gen);
+    case WorkloadKind::Mixed:
+      // Cycle through every topology class so binary-only engines, the
+      // caterpillar worst case, and polytomy handling all see traffic.
+      switch (index % 4) {
+        case 0: {
+          Tree t = base;
+          sim::perturb(t, rng, moves);
+          return t;
+        }
+        case 1:
+          return sim::uniform_tree(taxa, rng, gen);
+        case 2:
+          return sim::caterpillar_tree(taxa, rng, gen);
+        default:
+          return sim::multifurcating_tree(taxa, rng, 0.25, gen);
+      }
+  }
+  throw InvalidArgument("make_workload: unknown WorkloadKind");
+}
+
+}  // namespace
+
+Workload make_workload(const HarnessOptions& opts) {
+  if (opts.n < 4) {
+    throw InvalidArgument("make_workload: need at least 4 taxa");
+  }
+  if (opts.r == 0) {
+    throw InvalidArgument("make_workload: need at least one reference tree");
+  }
+  Workload w;
+  w.taxa = phylo::TaxonSet::make_numbered(opts.n);
+  util::Rng rng(opts.seed);
+  const sim::GeneratorOptions gen{.branch_lengths = opts.branch_lengths};
+  const Tree base = sim::yule_tree(w.taxa, rng, gen);
+  w.reference.reserve(opts.r);
+  for (std::size_t i = 0; i < opts.r; ++i) {
+    w.reference.push_back(
+        make_one(opts.kind, i, base, w.taxa, rng, opts.moves, gen));
+  }
+  w.queries.reserve(opts.q);
+  for (std::size_t i = 0; i < opts.q; ++i) {
+    // Queries drift further from the base than references do, so the
+    // Q-vs-R averages are not dominated by near-duplicates.
+    w.queries.push_back(
+        make_one(opts.kind, i + 1, base, w.taxa, rng, opts.moves * 2, gen));
+  }
+  return w;
+}
+
+HarnessResult verify_collection(std::span<const Tree> reference,
+                                std::span<const Tree> queries,
+                                const HarnessOptions& opts_in) {
+  HarnessOptions opts = opts_in;
+  propagate(opts);
+
+  HarnessResult result;
+  result.oracle = cross_check(reference, queries, opts.oracle);
+  if (!result.oracle.ok()) {
+    result.messages.push_back(result.oracle.summary());
+  }
+
+  std::vector<Tree> all = combined(reference, queries);
+  if (opts.run_invariants) {
+    result.invariants = check_invariants(all, opts.invariant);
+    if (!result.invariants.ok()) {
+      result.messages.push_back(result.invariants.summary());
+    }
+  }
+
+  result.passed = result.oracle.ok() &&
+                  (!opts.run_invariants || result.invariants.ok());
+  if (result.passed) {
+    return result;
+  }
+
+  std::string note;
+  if (!result.oracle.ok()) {
+    note = result.oracle.divergences.front().to_string();
+  } else {
+    note = result.invariants.failures.front().to_string();
+  }
+
+  if (opts.shrink_on_failure) {
+    // Minimize against whichever layer failed. The oracle predicate uses
+    // the self-comparison cross-check so both the matrix and the average
+    // (multi-tree merge) paths stay under test while shrinking.
+    FailurePredicate fails;
+    if (!result.oracle.ok()) {
+      OracleOptions oracle_opts = opts.oracle;
+      fails = [oracle_opts](std::span<const Tree> candidate) {
+        return !cross_check(candidate, {}, oracle_opts).ok();
+      };
+    } else {
+      InvariantOptions inv_opts = opts.invariant;
+      fails = [inv_opts](std::span<const Tree> candidate) {
+        return !check_invariants(candidate, inv_opts).ok();
+      };
+    }
+    try {
+      ShrinkResult shrunk = shrink_failure(all, fails, opts.shrink);
+      result.minimized = std::move(shrunk.trees);
+      result.minimized_taxa = shrunk.taxa_remaining;
+      result.shrink_predicate_calls = shrunk.predicate_calls;
+      result.messages.push_back(
+          "shrunk to " + std::to_string(result.minimized.size()) +
+          " tree(s) over " + std::to_string(result.minimized_taxa) +
+          " taxa in " + std::to_string(shrunk.predicate_calls) +
+          " predicate call(s)" +
+          (shrunk.hit_call_limit ? " [budget exhausted]" : ""));
+    } catch (const InvalidArgument&) {
+      // The combined collection does not reproduce under the predicate
+      // (e.g. the failure needs the exact Q/R split). Keep the full set.
+      result.messages.push_back(
+          "shrink skipped: failure does not reproduce on the combined "
+          "collection");
+    }
+  }
+
+  if (!opts.artifact_path.empty()) {
+    const std::vector<Tree>& repro =
+        result.minimized.empty() ? all : result.minimized;
+    Artifact artifact;
+    artifact.seed = opts.seed;
+    artifact.thread_counts = opts.oracle.thread_counts;
+    artifact.include_trivial = opts.oracle.include_trivial;
+    artifact.note = note;
+    artifact.taxa = repro.front().taxa();
+    artifact.trees = repro;
+    write_artifact(opts.artifact_path, artifact);
+    result.artifact_path = opts.artifact_path;
+    result.messages.push_back("reproducer written: " + opts.artifact_path +
+                              " (replay with: bfhrf_verify --replay " +
+                              opts.artifact_path + ")");
+  }
+  result.messages.push_back("workload seed " + hex_seed(opts.seed) +
+                            " (replay with --seed=" + hex_seed(opts.seed) +
+                            ")");
+  return result;
+}
+
+HarnessResult verify_generated(const HarnessOptions& opts) {
+  const Workload w = make_workload(opts);
+  return verify_collection(w.reference, w.queries, opts);
+}
+
+HarnessResult replay_artifact(const std::string& path, HarnessOptions opts) {
+  const Artifact a = read_artifact(path);
+  opts.seed = a.seed;
+  opts.oracle.seed = a.seed;
+  opts.oracle.thread_counts = a.thread_counts;
+  opts.oracle.include_trivial = a.include_trivial;
+  opts.invariant.include_trivial = a.include_trivial;
+  return verify_collection(a.trees, {}, opts);
+}
+
+std::string HarnessResult::summary() const {
+  if (passed) {
+    std::string s = "verify: PASS — " + std::to_string(oracle.engines.size()) +
+                    " engine configs, " + std::to_string(oracle.cells_checked) +
+                    " cells";
+    if (!invariants.invariants_run.empty()) {
+      s += ", " + std::to_string(invariants.invariants_run.size()) +
+           " invariants (" + std::to_string(invariants.checks) + " checks)";
+    }
+    return s;
+  }
+  std::string s = "verify: FAIL";
+  for (const std::string& m : messages) {
+    s += "\n" + m;
+  }
+  return s;
+}
+
+}  // namespace bfhrf::qc

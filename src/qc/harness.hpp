@@ -1,0 +1,96 @@
+// Verification harness: the one entry point the CLI and the test suites
+// drive. Generates (or accepts) a workload, pushes it through the
+// differential oracle and the metamorphic invariant library, and on any
+// failure delta-debugs the collection to a minimal reproducer and writes
+// a replayable artifact. Every failure message carries the seed in the
+// `--seed=N` / BFHRF_FUZZ_SEED replay convention.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "phylo/taxon_set.hpp"
+#include "phylo/tree.hpp"
+#include "qc/metamorphic.hpp"
+#include "qc/oracle.hpp"
+#include "qc/shrink.hpp"
+
+namespace bfhrf::qc {
+
+/// Topology class of a generated workload.
+enum class WorkloadKind {
+  Clustered,       ///< Yule base + NNI/SPR perturbations (gene-tree shape)
+  Independent,     ///< i.i.d. uniform (PDA) topologies
+  Multifurcating,  ///< Yule with random edge contractions
+  Mixed,           ///< clustered + caterpillar + multifurcating zoo
+};
+
+struct HarnessOptions {
+  // --- workload (for verify_generated) -------------------------------
+  std::size_t n = 16;      ///< taxa
+  std::size_t r = 12;      ///< reference trees
+  std::size_t q = 8;       ///< query trees
+  std::size_t moves = 4;   ///< perturbation strength for clustered sets
+  std::uint64_t seed = 0x5eed;
+  WorkloadKind kind = WorkloadKind::Mixed;
+  bool branch_lengths = false;
+
+  // --- checks ---------------------------------------------------------
+  OracleOptions oracle;       ///< seed/include_trivial are filled in
+  InvariantOptions invariant; ///< likewise
+  bool run_invariants = true;
+
+  // --- failure handling ----------------------------------------------
+  bool shrink_on_failure = true;
+  ShrinkOptions shrink;
+  /// Where to write the reproducer on failure ("" = do not write).
+  std::string artifact_path;
+};
+
+struct HarnessResult {
+  bool passed = false;
+  OracleReport oracle;
+  InvariantReport invariants;
+  std::vector<std::string> messages;  ///< failure lines, seed included
+
+  /// Populated when a failure was shrunk.
+  std::vector<phylo::Tree> minimized;
+  std::size_t minimized_taxa = 0;
+  std::size_t shrink_predicate_calls = 0;
+
+  /// Artifact written for this failure ("" if none).
+  std::string artifact_path;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Verify an explicit workload. Pass an empty `queries` span for the
+/// self-comparison (Q is R) setting.
+[[nodiscard]] HarnessResult verify_collection(
+    std::span<const phylo::Tree> reference,
+    std::span<const phylo::Tree> queries, const HarnessOptions& opts = {});
+
+/// Generate a deterministic workload from (seed, n, r, q, kind) and verify
+/// it. Mixed workloads additionally run a multifurcating zoo so the
+/// non-binary engine paths are always covered.
+[[nodiscard]] HarnessResult verify_generated(const HarnessOptions& opts = {});
+
+/// Re-run the exact failure stored in an artifact file. The artifact's
+/// seed, thread counts, and include_trivial override the corresponding
+/// fields of `opts`.
+[[nodiscard]] HarnessResult replay_artifact(const std::string& path,
+                                            HarnessOptions opts = {});
+
+/// The deterministic workload behind verify_generated, exposed so tests
+/// can inspect it: returns reference then query trees over a fresh
+/// numbered TaxonSet.
+struct Workload {
+  phylo::TaxonSetPtr taxa;
+  std::vector<phylo::Tree> reference;
+  std::vector<phylo::Tree> queries;
+};
+[[nodiscard]] Workload make_workload(const HarnessOptions& opts);
+
+}  // namespace bfhrf::qc

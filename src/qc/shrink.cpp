@@ -1,0 +1,185 @@
+#include "qc/shrink.hpp"
+
+#include <algorithm>
+
+#include "core/restrict.hpp"
+#include "qc/tree_ops.hpp"
+#include "util/bitset.hpp"
+#include "util/error.hpp"
+
+namespace bfhrf::qc {
+namespace {
+
+using phylo::NodeId;
+using phylo::Tree;
+
+class Shrinker {
+ public:
+  Shrinker(const FailurePredicate& fails, const ShrinkOptions& opts)
+      : fails_(fails), opts_(opts) {}
+
+  /// Guarded predicate call: counts against the budget; exceptions and an
+  /// exhausted budget both read as "does not reproduce".
+  bool reproduces(std::span<const Tree> candidate) {
+    if (calls_ >= opts_.max_predicate_calls) {
+      hit_limit_ = true;
+      return false;
+    }
+    ++calls_;
+    try {
+      return fails_(candidate);
+    } catch (...) {
+      return false;
+    }
+  }
+
+  /// Classic ddmin over the tree list: try dropping complements/chunks at
+  /// doubling granularity until no chunk can be removed.
+  void ddmin_trees(std::vector<Tree>& cur) {
+    std::size_t granularity = 2;
+    while (cur.size() >= 2 && !hit_limit_) {
+      const std::size_t chunk =
+          std::max<std::size_t>(1, cur.size() / granularity);
+      bool progress = false;
+      for (std::size_t start = 0; start < cur.size(); start += chunk) {
+        std::vector<Tree> candidate;
+        candidate.reserve(cur.size());
+        for (std::size_t i = 0; i < cur.size(); ++i) {
+          if (i < start || i >= start + chunk) {
+            candidate.push_back(cur[i]);
+          }
+        }
+        if (candidate.empty()) {
+          continue;
+        }
+        if (reproduces(candidate)) {
+          cur = std::move(candidate);
+          granularity = std::max<std::size_t>(2, granularity - 1);
+          progress = true;
+          break;
+        }
+      }
+      if (!progress) {
+        if (chunk == 1) {
+          break;  // 1-minimal
+        }
+        granularity = std::min(cur.size(), granularity * 2);
+      }
+    }
+  }
+
+  /// Drop taxa one at a time (restricting every tree) while the failure
+  /// persists and at least min_taxa remain.
+  void drop_taxa(std::vector<Tree>& cur) {
+    bool progress = true;
+    while (progress && !hit_limit_) {
+      progress = false;
+      const util::DynamicBitset present = core::union_taxa(cur);
+      std::vector<std::size_t> taxa;
+      present.for_each_set_bit([&](std::size_t b) { taxa.push_back(b); });
+      if (taxa.size() <= opts_.min_taxa) {
+        return;
+      }
+      for (const std::size_t victim : taxa) {
+        util::DynamicBitset keep = present;
+        keep.reset(victim);
+        std::vector<Tree> candidate;
+        candidate.reserve(cur.size());
+        try {
+          for (const Tree& t : cur) {
+            candidate.push_back(core::restrict_to_taxa(t, keep));
+          }
+        } catch (const Error&) {
+          continue;  // a tree would drop below 2 leaves
+        }
+        if (reproduces(candidate)) {
+          cur = std::move(candidate);
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+
+  /// Contract internal edges tree-by-tree while the failure persists.
+  void collapse_edges(std::vector<Tree>& cur) {
+    bool progress = true;
+    while (progress && !hit_limit_) {
+      progress = false;
+      for (std::size_t i = 0; i < cur.size() && !progress; ++i) {
+        for (const NodeId victim : internal_nonroot_nodes(cur[i])) {
+          std::vector<Tree> candidate(cur.begin(), cur.end());
+          candidate[i] = collapse_internal_node(cur[i], victim);
+          if (reproduces(candidate)) {
+            cur = std::move(candidate);
+            progress = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  ShrinkResult run(std::span<const Tree> failing) {
+    std::vector<Tree> cur(failing.begin(), failing.end());
+    // Fixpoint over the three passes: a taxon drop can enable another
+    // tree drop and vice versa.
+    std::size_t before_calls;
+    do {
+      before_calls = calls_;
+      const std::size_t trees_before = cur.size();
+      const std::size_t nodes_before = total_nodes(cur);
+      if (opts_.shrink_trees) {
+        ddmin_trees(cur);
+      }
+      if (opts_.shrink_taxa) {
+        drop_taxa(cur);
+      }
+      if (opts_.collapse_edges) {
+        collapse_edges(cur);
+      }
+      if (cur.size() == trees_before && total_nodes(cur) == nodes_before) {
+        break;  // no structural progress this round
+      }
+    } while (!hit_limit_ && calls_ > before_calls);
+
+    ShrinkResult result;
+    result.taxa_remaining = core::union_taxa(cur).count();
+    result.trees = std::move(cur);
+    result.predicate_calls = calls_;
+    result.hit_call_limit = hit_limit_;
+    return result;
+  }
+
+ private:
+  static std::size_t total_nodes(const std::vector<Tree>& trees) {
+    std::size_t n = 0;
+    for (const Tree& t : trees) {
+      n += t.num_nodes();
+    }
+    return n;
+  }
+
+  const FailurePredicate& fails_;
+  const ShrinkOptions& opts_;
+  std::size_t calls_ = 0;
+  bool hit_limit_ = false;
+};
+
+}  // namespace
+
+ShrinkResult shrink_failure(std::span<const Tree> failing,
+                            const FailurePredicate& fails,
+                            const ShrinkOptions& opts) {
+  if (failing.empty()) {
+    throw InvalidArgument("shrink_failure: empty input collection");
+  }
+  if (!fails(failing)) {
+    throw InvalidArgument(
+        "shrink_failure: predicate does not fail on the input collection");
+  }
+  Shrinker shrinker(fails, opts);
+  return shrinker.run(failing);
+}
+
+}  // namespace bfhrf::qc

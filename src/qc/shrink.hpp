@@ -1,0 +1,57 @@
+// Automatic failing-case minimization (verification layer 3).
+//
+// Given a collection on which some check fails (the predicate returns
+// true), delta-debug it down to a minimal reproducer along three axes, in
+// order of how much they simplify the case for a human:
+//
+//   1. drop trees   — classic ddmin over the collection
+//   2. drop taxa    — restrict every tree to all-but-one-taxon
+//                     (core/restrict), repeated while the failure persists
+//   3. collapse     — contract internal edges one at a time, shrinking
+//                     each surviving tree toward a star
+//
+// The predicate is re-run on every candidate; a candidate that *throws* is
+// treated as not reproducing (a different bug than the one being
+// minimized). The result is the smallest collection found, ready to be
+// serialized as a replay artifact (qc/artifact.hpp).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "phylo/tree.hpp"
+
+namespace bfhrf::qc {
+
+/// True when the collection still exhibits the failure being minimized.
+using FailurePredicate =
+    std::function<bool(std::span<const phylo::Tree>)>;
+
+struct ShrinkOptions {
+  bool shrink_trees = true;
+  bool shrink_taxa = true;
+  bool collapse_edges = true;
+
+  /// Never restrict below this many taxa (4 is the smallest universe with
+  /// a non-trivial split).
+  std::size_t min_taxa = 4;
+
+  /// Hard cap on predicate evaluations (each one re-runs engines).
+  std::size_t max_predicate_calls = 4000;
+};
+
+struct ShrinkResult {
+  std::vector<phylo::Tree> trees;     ///< the minimal failing collection
+  std::size_t predicate_calls = 0;
+  std::size_t taxa_remaining = 0;     ///< distinct leaf taxa in the result
+  bool hit_call_limit = false;
+};
+
+/// Minimize `failing` under `fails`. Throws InvalidArgument if the
+/// predicate does not hold on the input itself (nothing to minimize).
+[[nodiscard]] ShrinkResult shrink_failure(
+    std::span<const phylo::Tree> failing, const FailurePredicate& fails,
+    const ShrinkOptions& opts = {});
+
+}  // namespace bfhrf::qc

@@ -1,0 +1,195 @@
+#include "qc/tree_ops.hpp"
+
+#include <cstddef>
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace bfhrf::qc {
+
+using phylo::kNoNode;
+using phylo::NodeId;
+using phylo::TaxonId;
+using phylo::Tree;
+
+phylo::Tree relabel_taxa(const phylo::Tree& tree,
+                         const std::vector<phylo::TaxonId>& perm) {
+  Tree out(tree.taxa());
+  if (tree.empty()) {
+    return out;
+  }
+  out.reserve(tree.num_nodes());
+  const NodeId root = out.add_root();
+  if (tree.node(tree.root()).taxon != phylo::kNoTaxon) {
+    out.set_taxon(root, perm.at(static_cast<std::size_t>(
+                            tree.node(tree.root()).taxon)));
+  }
+  struct Item {
+    NodeId old_id;
+    NodeId new_parent;
+  };
+  std::vector<Item> stack;
+  tree.for_each_child(tree.root(),
+                      [&](NodeId c) { stack.push_back({c, root}); });
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    NodeId nid;
+    if (tree.is_leaf(item.old_id)) {
+      const TaxonId old_taxon = tree.node(item.old_id).taxon;
+      nid = out.add_leaf(item.new_parent,
+                         perm.at(static_cast<std::size_t>(old_taxon)));
+    } else {
+      nid = out.add_child(item.new_parent);
+    }
+    if (tree.node(item.old_id).has_length) {
+      out.set_length(nid, tree.node(item.old_id).length);
+    }
+    tree.for_each_child(item.old_id,
+                        [&](NodeId c) { stack.push_back({c, nid}); });
+  }
+  return out;
+}
+
+phylo::Tree reroot_at(const phylo::Tree& tree, phylo::NodeId new_root) {
+  if (tree.is_leaf(new_root)) {
+    throw InvalidArgument("reroot_at: new root must be an internal node");
+  }
+  if (tree.is_root(new_root)) {
+    return tree;
+  }
+
+  // Undirected adjacency; each edge's length lives on the original child.
+  struct Edge {
+    NodeId to;
+    double length;
+    bool has_length;
+  };
+  std::vector<std::vector<Edge>> adj(tree.num_nodes());
+  for (NodeId id = 0; id < static_cast<NodeId>(tree.num_nodes()); ++id) {
+    const NodeId parent = tree.node(id).parent;
+    if (parent != kNoNode) {
+      const double len = tree.node(id).length;
+      const bool has = tree.node(id).has_length;
+      adj[static_cast<std::size_t>(parent)].push_back({id, len, has});
+      adj[static_cast<std::size_t>(id)].push_back({parent, len, has});
+    }
+  }
+
+  Tree out(tree.taxa());
+  out.reserve(tree.num_nodes());
+  const NodeId root = out.add_root();
+  struct Item {
+    NodeId old_id;
+    NodeId came_from;  ///< old id we arrived from (kNoNode at the root)
+    NodeId new_parent;
+  };
+  std::vector<Item> stack;
+  stack.push_back({new_root, kNoNode, kNoNode});
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    NodeId nid;
+    if (item.came_from == kNoNode) {
+      nid = root;
+    } else if (tree.is_leaf(item.old_id)) {
+      nid = out.add_leaf(item.new_parent, tree.node(item.old_id).taxon);
+    } else {
+      nid = out.add_child(item.new_parent);
+    }
+    for (const Edge& e : adj[static_cast<std::size_t>(item.old_id)]) {
+      if (e.to == item.came_from) {
+        if (e.has_length && nid != root) {
+          out.set_length(nid, e.length);
+        }
+        continue;
+      }
+      stack.push_back({e.to, item.old_id, nid});
+    }
+  }
+  return out;
+}
+
+phylo::Tree collapse_internal_node(const phylo::Tree& tree,
+                                   phylo::NodeId victim) {
+  if (tree.is_root(victim) || tree.is_leaf(victim)) {
+    throw InvalidArgument(
+        "collapse_internal_node: victim must be internal and non-root");
+  }
+  Tree out(tree.taxa());
+  out.reserve(tree.num_nodes());
+  const NodeId root = out.add_root();
+  struct Item {
+    NodeId old_id;
+    NodeId new_parent;
+  };
+  std::vector<Item> stack;
+  const auto push_kids = [&](NodeId old_id, NodeId new_parent) {
+    tree.for_each_child(old_id, [&](NodeId c) {
+      stack.push_back({c, new_parent});
+    });
+  };
+  push_kids(tree.root(), root);
+  while (!stack.empty()) {
+    const Item item = stack.back();
+    stack.pop_back();
+    if (item.old_id == victim) {
+      // Splice the victim's children straight into its parent.
+      push_kids(item.old_id, item.new_parent);
+      continue;
+    }
+    const NodeId nid =
+        tree.is_leaf(item.old_id)
+            ? out.add_leaf(item.new_parent, tree.node(item.old_id).taxon)
+            : out.add_child(item.new_parent);
+    if (tree.node(item.old_id).has_length) {
+      out.set_length(nid, tree.node(item.old_id).length);
+    }
+    push_kids(item.old_id, nid);
+  }
+  return out;
+}
+
+std::vector<phylo::NodeId> internal_nonroot_nodes(const phylo::Tree& tree) {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < static_cast<NodeId>(tree.num_nodes()); ++id) {
+    if (!tree.is_root(id) && !tree.is_leaf(id)) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+phylo::Tree caterpillar_with_order(const phylo::TaxonSetPtr& taxa,
+                                   const std::vector<phylo::TaxonId>& order) {
+  if (!taxa || order.size() < 4) {
+    throw InvalidArgument("caterpillar_with_order: need >= 4 taxa");
+  }
+  const std::size_t n = order.size();
+  Tree t(taxa);
+  t.reserve(2 * n);
+  const NodeId root = t.add_root();
+  t.add_leaf(root, order[0]);
+  t.add_leaf(root, order[1]);
+  NodeId spine = root;
+  for (std::size_t i = 2; i + 1 < n; ++i) {
+    spine = t.add_child(spine);
+    t.add_leaf(spine, order[i]);
+  }
+  t.add_leaf(spine, order[n - 1]);
+  return t;
+}
+
+std::vector<phylo::TaxonId> riffle_order(std::size_t n) {
+  std::vector<TaxonId> order;
+  order.reserve(n);
+  for (std::size_t i = 0; i < n; i += 2) {
+    order.push_back(static_cast<TaxonId>(i));
+  }
+  for (std::size_t i = 1; i < n; i += 2) {
+    order.push_back(static_cast<TaxonId>(i));
+  }
+  return order;
+}
+
+}  // namespace bfhrf::qc

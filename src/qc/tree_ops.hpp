@@ -1,0 +1,55 @@
+// Structural tree transformations used by the verification harness.
+//
+// These are *test-oracle* operations, deliberately independent of the
+// engine hot paths they exercise: each one rebuilds a fresh arena by plain
+// traversal so a bug in the optimized extraction/streaming code cannot
+// leak into the transformation that is supposed to catch it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phylo/taxon_set.hpp"
+#include "phylo/tree.hpp"
+
+namespace bfhrf::qc {
+
+/// Clone `tree` with every leaf's taxon id mapped through `perm`
+/// (perm[old_id] = new_id over the same TaxonSet universe). RF between any
+/// two trees is invariant under a shared relabeling — the metamorphic
+/// relation check_invariants() exercises with this.
+[[nodiscard]] phylo::Tree relabel_taxa(const phylo::Tree& tree,
+                                       const std::vector<phylo::TaxonId>&
+                                           perm);
+
+/// Clone `tree` rerooted at the internal node `new_root` (rebuilt over the
+/// undirected edge set; branch lengths travel with their edge, stored on
+/// the child end as usual). Bipartition extraction is rooting-invariant,
+/// so RF(tree, rerooted) must be 0. Throws InvalidArgument if `new_root`
+/// is a leaf.
+[[nodiscard]] phylo::Tree reroot_at(const phylo::Tree& tree,
+                                    phylo::NodeId new_root);
+
+/// Clone `tree` with the internal non-root node `victim` contracted: its
+/// children are spliced into its parent (one fewer internal edge, i.e. one
+/// fewer candidate bipartition). Throws InvalidArgument if `victim` is the
+/// root or a leaf. The shrinker's edge-collapse pass uses this.
+[[nodiscard]] phylo::Tree collapse_internal_node(const phylo::Tree& tree,
+                                                 phylo::NodeId victim);
+
+/// Internal non-root node ids of `tree` (the collapse candidates).
+[[nodiscard]] std::vector<phylo::NodeId> internal_nonroot_nodes(
+    const phylo::Tree& tree);
+
+/// Deterministic caterpillar whose spine attaches taxa in exactly `order`
+/// (order[0], order[1] nearest the root). The max-RF saturation invariant
+/// compares an identity-order caterpillar against a riffle-order one.
+[[nodiscard]] phylo::Tree caterpillar_with_order(
+    const phylo::TaxonSetPtr& taxa, const std::vector<phylo::TaxonId>& order);
+
+/// The "riffle" permutation 0,2,4,...,1,3,5,... of [0, n). An identity
+/// caterpillar and a riffle caterpillar over the same taxa share no
+/// non-trivial bipartition, so their RF is the maximum 2(n-3).
+[[nodiscard]] std::vector<phylo::TaxonId> riffle_order(std::size_t n);
+
+}  // namespace bfhrf::qc

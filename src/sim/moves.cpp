@@ -57,7 +57,10 @@ Tree clone_with_swap(const Tree& t, NodeId a, NodeId b) {
 
 }  // namespace
 
-void random_nni(phylo::Tree& tree, util::Rng& rng) {
+bool random_nni(phylo::Tree& tree, util::Rng& rng) {
+  if (tree.num_nodes() == 0) {
+    throw InvalidArgument("random_nni: empty tree");
+  }
   // Candidate lower ends v of internal edges: internal, non-root, parent
   // with at least one other child.
   std::vector<NodeId> candidates;
@@ -68,7 +71,7 @@ void random_nni(phylo::Tree& tree, util::Rng& rng) {
     }
   }
   if (candidates.empty()) {
-    return;
+    return false;  // star or n <= 3: no internal edge to interchange across
   }
   const NodeId v = candidates[rng.below(candidates.size())];
   const NodeId u = tree.node(v).parent;
@@ -84,11 +87,18 @@ void random_nni(phylo::Tree& tree, util::Rng& rng) {
   const NodeId a = v_kids[rng.below(v_kids.size())];
   const NodeId b = siblings[rng.below(siblings.size())];
   tree = clone_with_swap(tree, a, b);
+  return true;
 }
 
-void random_spr_leaf(phylo::Tree& tree, util::Rng& rng) {
-  if (tree.num_leaves() < 4 || !tree.taxa()) {
-    return;
+bool random_spr_leaf(phylo::Tree& tree, util::Rng& rng) {
+  if (tree.num_nodes() == 0) {
+    throw InvalidArgument("random_spr_leaf: empty tree");
+  }
+  if (!tree.taxa()) {
+    throw InvalidArgument("random_spr_leaf: tree has no taxon set");
+  }
+  if (tree.num_leaves() < 4) {
+    return false;  // every regraft rebuilds the same unrooted topology
   }
   // Prune a random leaf...
   const auto leaves = tree.leaves();
@@ -110,17 +120,21 @@ void random_spr_leaf(phylo::Tree& tree, util::Rng& rng) {
   } while (pruned.is_root(target));
   pruned.split_edge_insert_leaf(target, taxon);
   tree = std::move(pruned);
+  return true;
 }
 
-void perturb(phylo::Tree& tree, util::Rng& rng, std::size_t count,
-             double spr_p) {
-  for (std::size_t i = 0; i < count; ++i) {
-    if (rng.bernoulli(spr_p)) {
-      random_spr_leaf(tree, rng);
-    } else {
-      random_nni(tree, rng);
-    }
+std::size_t perturb(phylo::Tree& tree, util::Rng& rng, std::size_t count,
+                    double spr_p) {
+  if (!(spr_p >= 0.0 && spr_p <= 1.0)) {
+    throw InvalidArgument("perturb: spr_p must be in [0, 1]");
   }
+  std::size_t applied = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const bool moved = rng.bernoulli(spr_p) ? random_spr_leaf(tree, rng)
+                                            : random_nni(tree, rng);
+    applied += moved ? std::size_t{1} : std::size_t{0};
+  }
+  return applied;
 }
 
 }  // namespace bfhrf::sim

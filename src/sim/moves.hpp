@@ -14,15 +14,25 @@ namespace bfhrf::sim {
 
 /// One random nearest-neighbor interchange: swap a child subtree of a
 /// random internal edge's lower end with one of its sibling subtrees.
-/// No-op on trees too small to have an internal edge.
-void random_nni(phylo::Tree& tree, util::Rng& rng);
+/// Multifurcating trees are supported (the swap is across any internal
+/// edge; polytomies are preserved). Returns false — leaving the tree
+/// untouched — on trees with no internal edge (stars, n <= 3). Throws
+/// InvalidArgument on an empty tree.
+bool random_nni(phylo::Tree& tree, util::Rng& rng);
 
 /// One random leaf SPR: prune a random leaf and regraft it onto a random
-/// edge. No-op on trees with fewer than 4 leaves.
-void random_spr_leaf(phylo::Tree& tree, util::Rng& rng);
+/// edge. Multifurcating trees are supported (pruning may contract a
+/// degree-2 node; regrafting always inserts a binary junction). Returns
+/// false — leaving the tree untouched — on trees with fewer than 4 leaves,
+/// where every regraft position recreates the same unrooted topology.
+/// Throws InvalidArgument on an empty tree or one without a taxon set.
+bool random_spr_leaf(phylo::Tree& tree, util::Rng& rng);
 
 /// Apply `count` moves, mixing NNI and leaf-SPR with probability spr_p.
-void perturb(phylo::Tree& tree, util::Rng& rng, std::size_t count,
-             double spr_p = 0.5);
+/// Returns how many moves actually changed the tree (moves on too-small
+/// trees are no-ops, see above). Throws InvalidArgument if spr_p is not
+/// in [0, 1] or the tree is empty.
+std::size_t perturb(phylo::Tree& tree, util::Rng& rng, std::size_t count,
+                    double spr_p = 0.5);
 
 }  // namespace bfhrf::sim

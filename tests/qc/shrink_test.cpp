@@ -1,0 +1,122 @@
+#include "qc/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/restrict.hpp"
+#include "support/test_util.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::qc {
+namespace {
+
+using phylo::TaxonSet;
+using phylo::Tree;
+
+std::vector<Tree> collection(std::size_t n, std::size_t count,
+                             std::uint64_t seed) {
+  const auto taxa = TaxonSet::make_numbered(n);
+  util::Rng rng(seed);
+  return test::random_collection(taxa, count, 3, rng);
+}
+
+TEST(ShrinkTest, DropsTreesDownToTheMinimalCount) {
+  const auto trees = collection(10, 12, 1);
+  // "Fails" whenever at least two trees are present: 1-minimal result is 2.
+  const auto result = shrink_failure(
+      trees, [](std::span<const Tree> c) { return c.size() >= 2; });
+  EXPECT_EQ(result.trees.size(), 2u);
+  EXPECT_GT(result.predicate_calls, 0u);
+  EXPECT_FALSE(result.hit_call_limit);
+}
+
+TEST(ShrinkTest, DropsTaxaDownToTheFloor) {
+  const auto trees = collection(12, 3, 2);
+  // Failure depends only on the collection being non-empty, so taxa can be
+  // pruned all the way to the configured floor.
+  ShrinkOptions opts;
+  opts.min_taxa = 5;
+  const auto result = shrink_failure(
+      trees, [](std::span<const Tree> c) { return !c.empty(); }, opts);
+  EXPECT_EQ(result.trees.size(), 1u);
+  EXPECT_LE(result.taxa_remaining, 5u);
+  for (const Tree& t : result.trees) {
+    t.validate();
+  }
+}
+
+TEST(ShrinkTest, PreservesAFailureTiedToOneTaxon) {
+  const auto trees = collection(10, 6, 3);
+  // Failure requires taxon 7 to survive in some tree; the shrinker must
+  // keep it while removing nearly everything else.
+  const auto needs_taxon7 = [](std::span<const Tree> c) {
+    for (const Tree& t : c) {
+      for (const auto leaf : t.leaves()) {
+        if (t.node(leaf).taxon == 7) {
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  const auto result = shrink_failure(trees, needs_taxon7);
+  ASSERT_FALSE(result.trees.empty());
+  EXPECT_TRUE(needs_taxon7(result.trees));
+  EXPECT_EQ(result.trees.size(), 1u);
+  EXPECT_LE(result.taxa_remaining, 5u);
+}
+
+TEST(ShrinkTest, CollapsesInternalEdges) {
+  const auto trees = collection(12, 1, 4);
+  const auto result = shrink_failure(
+      trees, [](std::span<const Tree> c) { return !c.empty(); });
+  ASSERT_EQ(result.trees.size(), 1u);
+  // With a content-free predicate the single survivor collapses toward a
+  // star over the minimum taxa: no internal non-root structure remains.
+  std::size_t internal = 0;
+  const Tree& t = result.trees[0];
+  for (phylo::NodeId id = 0; id < static_cast<phylo::NodeId>(t.num_nodes());
+       ++id) {
+    if (!t.is_leaf(id) && !t.is_root(id)) {
+      ++internal;
+    }
+  }
+  EXPECT_EQ(internal, 0u);
+}
+
+TEST(ShrinkTest, ThrowingPredicateCandidatesAreSkipped) {
+  const auto trees = collection(8, 6, 5);
+  // Candidates smaller than the original throw; only the original
+  // "fails" — so the shrinker must return it unchanged rather than crash.
+  const std::size_t original = trees.size();
+  const auto result = shrink_failure(trees, [&](std::span<const Tree> c) {
+    if (c.size() < original) {
+      throw Error("engine exploded on this candidate");
+    }
+    return true;
+  });
+  EXPECT_EQ(result.trees.size(), original);
+}
+
+TEST(ShrinkTest, RejectsAPassingInput) {
+  const auto trees = collection(8, 4, 6);
+  EXPECT_THROW(
+      shrink_failure(trees, [](std::span<const Tree>) { return false; }),
+      InvalidArgument);
+  EXPECT_THROW(shrink_failure({}, [](std::span<const Tree>) { return true; }),
+               InvalidArgument);
+}
+
+TEST(ShrinkTest, HonorsThePredicateBudget) {
+  const auto trees = collection(10, 10, 7);
+  ShrinkOptions opts;
+  opts.max_predicate_calls = 3;
+  const auto result = shrink_failure(
+      trees, [](std::span<const Tree> c) { return c.size() >= 2; }, opts);
+  EXPECT_TRUE(result.hit_call_limit);
+  EXPECT_LE(result.predicate_calls, 3u);
+  EXPECT_GE(result.trees.size(), 2u);  // still a failing collection
+}
+
+}  // namespace
+}  // namespace bfhrf::qc

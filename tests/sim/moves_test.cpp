@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "core/rf.hpp"
+#include "phylo/newick.hpp"
 #include "sim/generators.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace bfhrf::sim {
@@ -91,6 +93,113 @@ TEST(MovesTest, PerturbationKeepsTaxaIdentical) {
   Tree t = base;
   perturb(t, rng, 20);
   EXPECT_EQ(t.leaf_taxa_sorted(), base.leaf_taxa_sorted());
+}
+
+// --- edge cases: tiny, star, and multifurcating trees -----------------
+
+/// A star tree: the root is the only internal node.
+Tree star_tree(const phylo::TaxonSetPtr& taxa) {
+  Tree t(taxa);
+  const auto root = t.add_root();
+  for (phylo::TaxonId i = 0; i < static_cast<phylo::TaxonId>(taxa->size());
+       ++i) {
+    t.add_leaf(root, i);
+  }
+  return t;
+}
+
+TEST(MovesTest, NniOnStarTreeReportsNoOp) {
+  // No internal edge — NNI is undefined; the move must decline, not crash
+  // or silently reshape the tree.
+  const auto taxa = TaxonSet::make_numbered(8);
+  util::Rng rng(10);
+  Tree t = star_tree(taxa);
+  const std::string before = phylo::write_newick(t);
+  EXPECT_FALSE(random_nni(t, rng));
+  EXPECT_EQ(phylo::write_newick(t), before);
+}
+
+TEST(MovesTest, NniOnNearStarTreeUsesTheOnlyInternalEdge) {
+  // One internal edge: ((a,b),c,d...). NNI must apply and keep RF <= 2.
+  const auto taxa = TaxonSet::make_numbered(6);
+  phylo::TaxonSetPtr parsed = taxa;
+  Tree t = phylo::parse_newick("((t0,t1),t2,t3,t4,t5);", parsed);
+  util::Rng rng(11);
+  const Tree before = t;
+  EXPECT_TRUE(random_nni(t, rng));
+  t.validate();
+  EXPECT_EQ(t.num_leaves(), 6u);
+  EXPECT_LE(core::rf_distance(before, t), 2u);
+}
+
+TEST(MovesTest, NniOnTinyTreesReportsNoOp) {
+  for (std::size_t n : {2u, 3u}) {
+    const auto taxa = TaxonSet::make_numbered(n);
+    util::Rng rng(12);
+    Tree t = yule_tree(taxa, rng);
+    EXPECT_FALSE(random_nni(t, rng)) << "n=" << n;
+  }
+}
+
+TEST(MovesTest, SprReportsWhetherItApplied) {
+  const auto taxa3 = TaxonSet::make_numbered(3);
+  const auto taxa4 = TaxonSet::make_numbered(4);
+  util::Rng rng(13);
+  Tree tiny = yule_tree(taxa3, rng);
+  EXPECT_FALSE(random_spr_leaf(tiny, rng));
+  Tree minimal = yule_tree(taxa4, rng);
+  EXPECT_TRUE(random_spr_leaf(minimal, rng));
+  minimal.validate();
+  EXPECT_EQ(minimal.num_leaves(), 4u);
+  EXPECT_TRUE(minimal.is_binary());
+}
+
+TEST(MovesTest, MovesOnMultifurcatingTreesKeepLeafSet) {
+  const auto taxa = TaxonSet::make_numbered(18);
+  util::Rng rng(14);
+  Tree t = multifurcating_tree(taxa, rng, 0.5);
+  const auto leaves_before = t.leaf_taxa_sorted();
+  for (int i = 0; i < 20; ++i) {
+    random_nni(t, rng);
+    t.validate();
+    random_spr_leaf(t, rng);
+    t.validate();
+  }
+  EXPECT_EQ(t.leaf_taxa_sorted(), leaves_before);
+}
+
+TEST(MovesTest, EmptyTreeIsRejectedWithTypedError) {
+  util::Rng rng(15);
+  Tree empty(TaxonSet::make_numbered(4));
+  EXPECT_THROW(random_nni(empty, rng), InvalidArgument);
+  EXPECT_THROW(random_spr_leaf(empty, rng), InvalidArgument);
+  EXPECT_THROW(perturb(empty, rng, 1), InvalidArgument);
+}
+
+TEST(MovesTest, SprWithoutTaxonSetIsRejectedWithTypedError) {
+  const auto taxa = TaxonSet::make_numbered(6);
+  util::Rng rng(16);
+  Tree t = yule_tree(taxa, rng);
+  t.set_taxa(nullptr);
+  EXPECT_THROW(random_spr_leaf(t, rng), InvalidArgument);
+}
+
+TEST(MovesTest, PerturbValidatesSprProbability) {
+  const auto taxa = TaxonSet::make_numbered(8);
+  util::Rng rng(17);
+  Tree t = yule_tree(taxa, rng);
+  EXPECT_THROW(perturb(t, rng, 1, -0.1), InvalidArgument);
+  EXPECT_THROW(perturb(t, rng, 1, 1.5), InvalidArgument);
+}
+
+TEST(MovesTest, PerturbCountsAppliedMoves) {
+  util::Rng rng(18);
+  // On a 3-leaf tree every move declines: zero applied.
+  Tree tiny = yule_tree(TaxonSet::make_numbered(3), rng);
+  EXPECT_EQ(perturb(tiny, rng, 5), 0u);
+  // On a real tree every move applies.
+  Tree t = yule_tree(TaxonSet::make_numbered(12), rng);
+  EXPECT_EQ(perturb(t, rng, 5), 5u);
 }
 
 TEST(MovesTest, MovesPreserveBranchLengthPresence) {
