@@ -25,7 +25,9 @@ std::string& stored_slug() {
   return s;
 }
 
-std::string slugify(const std::string& text) {
+/// `lower` lowercases (print_header display titles); explicit export slugs
+/// keep their case so callers control the BENCH_<slug>.json filename.
+std::string slugify(const std::string& text, bool lower = true) {
   std::string out;
   out.reserve(text.size());
   bool pending_sep = false;
@@ -36,12 +38,19 @@ std::string slugify(const std::string& text) {
       }
       pending_sep = false;
       out.push_back(
-          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+          lower ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+                : c);
     } else {
       pending_sep = true;
     }
   }
   return out;
+}
+
+/// Baselines recorded by record_baseline, in insertion order.
+std::vector<std::pair<std::string, double>>& stored_baselines() {
+  static std::vector<std::pair<std::string, double>> b;
+  return b;
 }
 
 }  // namespace
@@ -338,15 +347,42 @@ void verdict(const std::string& name, bool pass, const std::string& detail) {
               pass ? "PASS" : "WARN", detail.c_str());
 }
 
+void record_baseline(const std::string& name, double median_ns_per_op) {
+  for (auto& [existing, value] : stored_baselines()) {
+    if (existing == name) {
+      value = median_ns_per_op;
+      return;
+    }
+  }
+  stored_baselines().emplace_back(name, median_ns_per_op);
+}
+
+std::span<const std::pair<std::string, double>> baselines() {
+  return stored_baselines();
+}
+
 std::string experiment_slug() {
   return stored_slug().empty() ? "bench" : stored_slug();
 }
 
 void export_metrics(const std::string& slug) {
-  const std::string name = slug.empty() ? experiment_slug() : slugify(slug);
+  const std::string name =
+      slug.empty() ? experiment_slug() : slugify(slug, /*lower=*/false);
+  std::string baseline_json;
+  if (!stored_baselines().empty()) {
+    baseline_json = "\"baselines\": {\n";
+    for (std::size_t i = 0; i < stored_baselines().size(); ++i) {
+      const auto& [bname, ns] = stored_baselines()[i];
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.3f", ns);
+      baseline_json += "  \"" + bname + "\": " + buf;
+      baseline_json += i + 1 < stored_baselines().size() ? ",\n" : "\n";
+    }
+    baseline_json += "},\n";
+  }
   std::string blob = "{\n\"experiment\": \"" + name + "\",\n\"scale\": \"" +
-                     scale_name() + "\",\n\"metrics\": " + obs::dump_string() +
-                     "}\n";
+                     scale_name() + "\",\n" + baseline_json +
+                     "\"metrics\": " + obs::dump_string() + "}\n";
   const char* env = std::getenv("BFHRF_OBS_JSON");
   const std::string path = env != nullptr ? env : ("BENCH_" + name + ".json");
   if (path != "-") {

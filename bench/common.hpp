@@ -24,6 +24,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "phylo/tree.hpp"
@@ -122,6 +123,18 @@ void verdict(const std::string& name, bool pass, const std::string& detail);
 /// Print the standard bench header (paper citation, scale, host info).
 /// Also records a filesystem-safe slug of `experiment` for export_metrics.
 void print_header(const std::string& experiment, const std::string& paper_ref);
+
+// --- machine-readable baselines ----------------------------------------------
+
+/// Record one ablation's median latency under a stable name (ns per
+/// operation). export_metrics() emits everything recorded here as a
+/// top-level "baselines" object in the BENCH_<slug>.json blob, so
+/// scripts/bench_compare.py can diff per-ablation medians directly instead
+/// of reverse-engineering histogram sums.
+void record_baseline(const std::string& name, double median_ns_per_op);
+
+/// All baselines recorded so far, in insertion order.
+[[nodiscard]] std::span<const std::pair<std::string, double>> baselines();
 
 // --- observability export ---------------------------------------------------
 

@@ -12,6 +12,10 @@ Both inputs are the JSON blobs written by ``bfhrf::bench::export_metrics()``
   ``sum`` may not exceed the baseline's by more than ``--tolerance``
   (relative). Exceeding it is a REGRESSION and the exit code is non-zero.
   Improvements are reported but never fail.
+* **Baselines** (the top-level ``baselines`` object of per-ablation median
+  ns/op written by ``bfhrf::bench::record_baseline``): gated exactly like
+  timings — the candidate may not exceed the baseline by more than the
+  tolerance; improvements never fail.
 * **Counters and gauges**: relative drift beyond the tolerance is reported
   as a CHANGE (work-volume metrics legitimately move when code changes);
   with ``--strict-counters`` those also fail. Metrics present on only one
@@ -92,6 +96,25 @@ def compare(base: dict, cand: dict, tolerance: float, prefix: str,
         elif d < -tolerance:
             improvements.append(line)
 
+    # Per-ablation median baselines (ns/op): one-sided gate like timings.
+    bb = base.get("baselines", {})
+    cb = cand.get("baselines", {})
+    n_baselines = 0
+    for name in sorted(set(bb) | set(cb)):
+        if not name.startswith(prefix):
+            continue
+        if name not in bb or name not in cb:
+            changes.append(f"baseline {name}: only in "
+                           f"{'candidate' if name not in bb else 'baseline'}")
+            continue
+        n_baselines += 1
+        d = rel_delta(bb[name], cb[name])
+        line = f"baseline {name}: {fmt_delta(bb[name], cb[name])}"
+        if d > tolerance:
+            regressions.append(line)
+        elif d < -tolerance:
+            improvements.append(line)
+
     # Counters and gauges: two-sided drift report.
     for kind in ("counters", "gauges"):
         bk = bm.get(kind, {})
@@ -118,7 +141,8 @@ def compare(base: dict, cand: dict, tolerance: float, prefix: str,
     failed = bool(regressions) or (strict_counters and bool(changes))
     n_checked = len([n for n in set(bh) | set(ch)
                      if n.startswith(prefix) and n.endswith(".seconds")])
-    print(f"\nbench_compare: {n_checked} timing series checked, "
+    print(f"\nbench_compare: {n_checked} timing series and "
+          f"{n_baselines} baseline(s) checked, "
           f"{len(regressions)} regression(s), {len(changes)} change(s), "
           f"{len(improvements)} improvement(s) "
           f"[tolerance {tolerance * 100:.0f}%] -> "

@@ -4,6 +4,8 @@
 #   2. TSan build, concurrency-sensitive labels only (parallel, obs,
 #      verify) + bfhrf_verify differential run
 #   3. BFHRF_OBS=OFF build, full suite (instrumentation compiled out)
+#   4. BFHRF_DISABLE_SIMD=ON build, full suite + bfhrf_verify (portable
+#      SWAR paths only; proves dispatch-level equivalence end to end)
 # Run from the repo root. Each tier uses its own build directory (see
 # CMakePresets.json), so the default ./build is left untouched.
 set -euo pipefail
@@ -37,7 +39,16 @@ run cmake --preset obs-off
 run cmake --build --preset obs-off -j "$(nproc)"
 run ctest --preset obs-off
 
-# Optional tier 4: bench regression gate. Opt in by pointing
+# Tier 4: portable-SWAR build (BFHRF_DISABLE_SIMD=ON, no vector intrinsics
+# compiled at all), full suite + the qc differential oracle — proves the
+# group-probed hash and bitset kernels are bit-identical without SIMD.
+run cmake --preset simd-off
+run cmake --build --preset simd-off -j "$(nproc)"
+run ctest --preset simd-off
+# shellcheck disable=SC2086
+run ./build-simd-off/tools/bfhrf_verify --generate ${VERIFY_ARGS}
+
+# Optional tier 5: bench regression gate. Opt in by pointing
 # BFHRF_BENCH_BASELINE at a known-good BENCH_*.json export and
 # BFHRF_BENCH_CANDIDATE at a fresh one (tolerance override:
 # BFHRF_BENCH_TOLERANCE, default 0.15 relative).

@@ -24,6 +24,13 @@ const obs::Counter g_query_batches = obs::counter("bfhrf.query.batches");
 const obs::Counter g_query_bips = obs::counter("bfhrf.query.bipartitions");
 const obs::Gauge g_unique = obs::gauge("bfhrf.unique_bipartitions");
 const obs::Gauge g_resident = obs::gauge("bfhrf.hash.resident_bytes");
+// Table-shape gauges for the group-probed FrequencyHash (fast path only):
+// load factor, slot capacity, and the probe-length distribution over
+// resident keys (mean/max control groups walked per successful lookup).
+const obs::Gauge g_load_factor = obs::gauge("bfhrf.hash.load_factor");
+const obs::Gauge g_capacity = obs::gauge("bfhrf.hash.capacity_slots");
+const obs::Gauge g_mean_probe = obs::gauge("bfhrf.hash.mean_probe_groups");
+const obs::Gauge g_max_probe = obs::gauge("bfhrf.hash.max_probe_groups");
 const obs::Histogram g_build_seconds = obs::histogram("bfhrf.build.seconds");
 const obs::Histogram g_merge_seconds = obs::histogram("bfhrf.merge.seconds");
 const obs::Histogram g_query_seconds = obs::histogram("bfhrf.query.seconds");
@@ -543,6 +550,16 @@ std::vector<double> Bfhrf::query_stream_barrier(TreeSource& queries) const {
 void Bfhrf::publish_store_metrics() const {
   g_unique.set(static_cast<double>(store_->unique_count()));
   g_resident.set(static_cast<double>(store_->memory_bytes()));
+  if (fast_store_ != nullptr) {
+    g_load_factor.set(fast_store_->load_factor());
+    g_capacity.set(static_cast<double>(fast_store_->capacity_slots()));
+    // probe_stats() is an O(U) scan; publish runs once per build, so the
+    // cost stays off the hot paths (Gauge::set also takes the registry
+    // lock, which is why these are not updated per lookup).
+    const auto stats = fast_store_->probe_stats();
+    g_mean_probe.set(stats.mean_groups);
+    g_max_probe.set(static_cast<double>(stats.max_groups));
+  }
 }
 
 BfhrfStats Bfhrf::stats() const {

@@ -69,27 +69,19 @@ BranchScoreBfhrf::BranchScoreBfhrf(std::size_t n_bits,
     : n_bits_(n_bits),
       words_per_(util::words_for_bits(n_bits)),
       opts_(opts),
-      slots_(16) {
+      slots_(util::kGroupWidth) {
   if (n_bits_ == 0) {
     throw InvalidArgument("BranchScoreBfhrf: empty taxon universe");
   }
   opts_.threads = parallel::effective_threads(opts_.threads);
+  dir_.reset(slots_.size());
 }
 
-std::size_t BranchScoreBfhrf::probe(util::ConstWordSpan key,
-                                    std::uint64_t fp) const noexcept {
-  const std::size_t mask = slots_.size() - 1;
-  std::size_t idx = static_cast<std::size_t>(fp) & mask;
-  while (true) {
-    const Slot& s = slots_[idx];
-    if (s.count == 0) {
-      return idx;
-    }
-    if (s.fingerprint == fp && util::equal_words(key_at(s.key_index), key)) {
-      return idx;
-    }
-    idx = (idx + 1) & mask;
-  }
+util::GroupDirectory::FindResult BranchScoreBfhrf::find(
+    util::ConstWordSpan key, std::uint64_t fp) const noexcept {
+  return dir_.find(fp, [&](std::size_t idx) {
+    return util::equal_words(key_at(slots_[idx].key_index), key);
+  });
 }
 
 void BranchScoreBfhrf::insert(util::ConstWordSpan key, double length) {
@@ -98,10 +90,10 @@ void BranchScoreBfhrf::insert(util::ConstWordSpan key, double length) {
     grow();
   }
   const std::uint64_t fp = util::hash_words(key);
-  const std::size_t idx = probe(key, fp);
-  Slot& s = slots_[idx];
-  if (s.count == 0) {
-    s.fingerprint = fp;
+  const auto r = find(key, fp);
+  Slot& s = slots_[r.index];
+  if (!r.found) {
+    dir_.mark(r.index, fp);
     s.key_index = static_cast<std::uint32_t>(keys_.size() / words_per_);
     keys_.insert(keys_.end(), key.begin(), key.end());
     ++size_;
@@ -114,23 +106,23 @@ void BranchScoreBfhrf::insert(util::ConstWordSpan key, double length) {
 BranchScoreBfhrf::LookupResult BranchScoreBfhrf::lookup(
     util::ConstWordSpan key) const {
   const std::uint64_t fp = util::hash_words(key);
-  const Slot& s = slots_[probe(key, fp)];
+  const Slot& s = slots_[find(key, fp).index];
   return {s.count, s.sum_len};
 }
 
 void BranchScoreBfhrf::grow() {
   std::vector<Slot> old = std::move(slots_);
   slots_.assign(old.size() * 2, Slot{});
-  const std::size_t mask = slots_.size() - 1;
+  dir_.reset(slots_.size());
+  // Fingerprints are not stored; recompute from the retained keys.
   for (const Slot& s : old) {
     if (s.count == 0) {
       continue;
     }
-    std::size_t idx = static_cast<std::size_t>(s.fingerprint) & mask;
-    while (slots_[idx].count != 0) {
-      idx = (idx + 1) & mask;
-    }
-    slots_[idx] = s;
+    const std::uint64_t fp = util::hash_words(key_at(s.key_index));
+    const auto r = dir_.find_insert(fp);
+    dir_.mark(r.index, fp);
+    slots_[r.index] = s;
   }
 }
 

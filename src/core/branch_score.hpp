@@ -31,6 +31,7 @@
 #include "phylo/bipartition.hpp"
 #include "phylo/tree.hpp"
 #include "util/bitset.hpp"
+#include "util/group_table.hpp"
 
 namespace bfhrf::core {
 
@@ -73,16 +74,15 @@ class BranchScoreBfhrf {
     return reference_trees_;
   }
   [[nodiscard]] std::size_t memory_bytes() const noexcept {
-    return slots_.capacity() * sizeof(Slot) +
+    return dir_.memory_bytes() + slots_.capacity() * sizeof(Slot) +
            keys_.capacity() * sizeof(std::uint64_t);
   }
 
  private:
-  /// Open-addressing map: canonical split -> {count, Σ length}. Same
-  /// collision-free discipline as FrequencyHash (fingerprint fast path +
-  /// full-key verification).
+  /// Group-probed map: canonical split -> {count, Σ length}. Same
+  /// collision-free discipline as FrequencyHash (control-byte tag fast
+  /// path + full-key verification; see util/group_table.hpp).
   struct Slot {
-    std::uint64_t fingerprint = 0;
     std::uint32_t key_index = 0;
     std::uint32_t count = 0;  ///< 0 marks empty
     double sum_len = 0.0;
@@ -97,8 +97,8 @@ class BranchScoreBfhrf {
     return {keys_.data() + static_cast<std::size_t>(index) * words_per_,
             words_per_};
   }
-  [[nodiscard]] std::size_t probe(util::ConstWordSpan key,
-                                  std::uint64_t fp) const noexcept;
+  [[nodiscard]] util::GroupDirectory::FindResult find(
+      util::ConstWordSpan key, std::uint64_t fp) const noexcept;
   void insert(util::ConstWordSpan key, double length);
   [[nodiscard]] LookupResult lookup(util::ConstWordSpan key) const;
   void add_tree(const phylo::Tree& tree,
@@ -115,6 +115,7 @@ class BranchScoreBfhrf {
   std::size_t size_ = 0;
   std::size_t reference_trees_ = 0;
   double sum_len_sq_total_ = 0.0;  ///< S2 = Σ_b Σ_T l_T(b)²
+  util::GroupDirectory dir_;
   std::vector<Slot> slots_;
   std::vector<std::uint64_t> keys_;
 };

@@ -9,7 +9,8 @@
 namespace bfhrf::core {
 namespace {
 
-// Mirrors core.frequency_hash.* for the compressed-key store.
+// Mirrors core.frequency_hash.* for the compressed-key store (probes =
+// control groups inspected per lookup; see core/frequency_hash.cpp).
 const obs::Counter g_probes = obs::counter("core.compressed_hash.probes");
 const obs::Counter g_collisions =
     obs::counter("core.compressed_hash.collisions");
@@ -23,7 +24,7 @@ void record_probe(std::size_t steps) noexcept {
 }
 
 std::size_t table_size_for(std::size_t expected_unique) {
-  std::size_t want = 16;
+  std::size_t want = util::kGroupWidth;
   while (static_cast<double>(expected_unique) >
          0.7 * static_cast<double>(want)) {
     want <<= 1;
@@ -42,28 +43,20 @@ std::vector<std::byte>& tl_scratch() {
 
 CompressedFrequencyHash::CompressedFrequencyHash(std::size_t n_bits,
                                                  std::size_t expected_unique)
-    : codec_(n_bits), slots_(table_size_for(expected_unique)) {}
+    : codec_(n_bits), slots_(table_size_for(expected_unique)) {
+  dir_.reset(slots_.size());
+}
 
-std::size_t CompressedFrequencyHash::probe(ByteSpan encoded,
-                                           std::uint64_t fp) const noexcept {
-  const std::size_t mask = slots_.size() - 1;
-  std::size_t idx = static_cast<std::size_t>(fp) & mask;
-  std::size_t steps = 1;
-  while (true) {
+util::GroupDirectory::FindResult CompressedFrequencyHash::find(
+    ByteSpan encoded, std::uint64_t fp) const noexcept {
+  const auto r = dir_.find(fp, [&](std::size_t idx) {
     const Slot& s = slots_[idx];
-    if (s.count == 0) {
-      record_probe(steps);
-      return idx;
-    }
-    if (s.fingerprint == fp && s.length == encoded.size() &&
-        std::memcmp(arena_.data() + s.offset, encoded.data(),
-                    encoded.size()) == 0) {
-      record_probe(steps);
-      return idx;
-    }
-    idx = (idx + 1) & mask;
-    ++steps;
-  }
+    return s.fingerprint == fp && s.length == encoded.size() &&
+           std::memcmp(arena_.data() + s.offset, encoded.data(),
+                       encoded.size()) == 0;
+  });
+  record_probe(r.groups_probed);
+  return r;
 }
 
 void CompressedFrequencyHash::add_weighted(util::ConstWordSpan key,
@@ -81,9 +74,10 @@ void CompressedFrequencyHash::add_weighted(util::ConstWordSpan key,
   codec_.encode(key, scratch);
   // Fingerprint the raw words (identical to what lookups compute).
   const std::uint64_t fp = util::hash_words(key);
-  const std::size_t idx = probe(scratch, fp);
-  Slot& s = slots_[idx];
-  if (s.count == 0) {
+  const auto r = find(scratch, fp);
+  Slot& s = slots_[r.index];
+  if (!r.found) {
+    dir_.mark(r.index, fp);
     s.fingerprint = fp;
     s.offset = static_cast<std::uint32_t>(arena_.size());
     s.length = static_cast<std::uint32_t>(scratch.size());
@@ -102,7 +96,7 @@ std::uint32_t CompressedFrequencyHash::frequency(
   scratch.clear();
   codec_.encode(key, scratch);
   const std::uint64_t fp = util::hash_words(key);
-  return slots_[probe(scratch, fp)].count;
+  return slots_[find(scratch, fp).index].count;
 }
 
 void CompressedFrequencyHash::merge_from(const FrequencyStore& other) {
@@ -134,16 +128,14 @@ void CompressedFrequencyHash::for_each_key(
 void CompressedFrequencyHash::grow() {
   std::vector<Slot> old = std::move(slots_);
   slots_.assign(old.size() * 2, Slot{});
-  const std::size_t mask = slots_.size() - 1;
+  dir_.reset(slots_.size());
   for (const Slot& s : old) {
     if (s.count == 0) {
       continue;
     }
-    std::size_t idx = static_cast<std::size_t>(s.fingerprint) & mask;
-    while (slots_[idx].count != 0) {
-      idx = (idx + 1) & mask;
-    }
-    slots_[idx] = s;
+    const auto r = dir_.find_insert(s.fingerprint);
+    dir_.mark(r.index, s.fingerprint);
+    slots_[r.index] = s;
   }
 }
 

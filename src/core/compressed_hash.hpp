@@ -16,6 +16,7 @@
 
 #include "core/frequency_store.hpp"
 #include "core/key_codec.hpp"
+#include "util/group_table.hpp"
 
 namespace bfhrf::core {
 
@@ -44,7 +45,8 @@ class CompressedFrequencyHash final : public FrequencyStore {
       const override;
 
   [[nodiscard]] std::size_t memory_bytes() const override {
-    return slots_.capacity() * sizeof(Slot) + arena_.capacity();
+    return dir_.memory_bytes() + slots_.capacity() * sizeof(Slot) +
+           arena_.capacity();
   }
 
   /// Average encoded key size in bytes (diagnostics / ablation A4c).
@@ -56,16 +58,18 @@ class CompressedFrequencyHash final : public FrequencyStore {
 
  private:
   struct Slot {
-    std::uint64_t fingerprint = 0;
+    std::uint64_t fingerprint = 0;  ///< kept for rehash (encodings are not
+                                    ///< re-hashed to recover it)
     std::uint32_t offset = 0;  ///< byte offset of the encoding in arena_
     std::uint32_t length = 0;  ///< encoding length in bytes
     std::uint32_t count = 0;   ///< 0 marks an empty slot
   };
 
-  /// Probe for the slot matching (`fp`, encoded bytes), or the empty slot
-  /// where it belongs.
-  [[nodiscard]] std::size_t probe(ByteSpan encoded,
-                                  std::uint64_t fp) const noexcept;
+  /// Group-probed find for the slot matching (`fp`, encoded bytes); see
+  /// util/group_table.hpp for the control-byte scheme shared with
+  /// FrequencyHash.
+  [[nodiscard]] util::GroupDirectory::FindResult find(
+      ByteSpan encoded, std::uint64_t fp) const noexcept;
 
   void grow();
 
@@ -75,6 +79,7 @@ class CompressedFrequencyHash final : public FrequencyStore {
   std::size_t size_ = 0;
   std::uint64_t total_ = 0;
   double total_weight_ = 0.0;
+  util::GroupDirectory dir_;
   std::vector<Slot> slots_;
   std::vector<std::byte> arena_;
 };

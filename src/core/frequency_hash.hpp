@@ -4,10 +4,10 @@
 // reference collection R. Three properties the paper's argument depends on,
 // and which this implementation guarantees:
 //
-//  1. COLLISION-FREE. Open addressing with a stored 64-bit fingerprint
-//     fast-path *and* full-key verification on every probe; distinct
-//     bipartitions can never merge (unlike HashRF's compressed scheme,
-//     whose collisions make RF values approximate — §III-C).
+//  1. COLLISION-FREE. Open addressing with a fingerprint fast-path *and*
+//     full-key verification on every probe; distinct bipartitions can never
+//     merge (unlike HashRF's compressed scheme, whose collisions make RF
+//     values approximate — §III-C).
 //  2. NON-TRANSFORMATIVE. Full keys are retained in an arena, so the hash
 //     is reversible: variants can re-examine, filter, or re-weight real
 //     bipartitions after the fact (for_each), and a consensus tree can be
@@ -17,8 +17,19 @@
 //     saturates, which is the paper's sub-linear memory observation
 //     (§VII-C).
 //
+// Layout (Swiss-table-style group probing, util/group_table.hpp): the
+// 64-bit key fingerprint splits into a 57-bit slot hash choosing the home
+// control group and a 7-bit tag stored in a separate control-byte
+// directory. Probes compare 16 tags at once (SSE2/NEON/SWAR, runtime
+// dispatched via util/simd.hpp); tag hits are verified against the full
+// key. Slots are 8 bytes ({key_index, count}) — the fingerprint is NOT
+// stored per slot; rehashing recomputes it from the retained keys, and the
+// halved slot size keeps a whole group's slots inside two cache lines.
+// Both the control directory and the slot array are cache-line aligned.
+//
 // Concurrency model: a FrequencyHash is single-writer. Parallel builds give
 // each worker a private hash and merge() them afterwards (src/core/bfhrf).
+// The read path (frequency/frequency_many) is safe for concurrent readers.
 #pragma once
 
 #include <cstdint>
@@ -26,7 +37,9 @@
 
 #include "core/frequency_store.hpp"
 #include "util/bitset.hpp"
+#include "util/group_table.hpp"
 #include "util/hash.hpp"
+#include "util/memory.hpp"
 
 namespace bfhrf::core {
 
@@ -71,12 +84,12 @@ class FrequencyHash final : public FrequencyStore {
   /// Batched lookup: `keys` is a contiguous arena of `count` keys of
   /// words_per_key() words each (a BipartitionSet arena qualifies);
   /// out[i] receives the frequency of key i. Runs a software-prefetch
-  /// pipeline — fingerprints are computed ahead, the slot cache line is
-  /// prefetched 8 keys out and the key-arena line 4 keys out — and takes a
-  /// single-word-key fast path (words_per_key() == 1, i.e. n <= 64) that
-  /// replaces the full-key memcmp loop with one 64-bit compare. This is
-  /// the devirtualized hot path of Bfhrf::query (Algorithm 2's per-split
-  /// lookup).
+  /// pipeline — fingerprints are computed ahead, the control-group and
+  /// slot-group cache lines are prefetched 8 keys out and the key-arena
+  /// line 4 keys out — and takes a single-word-key fast path
+  /// (words_per_key() == 1, i.e. n <= 64) that replaces the full-key
+  /// memcmp loop with one 64-bit compare. This is the devirtualized hot
+  /// path of Bfhrf::query (Algorithm 2's per-split lookup).
   void frequency_many(const std::uint64_t* keys, std::size_t count,
                       std::uint32_t* out) const;
 
@@ -84,7 +97,7 @@ class FrequencyHash final : public FrequencyStore {
   /// occurrence each), with per-key weights (`weights[i]`; nullptr = unit
   /// weights). Runs the same software-prefetch pipeline as
   /// frequency_many — the table is pre-sized for the whole batch up front,
-  /// so no rehash invalidates prefetched slot lines mid-batch. Insertion
+  /// so no rehash invalidates prefetched lines mid-batch. Insertion
   /// order matches the arena order, so totals accumulate exactly as the
   /// per-key add_weighted loop would.
   void add_many(const std::uint64_t* keys, std::size_t count,
@@ -117,9 +130,10 @@ class FrequencyHash final : public FrequencyStore {
     }
   }
 
-  /// Exact bytes held by the table and key arena.
+  /// Exact bytes held by the control directory (including its cache-line
+  /// padding), the slot array, and the key arena.
   [[nodiscard]] std::size_t memory_bytes() const noexcept override {
-    return slots_.capacity() * sizeof(Slot) +
+    return dir_.memory_bytes() + slots_.capacity() * sizeof(Slot) +
            keys_.capacity() * sizeof(std::uint64_t);
   }
 
@@ -131,9 +145,23 @@ class FrequencyHash final : public FrequencyStore {
                      static_cast<double>(slots_.size());
   }
 
+  /// Total slots (power of two; diagnostics/obs gauges).
+  [[nodiscard]] std::size_t capacity_slots() const noexcept {
+    return slots_.size();
+  }
+
+  /// Probe-length distribution over the RESIDENT keys: how many control
+  /// groups a successful lookup of each stored key walks (1 = found in its
+  /// home group). Computed by an O(U) scan on demand — the read path keeps
+  /// no mutable statistics, so concurrent lookups stay race-free.
+  struct ProbeStats {
+    double mean_groups = 0.0;
+    std::size_t max_groups = 0;
+  };
+  [[nodiscard]] ProbeStats probe_stats() const;
+
  private:
   struct Slot {
-    std::uint64_t fingerprint = 0;
     std::uint32_t key_index = 0;  ///< key lives at keys_[key_index*words_per_]
     std::uint32_t count = 0;      ///< 0 marks an empty slot
   };
@@ -143,14 +171,18 @@ class FrequencyHash final : public FrequencyStore {
             words_per_};
   }
 
-  /// Find the slot holding `key` (or the empty slot where it belongs).
-  [[nodiscard]] std::size_t probe(util::ConstWordSpan key,
-                                  std::uint64_t fp) const noexcept;
+  /// Group-probed find of `key` under fingerprint `fp`; statically
+  /// dispatched on the Group type (hot loops hoist the level check).
+  template <typename Group>
+  [[nodiscard]] util::GroupDirectory::FindResult find_key(
+      util::ConstWordSpan key, std::uint64_t fp) const noexcept;
 
-  /// probe() specialized for words_per_ == 1: the full-key verification is
-  /// a single word compare against the arena (no span loop).
-  [[nodiscard]] std::size_t probe_word(std::uint64_t key,
-                                       std::uint64_t fp) const noexcept;
+  template <typename Group>
+  void frequency_many_impl(const std::uint64_t* keys, std::size_t count,
+                           std::uint32_t* out) const;
+  template <typename Group>
+  void add_many_impl(const std::uint64_t* keys, std::size_t count,
+                     const double* weights);
 
   void grow();
   void rehash(std::size_t new_slot_count);
@@ -162,8 +194,9 @@ class FrequencyHash final : public FrequencyStore {
   std::size_t size_ = 0;
   std::uint64_t total_ = 0;
   double total_weight_ = 0.0;
-  std::vector<Slot> slots_;            ///< power-of-two sized
-  std::vector<std::uint64_t> keys_;    ///< arena of full keys
+  util::GroupDirectory dir_;               ///< control bytes (7-bit tags)
+  util::CacheAlignedVector<Slot> slots_;   ///< power-of-two sized
+  std::vector<std::uint64_t> keys_;        ///< arena of full keys
 };
 
 }  // namespace bfhrf::core

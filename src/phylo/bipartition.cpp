@@ -40,6 +40,33 @@ void BipartitionSet::append(util::ConstWordSpan words, double value) {
   finalized_ = false;
 }
 
+void BipartitionSet::append_canonical(util::ConstWordSpan side,
+                                      util::ConstWordSpan leaf_mask,
+                                      bool flip) {
+  BFHRF_ASSERT(side.size() == words_per_ && leaf_mask.size() == words_per_);
+  BFHRF_ASSERT(values_.empty());  // value mode is all-or-nothing
+  const std::size_t offset = arena_.size();
+  arena_.resize(offset + words_per_);
+  util::store_canonical(arena_.data() + offset, side.data(), leaf_mask.data(),
+                        flip, words_per_);
+  ++count_;
+  finalized_ = false;
+}
+
+void BipartitionSet::append_canonical(util::ConstWordSpan side,
+                                      util::ConstWordSpan leaf_mask,
+                                      bool flip, double value) {
+  BFHRF_ASSERT(side.size() == words_per_ && leaf_mask.size() == words_per_);
+  BFHRF_ASSERT(values_.size() == count_);  // value mode is all-or-nothing
+  const std::size_t offset = arena_.size();
+  arena_.resize(offset + words_per_);
+  util::store_canonical(arena_.data() + offset, side.data(), leaf_mask.data(),
+                        flip, words_per_);
+  values_.push_back(value);
+  ++count_;
+  finalized_ = false;
+}
+
 void BipartitionSet::finalize(FinalizeScratch* scratch) {
   if (finalized_ || count_ <= 1) {
     finalized_ = true;
@@ -179,8 +206,7 @@ void BipartitionExtractor::extract_into(const Tree& tree,
   if (opts.value == SplitValue::Support) {
     out.set_value_merge(BipartitionSet::ValueMerge::Max);
   }
-  if (side_.size() != n_bits) {
-    side_ = util::DynamicBitset(n_bits);
+  if (leaf_mask_.size() != n_bits) {
     leaf_mask_ = util::DynamicBitset(n_bits);
   }
 
@@ -241,25 +267,20 @@ void BipartitionExtractor::extract_into(const Tree& tree,
       continue;
     }
     // Canonical polarity: store the side NOT containing the lowest taxon.
+    // The flip (complement within the leaf universe) is fused into the
+    // arena copy as a branchless masked-xor store.
     const bool flip = ((m[lowest >> 6] >> (lowest & 63)) & 1) != 0;
-    util::ConstWordSpan canon{m.data(), words};
-    if (flip) {
-      auto sw = side_.mutable_words();
-      const auto lm = leaf_mask_.words();
-      for (std::size_t w = 0; w < words; ++w) {
-        sw[w] = m[w] ^ lm[w];
-      }
-      canon = side_.words();
-    }
+    const util::ConstWordSpan side{m.data(), words};
+    const util::ConstWordSpan lm{leaf_mask_.words().data(), words};
     switch (opts.value) {
       case SplitValue::None:
-        out.append(canon);
+        out.append_canonical(side, lm, flip);
         break;
       case SplitValue::BranchLength:
-        out.append(canon, tree.node(id).length);
+        out.append_canonical(side, lm, flip, tree.node(id).length);
         break;
       case SplitValue::Support:
-        out.append(canon, tree.node(id).support);
+        out.append_canonical(side, lm, flip, tree.node(id).support);
         break;
     }
   }
@@ -274,15 +295,22 @@ void BipartitionExtractor::extract_into(const Tree& tree,
 bool bipartitions_compatible(const util::DynamicBitset& a,
                              const util::DynamicBitset& b,
                              const util::DynamicBitset& leaf_mask) {
+  if (a.size() != b.size() || a.size() != leaf_mask.size()) {
+    throw InvalidArgument("bipartitions_compatible: size mismatch");
+  }
   // Sides A/~A and B/~B (complements within leaf_mask) are compatible iff
-  // at least one of the four pairwise intersections is empty.
-  if (a.is_disjoint_with(b) || a.is_subset_of(b) || b.is_subset_of(a)) {
+  // at least one of the four pairwise intersections is empty. The fused
+  // kernels test each case without materializing a combined bitset.
+  const util::ConstWordSpan wa = a.words();
+  const util::ConstWordSpan wb = b.words();
+  if (!util::any_and(wa, wb) ||        // A ∩ B = ∅
+      !util::any_andnot(wa, wb) ||     // A ⊆ B
+      !util::any_andnot(wb, wa)) {     // B ⊆ A
     return true;
   }
   // Remaining case: A ∪ B == universe (their complements are disjoint).
-  util::DynamicBitset uni = a;
-  uni |= b;
-  return uni == leaf_mask;
+  // A and B are subsets of the universe, so comparing popcounts suffices.
+  return util::popcount_or(wa, wb) == leaf_mask.count();
 }
 
 }  // namespace bfhrf::phylo

@@ -97,6 +97,16 @@ class BipartitionSet {
   /// A set must be built either entirely with values or entirely without.
   void append(util::ConstWordSpan words, double value);
 
+  /// Append `side`, complemented within `leaf_mask` iff `flip` — the
+  /// canonical-polarity store fused into the arena copy (one branchless
+  /// pass via util::store_canonical, no scratch bitset). This is the
+  /// extraction hot path's append.
+  void append_canonical(util::ConstWordSpan side, util::ConstWordSpan
+                            leaf_mask, bool flip);
+  void append_canonical(util::ConstWordSpan side,
+                        util::ConstWordSpan leaf_mask, bool flip,
+                        double value);
+
   /// How duplicate splits' values combine in finalize(): lengths of the
   /// two halves of a subdivided root edge sum; supports take the max (they
   /// annotate the same unrooted edge).
@@ -207,7 +217,6 @@ class BipartitionExtractor {
   std::vector<NodeId> order_;              ///< postorder nodes
   std::vector<NodeId> stack_;              ///< traversal scratch
   std::vector<std::uint64_t> masks_;       ///< per-node leaf masks
-  util::DynamicBitset side_;               ///< canonicalization scratch
   util::DynamicBitset leaf_mask_;          ///< tree's leaf universe
   BipartitionSet::FinalizeScratch finalize_scratch_;
 };

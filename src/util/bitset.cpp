@@ -3,9 +3,119 @@
 #include <algorithm>
 #include <bit>
 
+#include "util/simd.hpp"
+
+#if defined(BFHRF_SIMD_X86) && !defined(BFHRF_DISABLE_SIMD)
+#include <immintrin.h>
+#endif
+
 namespace bfhrf::util {
+namespace {
+
+#if defined(BFHRF_SIMD_X86) && !defined(BFHRF_DISABLE_SIMD)
+
+// AVX2 kernels carry per-function target attributes because the baseline
+// build targets plain x86-64; they are only reached when the runtime
+// dispatch (avx2_wide below) has confirmed cpu support.
+
+/// Spans narrower than this stay scalar: a 256-bit lane holds 4 words, and
+/// below ~2 lanes the dispatch + horizontal-sum overhead beats the win.
+constexpr std::size_t kAvx2MinWords = 8;
+
+[[nodiscard]] bool avx2_wide(std::size_t words) noexcept {
+  return words >= kAvx2MinWords &&
+         simd::active_level() == simd::Level::Avx2;
+}
+
+/// Per-64-bit-lane popcount (Mula's nibble-LUT + psadbw).
+[[gnu::target("avx2")]] inline __m256i popcount256(__m256i v) noexcept {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i nib = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, nib);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), nib);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+[[gnu::target("avx2")]] inline std::size_t hsum64(__m256i acc) noexcept {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<std::size_t>(_mm_cvtsi128_si64(sum)) +
+         static_cast<std::size_t>(
+             _mm_cvtsi128_si64(_mm_unpackhi_epi64(sum, sum)));
+}
+
+enum class PairOp { And, Or, Xor, AndNot };
+
+template <PairOp Op>
+[[gnu::target("avx2")]] std::size_t popcount_pair_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t n) noexcept {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    __m256i v;
+    if constexpr (Op == PairOp::And) {
+      v = _mm256_and_si256(va, vb);
+    } else if constexpr (Op == PairOp::Or) {
+      v = _mm256_or_si256(va, vb);
+    } else if constexpr (Op == PairOp::Xor) {
+      v = _mm256_xor_si256(va, vb);
+    } else {
+      v = _mm256_andnot_si256(vb, va);  // ~vb & va
+    }
+    acc = _mm256_add_epi64(acc, popcount256(v));
+  }
+  std::size_t total = hsum64(acc);
+  for (; i < n; ++i) {
+    std::uint64_t w;
+    if constexpr (Op == PairOp::And) {
+      w = a[i] & b[i];
+    } else if constexpr (Op == PairOp::Or) {
+      w = a[i] | b[i];
+    } else if constexpr (Op == PairOp::Xor) {
+      w = a[i] ^ b[i];
+    } else {
+      w = a[i] & ~b[i];
+    }
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
+  return total;
+}
+
+[[gnu::target("avx2")]] std::size_t popcount_words_avx2(
+    const std::uint64_t* a, std::size_t n) noexcept {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc = _mm256_add_epi64(
+        acc, popcount256(_mm256_loadu_si256(
+                 reinterpret_cast<const __m256i*>(a + i))));
+  }
+  std::size_t total = hsum64(acc);
+  for (; i < n; ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i]));
+  }
+  return total;
+}
+
+#endif  // BFHRF_SIMD_X86 && !BFHRF_DISABLE_SIMD
+
+}  // namespace
 
 std::size_t popcount_words(ConstWordSpan words) noexcept {
+#if defined(BFHRF_SIMD_X86) && !defined(BFHRF_DISABLE_SIMD)
+  if (avx2_wide(words.size())) {
+    return popcount_words_avx2(words.data(), words.size());
+  }
+#endif
   std::size_t total = 0;
   for (std::uint64_t w : words) {
     total += static_cast<std::size_t>(std::popcount(w));
@@ -24,6 +134,103 @@ int compare_words(ConstWordSpan a, ConstWordSpan b) noexcept {
 
 bool equal_words(ConstWordSpan a, ConstWordSpan b) noexcept {
   return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+std::size_t popcount_and(ConstWordSpan a, ConstWordSpan b) noexcept {
+#if defined(BFHRF_SIMD_X86) && !defined(BFHRF_DISABLE_SIMD)
+  if (avx2_wide(a.size())) {
+    return popcount_pair_avx2<PairOp::And>(a.data(), b.data(), a.size());
+  }
+#endif
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] & b[i]));
+  }
+  return total;
+}
+
+std::size_t popcount_or(ConstWordSpan a, ConstWordSpan b) noexcept {
+#if defined(BFHRF_SIMD_X86) && !defined(BFHRF_DISABLE_SIMD)
+  if (avx2_wide(a.size())) {
+    return popcount_pair_avx2<PairOp::Or>(a.data(), b.data(), a.size());
+  }
+#endif
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] | b[i]));
+  }
+  return total;
+}
+
+std::size_t popcount_xor(ConstWordSpan a, ConstWordSpan b) noexcept {
+#if defined(BFHRF_SIMD_X86) && !defined(BFHRF_DISABLE_SIMD)
+  if (avx2_wide(a.size())) {
+    return popcount_pair_avx2<PairOp::Xor>(a.data(), b.data(), a.size());
+  }
+#endif
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  }
+  return total;
+}
+
+std::size_t popcount_andnot(ConstWordSpan a, ConstWordSpan b) noexcept {
+#if defined(BFHRF_SIMD_X86) && !defined(BFHRF_DISABLE_SIMD)
+  if (avx2_wide(a.size())) {
+    return popcount_pair_avx2<PairOp::AndNot>(a.data(), b.data(), a.size());
+  }
+#endif
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    total += static_cast<std::size_t>(std::popcount(a[i] & ~b[i]));
+  }
+  return total;
+}
+
+bool any_and(ConstWordSpan a, ConstWordSpan b) noexcept {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] & b[i]) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool any_andnot(ConstWordSpan a, ConstWordSpan b) noexcept {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] & ~b[i]) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void and_words(std::span<std::uint64_t> dst, ConstWordSpan src) noexcept {
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] &= src[i];
+  }
+}
+
+void or_words(std::span<std::uint64_t> dst, ConstWordSpan src) noexcept {
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] |= src[i];
+  }
+}
+
+void xor_words(std::span<std::uint64_t> dst, ConstWordSpan src) noexcept {
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    dst[i] ^= src[i];
+  }
+}
+
+void store_canonical(std::uint64_t* dst, const std::uint64_t* side,
+                     const std::uint64_t* mask, bool flip,
+                     std::size_t words) noexcept {
+  const std::uint64_t sel = flip ? ~std::uint64_t{0} : 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    dst[i] = side[i] ^ (mask[i] & sel);
+  }
 }
 
 void DynamicBitset::clear() noexcept {
@@ -48,46 +255,30 @@ void DynamicBitset::flip_all() noexcept {
 
 DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& o) {
   check_same_size(o);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] |= o.words_[i];
-  }
+  or_words(words_, o.words_);
   return *this;
 }
 
 DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& o) {
   check_same_size(o);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] &= o.words_[i];
-  }
+  and_words(words_, o.words_);
   return *this;
 }
 
 DynamicBitset& DynamicBitset::operator^=(const DynamicBitset& o) {
   check_same_size(o);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] ^= o.words_[i];
-  }
+  xor_words(words_, o.words_);
   return *this;
 }
 
 bool DynamicBitset::is_subset_of(const DynamicBitset& o) const {
   check_same_size(o);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & ~o.words_[i]) != 0) {
-      return false;
-    }
-  }
-  return true;
+  return !any_andnot(words_, o.words_);
 }
 
 bool DynamicBitset::is_disjoint_with(const DynamicBitset& o) const {
   check_same_size(o);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & o.words_[i]) != 0) {
-      return false;
-    }
-  }
-  return true;
+  return !any_and(words_, o.words_);
 }
 
 std::size_t DynamicBitset::find_first() const noexcept {

@@ -7,7 +7,12 @@
 // Performance notes:
 //  * word storage is inline in a std::vector; for bulk storage of many
 //    bipartitions use an arena plus ConstWordSpan views (phylo/bipartition).
-//  * all kernels (and/or/xor/count/subset) operate word-at-a-time.
+//  * the free-function kernels below are the vectorized substrate: fused
+//    combine-and-popcount (no temporary materialized), early-exit emptiness
+//    tests, and a branchless canonical-flip store. On x86 they dispatch to
+//    AVX2 variants at runtime for wide spans (util/simd.hpp policy); the
+//    portable fallback is word-at-a-time SWAR that any compiler vectorizes
+//    or popcnt-folds at the baseline ISA.
 #pragma once
 
 #include <bit>
@@ -40,6 +45,51 @@ using ConstWordSpan = std::span<const std::uint64_t>;
 
 /// Word-wise equality. Spans must be equal size.
 [[nodiscard]] bool equal_words(ConstWordSpan a, ConstWordSpan b) noexcept;
+
+/// Branchless word-wise equality for hot probe loops: an XOR-OR fold with
+/// no early exit, inline so short fixed-width keys compile to straight-line
+/// code (no call, no spills). Prefer equal_words() off the hot path — the
+/// early exit wins on long, frequently-mismatching operands.
+[[nodiscard]] inline bool equal_words_fold(const std::uint64_t* a,
+                                           const std::uint64_t* b,
+                                           std::size_t n) noexcept {
+  std::uint64_t diff = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    diff |= a[i] ^ b[i];
+  }
+  return diff == 0;
+}
+
+// Fused combine-and-popcount kernels: |a OP b| without materializing the
+// combined vector. Spans must be equal size.
+[[nodiscard]] std::size_t popcount_and(ConstWordSpan a,
+                                       ConstWordSpan b) noexcept;
+[[nodiscard]] std::size_t popcount_or(ConstWordSpan a,
+                                      ConstWordSpan b) noexcept;
+[[nodiscard]] std::size_t popcount_xor(ConstWordSpan a,
+                                       ConstWordSpan b) noexcept;
+/// |a & ~b| — the subset-defect count.
+[[nodiscard]] std::size_t popcount_andnot(ConstWordSpan a,
+                                          ConstWordSpan b) noexcept;
+
+/// True if a & b has any set bit (early-exit; !any_and == disjoint).
+[[nodiscard]] bool any_and(ConstWordSpan a, ConstWordSpan b) noexcept;
+/// True if a & ~b has any set bit (early-exit; !any_andnot == a ⊆ b).
+[[nodiscard]] bool any_andnot(ConstWordSpan a, ConstWordSpan b) noexcept;
+
+// Bulk in-place word combines (dst OP= src). Spans must be equal size.
+void and_words(std::span<std::uint64_t> dst, ConstWordSpan src) noexcept;
+void or_words(std::span<std::uint64_t> dst, ConstWordSpan src) noexcept;
+void xor_words(std::span<std::uint64_t> dst, ConstWordSpan src) noexcept;
+
+/// Branchless canonical-polarity store: dst[i] = side[i] ^ (mask[i] & sel)
+/// with sel = all-ones when `flip`, else zero — i.e. complement `side`
+/// within `mask`'s universe iff `flip`, in a single pass with no branch in
+/// the loop. `dst` may not alias `side`/`mask`. Used by bipartition
+/// normalization (phylo/bipartition.cpp).
+void store_canonical(std::uint64_t* dst, const std::uint64_t* side,
+                     const std::uint64_t* mask, bool flip,
+                     std::size_t words) noexcept;
 
 class DynamicBitset {
  public:

@@ -1,0 +1,215 @@
+// GroupDirectory: Swiss-table-style control-byte directory for the
+// open-addressed frequency hashes (core/frequency_hash, compressed_hash,
+// branch_score).
+//
+// Layout: one byte per slot, 0x80 = empty, 0x00..0x7f = the 7-bit tag of
+// the occupant's fingerprint. Bytes are probed 16 at a time ("groups") with
+// a single vector compare (SSE2/NEON) or two 64-bit SWAR words. The
+// directory is cache-line aligned, so a group load is one aligned 16-byte
+// read inside one line, and four consecutive groups share a line.
+//
+// Fingerprint split: the 64-bit key fingerprint fp (util::hash_words)
+// provides the low 7 bits as the control tag and the remaining 57 bits as
+// the slot hash (home-group index). Using disjoint bits keeps the tag
+// uncorrelated with the group choice, so a group's 16 tags behave like
+// independent 7-bit samples and a probe's false-candidate rate is ~16/128.
+//
+// Probing: start at the home group, scan tag matches (caller verifies the
+// full key), and stop at the first group containing an empty byte — with
+// no deletions (the stores are insert-only) an empty byte proves the key
+// was never displaced past it. Group stride is linear, so the displacement
+// chain is contiguous memory.
+//
+// The SWAR path may surface false tag candidates on occupied bytes (never
+// on empty ones — see util/simd.hpp); callers' full-key verification
+// rejects them, so table contents are identical across dispatch levels.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "util/memory.hpp"
+#include "util/simd.hpp"
+
+namespace bfhrf::util {
+
+inline constexpr std::size_t kGroupWidth = 16;
+inline constexpr std::uint8_t kCtrlEmpty = 0x80;
+
+/// Low 7 bits of the fingerprint: the control tag.
+[[nodiscard]] constexpr std::uint8_t ctrl_tag(std::uint64_t fp) noexcept {
+  return static_cast<std::uint8_t>(fp & 0x7f);
+}
+
+/// Remaining 57 bits: the slot hash that picks the home group.
+[[nodiscard]] constexpr std::uint64_t slot_hash(std::uint64_t fp) noexcept {
+  return fp >> 7;
+}
+
+class GroupDirectory {
+ public:
+  struct FindResult {
+    std::size_t index;   ///< matching slot, or the empty insertion point
+    bool found;          ///< true when the caller's key predicate matched
+    std::uint32_t groups_probed;  ///< control groups inspected (>= 1)
+  };
+
+  /// A home group's precomputed tag/empty masks — the first iteration of a
+  /// probe, hoisted so pipelined lookups inspect each group exactly once.
+  /// Only valid while the directory is unmodified: an insert between
+  /// inspect() and find_hinted() can occupy a slot the hint still reports
+  /// empty, so hints are strictly for read-only batches.
+  struct GroupHint {
+    std::uint32_t match_mask;  ///< bytes (possibly) equal to fp's tag
+    std::uint32_t empty_mask;  ///< empty bytes (exact on every path)
+  };
+
+  GroupDirectory() = default;
+
+  /// Reset to `slot_count` empty slots. `slot_count` must be a power of two
+  /// and at least kGroupWidth.
+  void reset(std::size_t slot_count) {
+    ctrl_.assign(slot_count, kCtrlEmpty);
+  }
+
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return ctrl_.size();
+  }
+  [[nodiscard]] std::size_t group_count() const noexcept {
+    return ctrl_.size() / kGroupWidth;
+  }
+  [[nodiscard]] bool occupied(std::size_t index) const noexcept {
+    return ctrl_[index] != kCtrlEmpty;
+  }
+
+  /// Record `fp`'s tag at a slot returned by a failed find().
+  void mark(std::size_t index, std::uint64_t fp) noexcept {
+    ctrl_[index] = ctrl_tag(fp);
+  }
+
+  [[nodiscard]] std::size_t home_group(std::uint64_t fp) const noexcept {
+    return static_cast<std::size_t>(slot_hash(fp)) & (group_count() - 1);
+  }
+
+  /// Prefetch the home control group of `fp` (one cache line).
+  void prefetch(std::uint64_t fp) const noexcept {
+    __builtin_prefetch(ctrl_.data() + home_group(fp) * kGroupWidth);
+  }
+
+  /// Find the slot whose occupant satisfies `eq` among slots tagged with
+  /// fp's tag, or the first empty slot (insertion point) if none does.
+  /// `eq(slot_index)` is only called on occupied slots. Statically
+  /// dispatched variant for hot loops that hoist the level check.
+  template <typename Group, typename Eq>
+  [[nodiscard]] FindResult find_with(std::uint64_t fp,
+                                     Eq&& eq) const noexcept {
+    const std::size_t gmask = group_count() - 1;
+    const std::uint8_t tag = ctrl_tag(fp);
+    std::size_t g = static_cast<std::size_t>(slot_hash(fp)) & gmask;
+    std::uint32_t probed = 0;
+    while (true) {
+      ++probed;
+      const std::uint8_t* base = ctrl_.data() + g * kGroupWidth;
+      const Group group = Group::load(base);
+      std::uint32_t m = group.match(tag);
+      while (m != 0) {
+        const std::size_t idx =
+            g * kGroupWidth + static_cast<std::size_t>(std::countr_zero(m));
+        if (eq(idx)) {
+          return {idx, true, probed};
+        }
+        m &= m - 1;
+      }
+      const std::uint32_t empty = group.match_empty();
+      if (empty != 0) {
+        return {g * kGroupWidth +
+                    static_cast<std::size_t>(std::countr_zero(empty)),
+                false, probed};
+      }
+      g = (g + 1) & gmask;
+    }
+  }
+
+  /// Inspect fp's home group once: the stage the batched lookup pipelines
+  /// run a few keys ahead of the resolve.
+  template <typename Group>
+  [[nodiscard]] GroupHint inspect(std::uint64_t fp) const noexcept {
+    const Group group =
+        Group::load(ctrl_.data() + home_group(fp) * kGroupWidth);
+    return {group.match(ctrl_tag(fp)), group.match_empty()};
+  }
+
+  /// find_with() resuming from a precomputed home-group hint, so the common
+  /// home-group hit touches no control memory at resolve time. Read-only
+  /// batches only (see GroupHint).
+  template <typename Group, typename Eq>
+  [[nodiscard]] FindResult find_hinted(std::uint64_t fp, GroupHint hint,
+                                       Eq&& eq) const noexcept {
+    const std::size_t gmask = group_count() - 1;
+    std::size_t g = static_cast<std::size_t>(slot_hash(fp)) & gmask;
+    std::uint32_t m = hint.match_mask;
+    std::uint32_t empty = hint.empty_mask;
+    std::uint32_t probed = 1;
+    while (true) {
+      while (m != 0) {
+        const std::size_t idx =
+            g * kGroupWidth + static_cast<std::size_t>(std::countr_zero(m));
+        if (eq(idx)) {
+          return {idx, true, probed};
+        }
+        m &= m - 1;
+      }
+      if (empty != 0) {
+        return {g * kGroupWidth +
+                    static_cast<std::size_t>(std::countr_zero(empty)),
+                false, probed};
+      }
+      g = (g + 1) & gmask;
+      ++probed;
+      const Group group = Group::load(ctrl_.data() + g * kGroupWidth);
+      m = group.match(ctrl_tag(fp));
+      empty = group.match_empty();
+    }
+  }
+
+  /// Runtime-dispatched find (single-key paths).
+  template <typename Eq>
+  [[nodiscard]] FindResult find(std::uint64_t fp, Eq&& eq) const noexcept {
+    if (simd::vectorized()) {
+      return find_with<simd::Group16Vec>(fp, std::forward<Eq>(eq));
+    }
+    return find_with<simd::Group16Swar>(fp, std::forward<Eq>(eq));
+  }
+
+  /// Insertion point for a key known to be absent (rehash loops).
+  [[nodiscard]] FindResult find_insert(std::uint64_t fp) const noexcept {
+    return find(fp, [](std::size_t) { return false; });
+  }
+
+  /// First tag-matching slot in fp's home group, or slot_count() if none.
+  /// A prefetch hint for batched lookups: it resolves the likely key-arena
+  /// line without walking the displacement chain (SWAR false positives just
+  /// prefetch a harmless line).
+  template <typename Group>
+  [[nodiscard]] std::size_t first_candidate(std::uint64_t fp) const noexcept {
+    const std::size_t g = home_group(fp);
+    const Group group = Group::load(ctrl_.data() + g * kGroupWidth);
+    const std::uint32_t m = group.match(ctrl_tag(fp));
+    if (m == 0) {
+      return ctrl_.size();
+    }
+    return g * kGroupWidth + static_cast<std::size_t>(std::countr_zero(m));
+  }
+
+  /// Bytes held by the control directory, rounded up to whole cache lines
+  /// (the aligned allocator hands out whole lines).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    const std::size_t cap = ctrl_.capacity();
+    return (cap + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
+  }
+
+ private:
+  CacheAlignedVector<std::uint8_t> ctrl_;
+};
+
+}  // namespace bfhrf::util

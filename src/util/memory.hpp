@@ -13,6 +13,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <new>
+#include <vector>
 
 namespace bfhrf::util {
 
@@ -25,5 +27,48 @@ namespace bfhrf::util {
 
 /// Pretty "12.3 MB"-style rendering used in bench tables.
 [[nodiscard]] double bytes_to_mb(std::size_t bytes) noexcept;
+
+/// Cache line size assumed by the aligned containers below. 64 bytes is
+/// correct for every x86-64 and the common ARM server cores; a wrong guess
+/// costs only a little padding, never correctness.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Minimal allocator handing out `Align`-byte-aligned blocks. Used for the
+/// frequency-hash control directory and slot arena so SIMD group loads can
+/// be aligned and one group probe touches exactly one cache line.
+template <typename T, std::size_t Align = kCacheLineBytes>
+class AlignedAllocator {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "Align must be a power of two >= alignof(T)");
+
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}  // NOLINT
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+/// std::vector whose data() is cache-line aligned.
+template <typename T>
+using CacheAlignedVector = std::vector<T, AlignedAllocator<T>>;
 
 }  // namespace bfhrf::util

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <string>
 #include <vector>
@@ -201,6 +202,91 @@ TEST_P(FrequencyHashWidthSweep, RandomInsertLookupConsistency) {
 INSTANTIATE_TEST_SUITE_P(Widths, FrequencyHashWidthSweep,
                          ::testing::Values(8, 48, 64, 65, 100, 144, 128, 250,
                                            1000));
+
+TEST(FrequencyHashTest, AddManyAtExactLoadBoundaryGrowsUpFrontOnly) {
+  // A 16-slot table holds at most floor(0.7 * 16) = 11 resident keys.
+  FrequencyHash h(64, 1);
+  ASSERT_EQ(h.capacity_slots(), 16u);
+  for (std::uint64_t k = 1; k <= 3; ++k) {
+    h.add(util::ConstWordSpan{&k, 1});
+  }
+  // A batch landing EXACTLY on the boundary must not grow: 3 + 8 = 11.
+  std::vector<std::uint64_t> batch;
+  for (std::uint64_t k = 100; k < 108; ++k) {
+    batch.push_back(k);
+  }
+  h.add_many(batch.data(), batch.size(), nullptr);
+  EXPECT_EQ(h.unique_count(), 11u);
+  EXPECT_EQ(h.capacity_slots(), 16u);
+  EXPECT_LE(h.load_factor(), 0.7);
+  // One key past the boundary doubles the table — before the batch runs,
+  // so no prefetched line is ever invalidated mid-pipeline.
+  const std::uint64_t extra = 999;
+  h.add_many(&extra, 1, nullptr);
+  EXPECT_EQ(h.capacity_slots(), 32u);
+  EXPECT_EQ(h.unique_count(), 12u);
+  // Every key survived the boundary dance with its exact count.
+  for (std::uint64_t k = 1; k <= 3; ++k) {
+    EXPECT_EQ(h.frequency(util::ConstWordSpan{&k, 1}), 1u);
+  }
+  for (const std::uint64_t k : batch) {
+    EXPECT_EQ(h.frequency(util::ConstWordSpan{&k, 1}), 1u);
+  }
+  EXPECT_EQ(h.frequency(util::ConstWordSpan{&extra, 1}), 1u);
+}
+
+TEST(FrequencyHashTest, MergeWeightedRandomizedPreservesTotals) {
+  // Weight is a pure function of the key (the merge() contract), so the
+  // merged weighted mass must equal the sum of both sides' masses exactly
+  // up to floating-point association.
+  util::Rng rng(0x77);
+  const std::size_t n_bits = 96;
+  const auto weight_of = [](const util::DynamicBitset& b) {
+    return 0.25 + static_cast<double>(b.count());
+  };
+  FrequencyHash a(n_bits);
+  FrequencyHash b(n_bits);
+  std::map<std::string, std::uint64_t> mirror;
+  double expected_weight = 0;
+  for (int op = 0; op < 400; ++op) {
+    util::DynamicBitset k(n_bits);
+    const std::size_t ones = 1 + rng.below(6);
+    for (std::size_t j = 0; j < ones; ++j) {
+      k.set(rng.below(n_bits));
+    }
+    const auto count = static_cast<std::uint32_t>(1 + rng.below(3));
+    FrequencyHash& target = (op % 2 == 0) ? a : b;
+    target.add_weighted(k.words(), count, weight_of(k));
+    mirror[k.to_string()] += count;
+    expected_weight += static_cast<double>(count) * weight_of(k);
+  }
+  const std::uint64_t expected_total = a.total_count() + b.total_count();
+  a.merge(b);
+  EXPECT_EQ(a.total_count(), expected_total);
+  EXPECT_EQ(a.unique_count(), mirror.size());
+  EXPECT_NEAR(a.total_weight(), expected_weight,
+              1e-9 * std::abs(expected_weight));
+  for (const auto& [s, count] : mirror) {
+    EXPECT_EQ(a.frequency(util::DynamicBitset::from_string(s).words()),
+              count);
+  }
+}
+
+TEST(FrequencyHashTest, ProbeStatsReflectResidentKeys) {
+  FrequencyHash h(64);
+  EXPECT_EQ(h.probe_stats().max_groups, 0u);
+  util::Rng rng(0x99);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t k = rng();
+    h.add(util::ConstWordSpan{&k, 1});
+  }
+  const auto stats = h.probe_stats();
+  EXPECT_GE(stats.mean_groups, 1.0);
+  EXPECT_GE(stats.max_groups, 1u);
+  EXPECT_LE(stats.mean_groups, static_cast<double>(stats.max_groups));
+  // A probe can never walk more groups than the directory holds.
+  EXPECT_LE(stats.max_groups, h.capacity_slots() / 16);
+}
 
 }  // namespace
 }  // namespace bfhrf::core

@@ -7,10 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/bfhrf.hpp"
+#include "core/frequency_hash.hpp"
 #include "phylo/newick.hpp"
 #include "phylo/nexus.hpp"
 #include "support/test_util.hpp"
@@ -159,6 +162,98 @@ TEST(FuzzTest, EngineSurvivesAdversarialCollections) {
       core::bfhrf_average_rf(zoo, zoo, {.compressed_keys = true});
   for (std::size_t i = 0; i < avg.size(); ++i) {
     EXPECT_DOUBLE_EQ(comp[i], avg[i]);
+  }
+}
+
+TEST(FuzzTest, FrequencyHashInvariantsUnderRandomOps) {
+  // The group-probed table is insert-only (no tombstones), so a random mix
+  // of single adds, weighted adds, batched adds, reserves, and merges must
+  // keep four invariants at every step: load factor never exceeds 0.7,
+  // every mirrored key looks up to its exact count, for_each visits each
+  // unique key exactly once, and counts never decrease.
+  const std::uint64_t seed = test::fuzz_seed(0xF425);
+  SCOPED_TRACE("seed=" + test::hex_seed(seed));
+  util::Rng rng(seed);
+  const std::size_t n_bits = 80;  // two words: exercises the memcmp verify
+
+  core::FrequencyHash hash(n_bits);
+  std::map<std::string, std::uint64_t> mirror;
+  std::uint64_t total = 0;
+
+  const auto random_key = [&] {
+    util::DynamicBitset b(n_bits);
+    const std::size_t ones = 1 + rng.below(5);
+    for (std::size_t j = 0; j < ones; ++j) {
+      b.set(rng.below(n_bits));
+    }
+    return b;
+  };
+
+  for (int op = 0; op < 600; ++op) {
+    switch (rng.below(5)) {
+      case 0: {  // single add
+        const auto k = random_key();
+        hash.add(k.words());
+        mirror[k.to_string()] += 1;
+        total += 1;
+        break;
+      }
+      case 1: {  // weighted add (weight a pure function of the key)
+        const auto k = random_key();
+        const auto count = static_cast<std::uint32_t>(1 + rng.below(4));
+        hash.add_weighted(k.words(), count,
+                          0.5 + static_cast<double>(k.count()));
+        mirror[k.to_string()] += count;
+        total += count;
+        break;
+      }
+      case 2: {  // batched add
+        const std::size_t batch = 1 + rng.below(64);
+        std::vector<std::uint64_t> arena;
+        for (std::size_t i = 0; i < batch; ++i) {
+          const auto k = random_key();
+          arena.insert(arena.end(), k.words().begin(), k.words().end());
+          mirror[k.to_string()] += 1;
+        }
+        hash.add_many(arena.data(), batch, nullptr);
+        total += batch;
+        break;
+      }
+      case 3: {  // reserve must never disturb contents
+        hash.reserve(hash.unique_count() + rng.below(128));
+        break;
+      }
+      default: {  // merge in a small side table
+        core::FrequencyHash side(n_bits);
+        const std::size_t adds = 1 + rng.below(16);
+        for (std::size_t i = 0; i < adds; ++i) {
+          const auto k = random_key();
+          side.add(k.words());
+          mirror[k.to_string()] += 1;
+        }
+        hash.merge(side);
+        total += adds;
+        break;
+      }
+    }
+    ASSERT_LE(hash.load_factor(), 0.7) << "op=" << op;
+    ASSERT_EQ(hash.total_count(), total) << "op=" << op;
+    ASSERT_EQ(hash.unique_count(), mirror.size()) << "op=" << op;
+  }
+
+  // Mirror-exact lookups and a one-visit-per-key iteration image.
+  std::size_t visited = 0;
+  hash.for_each([&](util::ConstWordSpan key, std::uint32_t count) {
+    ++visited;
+    const auto s = util::DynamicBitset(n_bits, key).to_string();
+    const auto it = mirror.find(s);
+    ASSERT_NE(it, mirror.end());
+    EXPECT_EQ(count, it->second);
+  });
+  EXPECT_EQ(visited, hash.unique_count());
+  for (const auto& [s, count] : mirror) {
+    EXPECT_EQ(hash.frequency(util::DynamicBitset::from_string(s).words()),
+              count);
   }
 }
 
