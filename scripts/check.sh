@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Deeper verification tier than the plain `ctest` loop:
 #   1. ASan+UBSan build, full labeled suite + bfhrf_verify differential run
+#      + the delta-vs-rebuild dynamic-index oracle
 #   2. TSan build, concurrency-sensitive labels only (parallel, obs,
-#      verify) + bfhrf_verify differential run
+#      verify) + bfhrf_verify differential run + the dynamic oracle with
+#      concurrent probe readers
 #   3. BFHRF_OBS=OFF build, full suite (instrumentation compiled out)
 #   4. BFHRF_DISABLE_SIMD=ON build, full suite + bfhrf_verify (portable
 #      SWAR paths only; proves dispatch-level equivalence end to end)
@@ -23,17 +25,27 @@ run() {
 # bit-for-bit. Size can be overridden, e.g. BFHRF_VERIFY_ARGS="n=128 r=64".
 VERIFY_ARGS=${BFHRF_VERIFY_ARGS:-"n=64 r=32 q=32"}
 
+# Dynamic-index oracle workload: randomized interleaved add/remove/
+# replace/compact sequences, each state checked bit-for-bit against a
+# from-scratch rebuild. The harness runs the sequence count once per store
+# kind (raw + compressed), so sequences=100 yields 200 checked sequences.
+DYNAMIC_ARGS=${BFHRF_DYNAMIC_ARGS:-"sequences=100 n=16 trees=8 ops=24"}
+
 run cmake --preset asan-ubsan
 run cmake --build --preset asan-ubsan -j "$(nproc)"
 run ctest --preset asan-ubsan
 # shellcheck disable=SC2086  # VERIFY_ARGS is a word list by design
 run ./build-asan/tools/bfhrf_verify --generate ${VERIFY_ARGS}
+# shellcheck disable=SC2086
+run ./build-asan/tools/bfhrf_verify --dynamic ${DYNAMIC_ARGS}
 
 run cmake --preset tsan
 run cmake --build --preset tsan -j "$(nproc)"
 run ctest --preset tsan
 # shellcheck disable=SC2086
 run ./build-tsan/tools/bfhrf_verify --generate ${VERIFY_ARGS}
+# shellcheck disable=SC2086  # --threads 4: concurrent probe readers
+run ./build-tsan/tools/bfhrf_verify --dynamic ${DYNAMIC_ARGS} --threads 4
 
 run cmake --preset obs-off
 run cmake --build --preset obs-off -j "$(nproc)"

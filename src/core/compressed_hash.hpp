@@ -33,6 +33,23 @@ class CompressedFrequencyHash final : public FrequencyStore {
   void add_weighted(util::ConstWordSpan key, std::uint32_t count,
                     double weight) override;
 
+  /// Remove `count` occurrences; a key reaching zero is tombstoned (same
+  /// semantics and InvalidArgument conditions as
+  /// FrequencyHash::remove_weighted). Dead encodings linger in the byte
+  /// arena until compact().
+  void remove_weighted(util::ConstWordSpan key, std::uint32_t count,
+                       double weight) override;
+
+  /// Drop tombstones and repack the byte arena; contents and iteration
+  /// results are unchanged. Triggered automatically when removals push the
+  /// tombstone ratio past kMaxTombstoneRatio.
+  void compact() override;
+
+  /// Tombstoned (erased, not yet reclaimed) slots.
+  [[nodiscard]] std::size_t tombstone_count() const noexcept {
+    return dir_.tombstone_count();
+  }
+
   [[nodiscard]] std::uint32_t frequency(
       util::ConstWordSpan key) const override;
 
@@ -71,9 +88,10 @@ class CompressedFrequencyHash final : public FrequencyStore {
   [[nodiscard]] util::GroupDirectory::FindResult find(
       ByteSpan encoded, std::uint64_t fp) const noexcept;
 
-  void grow();
+  void ensure_capacity(std::size_t incoming);
 
   static constexpr double kMaxLoad = 0.7;
+  static constexpr double kMaxTombstoneRatio = 0.25;
 
   SparseKeyCodec codec_;
   std::size_t size_ = 0;

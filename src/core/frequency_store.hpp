@@ -43,6 +43,23 @@ class FrequencyStore {
     add_weighted(key, count, 1.0);
   }
 
+  /// Remove `count` occurrences of a canonical bipartition with a per-key
+  /// weight (the inverse of add_weighted). A key whose frequency reaches
+  /// zero is erased from the store. Throws InvalidArgument if the key is
+  /// absent or `count` exceeds the stored frequency — frequencies never go
+  /// below zero.
+  virtual void remove_weighted(util::ConstWordSpan key, std::uint32_t count,
+                               double weight) = 0;
+
+  void remove(util::ConstWordSpan key, std::uint32_t count = 1) {
+    remove_weighted(key, count, 1.0);
+  }
+
+  /// Reclaim storage left behind by removals (tombstoned slots, dead key
+  /// bytes). Contents and iteration results are unchanged. Default: no-op
+  /// for stores that never fragment.
+  virtual void compact() {}
+
   /// Frequency of a bipartition (0 if absent).
   [[nodiscard]] virtual std::uint32_t frequency(
       util::ConstWordSpan key) const = 0;

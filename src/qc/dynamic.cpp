@@ -1,0 +1,298 @@
+#include "qc/dynamic.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <span>
+#include <utility>
+
+#include "core/bfhrf.hpp"
+#include "core/compressed_hash.hpp"
+#include "core/frequency_hash.hpp"
+#include "phylo/bipartition.hpp"
+#include "phylo/taxon_set.hpp"
+#include "phylo/tree.hpp"
+#include "sim/generators.hpp"
+#include "sim/moves.hpp"
+#include "util/bitset.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::qc {
+namespace {
+
+using phylo::Tree;
+
+std::string hex_seed(std::uint64_t seed) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%llX",
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+/// A store's full contents in canonical (compare_words-sorted) order — the
+/// bit-for-bit comparison unit of the oracle.
+using KeyCount = std::pair<std::vector<std::uint64_t>, std::uint32_t>;
+
+std::vector<KeyCount> contents(const core::FrequencyStore& store) {
+  std::vector<KeyCount> out;
+  out.reserve(store.unique_count());
+  store.for_each_key([&](util::ConstWordSpan key, std::uint32_t count) {
+    out.emplace_back(std::vector<std::uint64_t>(key.begin(), key.end()),
+                     count);
+  });
+  std::sort(out.begin(), out.end(),
+            [](const KeyCount& a, const KeyCount& b) {
+              return util::compare_words(
+                         {a.first.data(), a.first.size()},
+                         {b.first.data(), b.first.size()}) < 0;
+            });
+  return out;
+}
+
+std::size_t tombstones(const core::FrequencyStore& store) {
+  if (const auto* h = dynamic_cast<const core::FrequencyHash*>(&store)) {
+    return h->tombstone_count();
+  }
+  if (const auto* c =
+          dynamic_cast<const core::CompressedFrequencyHash*>(&store)) {
+    return c->tombstone_count();
+  }
+  return 0;
+}
+
+/// One random tree; the class cycles so every topology family (balanced,
+/// uniform, caterpillar worst case, multifurcating) flows through the
+/// delta paths.
+Tree make_tree(const phylo::TaxonSetPtr& taxa, util::Rng& rng,
+               std::size_t index) {
+  switch (index % 4) {
+    case 0:
+      return sim::yule_tree(taxa, rng);
+    case 1:
+      return sim::uniform_tree(taxa, rng);
+    case 2:
+      return sim::caterpillar_tree(taxa, rng);
+    default:
+      return sim::multifurcating_tree(taxa, rng, 0.3);
+  }
+}
+
+struct SequenceContext {
+  const DynamicOracleOptions& opts;
+  DynamicOracleReport& report;
+  std::size_t sequence = 0;
+  std::size_t op = 0;          ///< operation ordinal within the sequence
+  const char* op_name = "init";
+
+  void fail(const std::string& what) const {
+    char prefix[96];
+    std::snprintf(prefix, sizeof prefix, "dynamic: seq %zu op %zu (%s): ",
+                  sequence, op, op_name);
+    report.failures.push_back(prefix + what + " (replay with --seed=" +
+                              hex_seed(opts.seed) + ")");
+  }
+};
+
+/// Assert the delta-maintained index is bit-for-bit equivalent to a
+/// from-scratch rebuild over `model`. Returns false on divergence.
+bool check_equivalence(const core::DynamicBfhIndex& index,
+                       const phylo::TaxonSetPtr& taxa,
+                       std::span<const Tree> model,
+                       std::span<const Tree> probes,
+                       const core::BfhrfOptions& engine_opts,
+                       const SequenceContext& ctx) {
+  ++ctx.report.checks;
+  core::Bfhrf rebuilt(taxa->size(), engine_opts);
+  rebuilt.build(model);
+
+  const core::FrequencyStore& live = index.store();
+  const core::FrequencyStore& fresh = rebuilt.store();
+  bool ok = true;
+  if (live.unique_count() != fresh.unique_count()) {
+    ctx.fail("unique_count " + std::to_string(live.unique_count()) +
+             " != rebuild " + std::to_string(fresh.unique_count()));
+    ok = false;
+  }
+  if (live.total_count() != fresh.total_count()) {
+    ctx.fail("total_count " + std::to_string(live.total_count()) +
+             " != rebuild " + std::to_string(fresh.total_count()));
+    ok = false;
+  }
+  // Classic RF: weights are all 1.0, so both totals are integer-valued
+  // doubles and must agree exactly despite the different operation order.
+  if (live.total_weight() != fresh.total_weight()) {
+    ctx.fail("total_weight diverged from rebuild");
+    ok = false;
+  }
+  if (contents(live) != contents(fresh)) {
+    ctx.fail("store contents (sorted key/count multiset) diverge from "
+             "rebuild");
+    ok = false;
+  }
+  if (!ok || model.empty()) {
+    return ok;
+  }
+  // Probe queries through the engine's (possibly parallel) query path:
+  // concurrent readers against the delta-maintained table under tsan.
+  const std::vector<double> got =
+      index.query(std::span<const Tree>(probes.data(), probes.size()));
+  const std::vector<double> want =
+      rebuilt.query(std::span<const Tree>(probes.data(), probes.size()));
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i] != want[i]) {
+      ctx.fail("probe " + std::to_string(i) + " avgRF " +
+               std::to_string(got[i]) + " != rebuild " +
+               std::to_string(want[i]));
+      return false;
+    }
+  }
+  return true;
+}
+
+void run_sequence(std::size_t sequence, const DynamicOracleOptions& opts,
+                  DynamicOracleReport& report) {
+  util::Rng rng(util::mix64(opts.seed ^ (0x9e3779b97f4a7c15ULL * sequence)));
+  SequenceContext ctx{opts, report, sequence};
+
+  const phylo::TaxonSetPtr taxa = phylo::TaxonSet::make_numbered(opts.n);
+  core::BfhrfOptions engine_opts;
+  engine_opts.threads = opts.threads;
+  engine_opts.compressed_keys = opts.compressed_keys;
+  engine_opts.include_trivial = opts.include_trivial;
+  core::DynamicBfhIndex index(taxa->size(), engine_opts);
+
+  std::vector<Tree> probes;
+  probes.reserve(opts.probes);
+  for (std::size_t i = 0; i < opts.probes; ++i) {
+    probes.push_back(make_tree(taxa, rng, i));
+  }
+
+  // Model state: the trees the index should currently represent, with
+  // their ids (aligned vectors; removal swap-erases both).
+  std::vector<Tree> model;
+  std::vector<std::size_t> ids;
+  std::size_t made = 0;
+
+  std::vector<Tree> initial;
+  for (std::size_t i = 0; i < opts.initial_trees; ++i) {
+    initial.push_back(make_tree(taxa, rng, made++));
+  }
+  const std::vector<std::size_t> initial_ids = index.add_trees(initial);
+  model = initial;
+  ids = initial_ids;
+  if (!check_equivalence(index, taxa, model, probes, engine_opts, ctx)) {
+    return;
+  }
+
+  const phylo::BipartitionOptions bip_opts{
+      .include_trivial = opts.include_trivial, .sorted = true};
+  for (ctx.op = 1; ctx.op <= opts.ops; ++ctx.op) {
+    ++report.operations;
+    const std::uint64_t roll = rng() % 100;
+    if (roll < 20) {
+      ctx.op_name = "add";
+      Tree t = make_tree(taxa, rng, made++);
+      ids.push_back(index.add_tree(t));
+      model.push_back(std::move(t));
+    } else if (roll < 30) {
+      ctx.op_name = "add_batch";
+      std::vector<Tree> batch;
+      batch.push_back(make_tree(taxa, rng, made++));
+      batch.push_back(make_tree(taxa, rng, made++));
+      for (const std::size_t id : index.add_trees(batch)) {
+        ids.push_back(id);
+      }
+      model.insert(model.end(), batch.begin(), batch.end());
+    } else if (roll < 50 && model.size() > 1) {
+      ctx.op_name = "remove";
+      const std::size_t pick = rng() % model.size();
+      index.remove_tree(ids[pick]);
+      model[pick] = std::move(model.back());
+      model.pop_back();
+      ids[pick] = ids.back();
+      ids.pop_back();
+    } else if (roll < 60 && model.size() > 2) {
+      ctx.op_name = "remove_batch";
+      // Two distinct victims, largest model index first so the second
+      // swap-erase cannot disturb the first victim's position.
+      std::size_t a = rng() % model.size();
+      std::size_t b = rng() % (model.size() - 1);
+      if (b >= a) {
+        ++b;
+      }
+      if (a < b) {
+        std::swap(a, b);
+      }
+      const std::size_t victims[2] = {ids[a], ids[b]};
+      index.remove_trees(victims);
+      for (const std::size_t pick : {a, b}) {
+        model[pick] = std::move(model.back());
+        model.pop_back();
+        ids[pick] = ids.back();
+        ids.pop_back();
+      }
+    } else if (roll < 90 && !model.empty()) {
+      ctx.op_name = "replace";
+      const std::size_t pick = rng() % model.size();
+      Tree next = model[pick];
+      const bool nni = (rng() & 1) != 0;
+      const bool changed =
+          nni ? sim::random_nni(next, rng) : sim::random_spr_leaf(next, rng);
+      // Independent O(edges-changed) witness: the symmetric difference of
+      // the two bipartition sets bounds what the delta path may touch.
+      const auto before = phylo::extract_bipartitions(model[pick], bip_opts);
+      const auto after = phylo::extract_bipartitions(next, bip_opts);
+      const std::size_t sym =
+          phylo::BipartitionSet::symmetric_difference_size(before, after);
+      const auto delta = index.replace_tree(ids[pick], next);
+      if (delta.keys_removed + delta.keys_added != sym) {
+        ctx.fail("delta touched " +
+                 std::to_string(delta.keys_removed + delta.keys_added) +
+                 " bipartitions, expected the symmetric difference " +
+                 std::to_string(sym));
+        return;
+      }
+      if (nni && changed &&
+          (delta.keys_removed > 1 || delta.keys_added > 1)) {
+        ctx.fail("NNI replacement exceeded the 1-removed/1-added bound");
+        return;
+      }
+      model[pick] = std::move(next);
+    } else {
+      ctx.op_name = "compact";
+      index.compact();
+      if (tombstones(index.store()) != 0) {
+        ctx.fail("tombstones survived compaction: " +
+                 std::to_string(tombstones(index.store())));
+        return;
+      }
+    }
+    if (!check_equivalence(index, taxa, model, probes, engine_opts, ctx)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string DynamicOracleReport::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "dynamic oracle: %zu sequence(s), %zu op(s), %zu check(s), "
+                "%zu failure(s), seed %s",
+                sequences_run, operations, checks, failures.size(),
+                hex_seed(seed).c_str());
+  return buf;
+}
+
+DynamicOracleReport check_dynamic_equivalence(
+    const DynamicOracleOptions& opts) {
+  DynamicOracleReport report;
+  report.seed = opts.seed;
+  for (std::size_t k = 0; k < opts.sequences; ++k) {
+    run_sequence(k, opts, report);
+    ++report.sequences_run;
+  }
+  return report;
+}
+
+}  // namespace bfhrf::qc

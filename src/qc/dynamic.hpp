@@ -1,0 +1,68 @@
+// Delta-vs-rebuild equivalence oracle (verification layer for
+// DynamicBfhIndex, core/bfhrf.hpp).
+//
+// Drives seeded, replayable sequences of interleaved operations against a
+// delta-maintained index — add tree, remove tree, replace a tree with an
+// SPR/NNI-perturbed copy, compact — and after EVERY operation asserts the
+// index is bit-for-bit equivalent to a Bfhrf rebuilt from scratch over the
+// current collection:
+//
+//  * store contents: the sorted (key, count) multisets are identical, and
+//    so are unique/total counts and the (integer-valued, classic-RF)
+//    weighted total;
+//  * queries: every probe tree's average RF matches to the exact double;
+//  * deltas: a replacement touched exactly |old Δ new| bipartitions (the
+//    O(edges-changed) bound; an NNI replacement touched at most 1 + 1);
+//  * compaction: tombstone_count drops to 0 and contents are unchanged.
+//
+// Failure messages carry the sequence seed in the --seed/BFHRF_FUZZ_SEED
+// replay convention. Designed to run under asan and tsan (probe queries go
+// through the engine's parallel query path when threads > 1, exercising
+// concurrent readers against the delta-maintained table).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bfhrf::qc {
+
+struct DynamicOracleOptions {
+  /// Drives every random decision; sequence k derives its own stream.
+  std::uint64_t seed = 0x5eed;
+
+  /// Independent randomized operation sequences to run.
+  std::size_t sequences = 8;
+
+  std::size_t n = 16;             ///< taxa
+  std::size_t initial_trees = 8;  ///< collection size before the op stream
+  std::size_t ops = 24;           ///< interleaved operations per sequence
+  std::size_t probes = 6;         ///< probe trees per equivalence check
+
+  /// Also drive the compressed-key store through the same sequence.
+  bool compressed_keys = false;
+  bool include_trivial = false;
+
+  /// Worker threads for the probe queries (> 1 runs concurrent readers
+  /// against the live table — the tsan-relevant configuration).
+  std::size_t threads = 1;
+};
+
+struct DynamicOracleReport {
+  std::vector<std::string> failures;
+  std::size_t sequences_run = 0;
+  std::size_t operations = 0;  ///< operations applied across all sequences
+  std::size_t checks = 0;      ///< post-operation equivalence checks
+  std::uint64_t seed = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Run the oracle. Stops a sequence at its first failure (later states of
+/// that sequence are meaningless once the index diverged) but always runs
+/// every sequence.
+[[nodiscard]] DynamicOracleReport check_dynamic_equivalence(
+    const DynamicOracleOptions& opts = {});
+
+}  // namespace bfhrf::qc

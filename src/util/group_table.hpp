@@ -2,11 +2,12 @@
 // open-addressed frequency hashes (core/frequency_hash, compressed_hash,
 // branch_score).
 //
-// Layout: one byte per slot, 0x80 = empty, 0x00..0x7f = the 7-bit tag of
-// the occupant's fingerprint. Bytes are probed 16 at a time ("groups") with
-// a single vector compare (SSE2/NEON) or two 64-bit SWAR words. The
-// directory is cache-line aligned, so a group load is one aligned 16-byte
-// read inside one line, and four consecutive groups share a line.
+// Layout: one byte per slot, 0x80 = empty, 0xfe = deleted (tombstone),
+// 0x00..0x7f = the 7-bit tag of the occupant's fingerprint. Bytes are
+// probed 16 at a time ("groups") with a single vector compare (SSE2/NEON)
+// or two 64-bit SWAR words. The directory is cache-line aligned, so a
+// group load is one aligned 16-byte read inside one line, and four
+// consecutive groups share a line.
 //
 // Fingerprint split: the 64-bit key fingerprint fp (util::hash_words)
 // provides the low 7 bits as the control tag and the remaining 57 bits as
@@ -15,18 +16,25 @@
 // independent 7-bit samples and a probe's false-candidate rate is ~16/128.
 //
 // Probing: start at the home group, scan tag matches (caller verifies the
-// full key), and stop at the first group containing an empty byte — with
-// no deletions (the stores are insert-only) an empty byte proves the key
-// was never displaced past it. Group stride is linear, so the displacement
-// chain is contiguous memory.
+// full key), and stop at the first group containing an EMPTY byte — an
+// empty byte proves the key was never displaced past it, because erase()
+// writes DELETED, never empty. DELETED bytes are skipped by the scan (a
+// 7-bit tag can never equal 0xfe) but are remembered: when the key is
+// absent, the reported insertion point is the first available (deleted or
+// empty) slot along the probe path, so insertions reuse tombstones and a
+// delete-then-reinsert cycle restores the original layout. Group stride is
+// linear, so the displacement chain is contiguous memory.
 //
 // The SWAR path may surface false tag candidates on occupied bytes (never
-// on empty ones — see util/simd.hpp); callers' full-key verification
-// rejects them, so table contents are identical across dispatch levels.
+// on empty or deleted ones — see util/simd.hpp); callers' full-key
+// verification rejects them, and the empty/available masks are exact on
+// every path, so table contents — including tombstone placement — are
+// byte-identical across dispatch levels.
 #pragma once
 
 #include <bit>
 #include <cstdint>
+#include <span>
 
 #include "util/memory.hpp"
 #include "util/simd.hpp"
@@ -35,6 +43,7 @@ namespace bfhrf::util {
 
 inline constexpr std::size_t kGroupWidth = 16;
 inline constexpr std::uint8_t kCtrlEmpty = 0x80;
+inline constexpr std::uint8_t kCtrlDeleted = 0xfe;
 
 /// Low 7 bits of the fingerprint: the control tag.
 [[nodiscard]] constexpr std::uint8_t ctrl_tag(std::uint64_t fp) noexcept {
@@ -49,7 +58,8 @@ inline constexpr std::uint8_t kCtrlEmpty = 0x80;
 class GroupDirectory {
  public:
   struct FindResult {
-    std::size_t index;   ///< matching slot, or the empty insertion point
+    std::size_t index;   ///< matching slot, or the insertion point (the
+                         ///< first deleted-or-empty slot on the probe path)
     bool found;          ///< true when the caller's key predicate matched
     std::uint32_t groups_probed;  ///< control groups inspected (>= 1)
   };
@@ -66,10 +76,11 @@ class GroupDirectory {
 
   GroupDirectory() = default;
 
-  /// Reset to `slot_count` empty slots. `slot_count` must be a power of two
-  /// and at least kGroupWidth.
+  /// Reset to `slot_count` empty slots (dropping any tombstones).
+  /// `slot_count` must be a power of two and at least kGroupWidth.
   void reset(std::size_t slot_count) {
     ctrl_.assign(slot_count, kCtrlEmpty);
+    tombstones_ = 0;
   }
 
   [[nodiscard]] std::size_t slot_count() const noexcept {
@@ -79,12 +90,36 @@ class GroupDirectory {
     return ctrl_.size() / kGroupWidth;
   }
   [[nodiscard]] bool occupied(std::size_t index) const noexcept {
-    return ctrl_[index] != kCtrlEmpty;
+    return ctrl_[index] < kCtrlEmpty;
+  }
+  [[nodiscard]] bool deleted(std::size_t index) const noexcept {
+    return ctrl_[index] == kCtrlDeleted;
   }
 
-  /// Record `fp`'s tag at a slot returned by a failed find().
+  /// Live tombstones (erased slots not yet reused or compacted away).
+  [[nodiscard]] std::size_t tombstone_count() const noexcept {
+    return tombstones_;
+  }
+
+  /// The raw control bytes (tests / layout-equivalence oracles).
+  [[nodiscard]] std::span<const std::uint8_t> ctrl_bytes() const noexcept {
+    return {ctrl_.data(), ctrl_.size()};
+  }
+
+  /// Record `fp`'s tag at a slot returned by a failed find(). Reclaims the
+  /// slot's tombstone when the insertion point was a deleted slot.
   void mark(std::size_t index, std::uint64_t fp) noexcept {
+    if (ctrl_[index] == kCtrlDeleted) {
+      --tombstones_;
+    }
     ctrl_[index] = ctrl_tag(fp);
+  }
+
+  /// Tombstone an occupied slot. The byte becomes DELETED — never EMPTY —
+  /// so probe chains that were displaced past this slot stay intact.
+  void erase(std::size_t index) noexcept {
+    ctrl_[index] = kCtrlDeleted;
+    ++tombstones_;
   }
 
   [[nodiscard]] std::size_t home_group(std::uint64_t fp) const noexcept {
@@ -97,15 +132,18 @@ class GroupDirectory {
   }
 
   /// Find the slot whose occupant satisfies `eq` among slots tagged with
-  /// fp's tag, or the first empty slot (insertion point) if none does.
-  /// `eq(slot_index)` is only called on occupied slots. Statically
-  /// dispatched variant for hot loops that hoist the level check.
+  /// fp's tag, or the insertion point (first deleted-or-empty slot on the
+  /// probe path) if none does. `eq(slot_index)` is only called on occupied
+  /// slots. Statically dispatched variant for hot loops that hoist the
+  /// level check.
   template <typename Group, typename Eq>
   [[nodiscard]] FindResult find_with(std::uint64_t fp,
                                      Eq&& eq) const noexcept {
+    constexpr std::size_t kNoSlot = ~std::size_t{0};
     const std::size_t gmask = group_count() - 1;
     const std::uint8_t tag = ctrl_tag(fp);
     std::size_t g = static_cast<std::size_t>(slot_hash(fp)) & gmask;
+    std::size_t insert_at = kNoSlot;
     std::uint32_t probed = 0;
     while (true) {
       ++probed;
@@ -120,11 +158,18 @@ class GroupDirectory {
         }
         m &= m - 1;
       }
-      const std::uint32_t empty = group.match_empty();
-      if (empty != 0) {
-        return {g * kGroupWidth +
-                    static_cast<std::size_t>(std::countr_zero(empty)),
-                false, probed};
+      if (insert_at == kNoSlot) {
+        // First deleted-or-empty slot seen so far: the insertion point if
+        // the key turns out to be absent. With no tombstones this is the
+        // first empty byte, i.e. the insert-only behaviour.
+        const std::uint32_t avail = group.match_available();
+        if (avail != 0) {
+          insert_at = g * kGroupWidth +
+                      static_cast<std::size_t>(std::countr_zero(avail));
+        }
+      }
+      if (group.match_empty() != 0) {
+        return {insert_at, false, probed};
       }
       g = (g + 1) & gmask;
     }
@@ -141,7 +186,9 @@ class GroupDirectory {
 
   /// find_with() resuming from a precomputed home-group hint, so the common
   /// home-group hit touches no control memory at resolve time. Read-only
-  /// batches only (see GroupHint).
+  /// batches only (see GroupHint): on a miss the reported index is the
+  /// first EMPTY slot (tombstones are skipped, not claimed), which is fine
+  /// for lookups — the slot read there is vacant either way.
   template <typename Group, typename Eq>
   [[nodiscard]] FindResult find_hinted(std::uint64_t fp, GroupHint hint,
                                        Eq&& eq) const noexcept {
@@ -210,6 +257,7 @@ class GroupDirectory {
 
  private:
   CacheAlignedVector<std::uint8_t> ctrl_;
+  std::size_t tombstones_ = 0;
 };
 
 }  // namespace bfhrf::util

@@ -1,0 +1,179 @@
+// DynamicBfhIndex unit tests (core/bfhrf.hpp): id lifecycle, delta
+// accounting, and equivalence of the incrementally-maintained index with a
+// from-scratch Bfhrf build. The randomized long-run interleavings live in
+// the qc dynamic oracle (src/qc/dynamic.cpp); this suite pins the API
+// contracts with small deterministic cases.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/bfhrf.hpp"
+#include "core/frequency_hash.hpp"
+#include "phylo/taxon_set.hpp"
+#include "phylo/tree.hpp"
+#include "sim/generators.hpp"
+#include "sim/moves.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+using phylo::Tree;
+
+std::vector<Tree> make_trees(const phylo::TaxonSetPtr& taxa, std::size_t r,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Tree> trees;
+  trees.reserve(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    trees.push_back(i % 2 == 0 ? sim::yule_tree(taxa, rng)
+                               : sim::uniform_tree(taxa, rng));
+  }
+  return trees;
+}
+
+/// avgRF of `probes` against `reference` through a from-scratch build.
+std::vector<double> rebuilt_answers(const phylo::TaxonSetPtr& taxa,
+                                    std::span<const Tree> reference,
+                                    std::span<const Tree> probes) {
+  Bfhrf fresh(taxa->size());
+  fresh.build(reference);
+  return fresh.query(probes);
+}
+
+TEST(DynamicBfhTest, AddedTreesMatchFreshBuild) {
+  const auto taxa = phylo::TaxonSet::make_numbered(12);
+  const auto trees = make_trees(taxa, 6, 0xA11);
+  const auto probes = make_trees(taxa, 3, 0xB22);
+
+  DynamicBfhIndex index(taxa->size());
+  const auto ids = index.add_trees(trees);
+  ASSERT_EQ(ids.size(), trees.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], i);  // ids are dense and stable
+    EXPECT_TRUE(index.is_live(ids[i]));
+  }
+  EXPECT_EQ(index.tree_count(), trees.size());
+  EXPECT_EQ(index.query(probes), rebuilt_answers(taxa, trees, probes));
+}
+
+TEST(DynamicBfhTest, RemovalMatchesFreshBuildOfSurvivors) {
+  const auto taxa = phylo::TaxonSet::make_numbered(10);
+  auto trees = make_trees(taxa, 5, 0xC33);
+  const auto probes = make_trees(taxa, 3, 0xD44);
+
+  DynamicBfhIndex index(taxa->size());
+  const auto ids = index.add_trees(trees);
+  index.remove_tree(ids[1]);
+  index.remove_trees(std::vector<std::size_t>{ids[3]});
+
+  EXPECT_FALSE(index.is_live(ids[1]));
+  EXPECT_FALSE(index.is_live(ids[3]));
+  EXPECT_EQ(index.tree_count(), 3u);
+
+  const std::vector<Tree> survivors = {trees[0], trees[2], trees[4]};
+  EXPECT_EQ(index.query(probes), rebuilt_answers(taxa, survivors, probes));
+}
+
+TEST(DynamicBfhTest, IdsStayDenseAfterRemoval) {
+  const auto taxa = phylo::TaxonSet::make_numbered(8);
+  const auto trees = make_trees(taxa, 3, 0xE55);
+  DynamicBfhIndex index(taxa->size());
+  const auto ids = index.add_trees(trees);
+  index.remove_tree(ids[0]);
+  // Dead ids are never reissued: the next add gets a fresh one.
+  EXPECT_EQ(index.add_tree(trees[0]), trees.size());
+  EXPECT_TRUE(index.is_live(trees.size()));
+  EXPECT_FALSE(index.is_live(ids[0]));
+}
+
+TEST(DynamicBfhTest, UnknownOrDeadIdsThrow) {
+  const auto taxa = phylo::TaxonSet::make_numbered(8);
+  const auto trees = make_trees(taxa, 2, 0xF66);
+  DynamicBfhIndex index(taxa->size());
+  const auto ids = index.add_trees(trees);
+
+  EXPECT_THROW(index.remove_tree(99), InvalidArgument);
+  EXPECT_THROW(index.replace_tree(99, trees[0]), InvalidArgument);
+  index.remove_tree(ids[0]);
+  EXPECT_THROW(index.remove_tree(ids[0]), InvalidArgument);  // double free
+  EXPECT_THROW(index.replace_tree(ids[0], trees[0]), InvalidArgument);
+}
+
+TEST(DynamicBfhTest, IdenticalReplacementTouchesNothing) {
+  const auto taxa = phylo::TaxonSet::make_numbered(12);
+  const auto trees = make_trees(taxa, 4, 0x177);
+  DynamicBfhIndex index(taxa->size());
+  const auto ids = index.add_trees(trees);
+
+  const auto delta = index.replace_tree(ids[2], trees[2]);
+  EXPECT_EQ(delta.keys_removed, 0u);
+  EXPECT_EQ(delta.keys_added, 0u);
+  EXPECT_GT(delta.keys_shared, 0u);  // every kept split matched
+  EXPECT_EQ(index.tree_count(), trees.size());
+}
+
+TEST(DynamicBfhTest, NniReplacementIsBoundedAndCorrect) {
+  const auto taxa = phylo::TaxonSet::make_numbered(14);
+  auto trees = make_trees(taxa, 4, 0x288);
+  const auto probes = make_trees(taxa, 3, 0x399);
+  DynamicBfhIndex index(taxa->size());
+  const auto ids = index.add_trees(trees);
+
+  util::Rng rng(0x4AA);
+  Tree next = trees[1];
+  const bool changed = sim::random_nni(next, rng);
+  const auto delta = index.replace_tree(ids[1], next);
+  if (changed) {
+    // One NNI swaps at most one internal bipartition.
+    EXPECT_LE(delta.keys_removed, 1u);
+    EXPECT_LE(delta.keys_added, 1u);
+  } else {
+    EXPECT_EQ(delta.keys_removed + delta.keys_added, 0u);
+  }
+
+  std::vector<Tree> current = trees;
+  current[1] = next;
+  EXPECT_EQ(index.query(probes), rebuilt_answers(taxa, current, probes));
+}
+
+TEST(DynamicBfhTest, CompactPreservesQueriesAndClearsTombstones) {
+  const auto taxa = phylo::TaxonSet::make_numbered(12);
+  const auto trees = make_trees(taxa, 8, 0x5BB);
+  const auto probes = make_trees(taxa, 3, 0x6CC);
+  DynamicBfhIndex index(taxa->size());
+  const auto ids = index.add_trees(trees);
+  index.remove_trees(std::vector<std::size_t>{ids[0], ids[5]});
+
+  const std::vector<double> before = index.query(probes);
+  index.compact();
+  const auto* hash = dynamic_cast<const FrequencyHash*>(&index.store());
+  ASSERT_NE(hash, nullptr);
+  EXPECT_EQ(hash->tombstone_count(), 0u);
+  EXPECT_EQ(index.query(probes), before);
+}
+
+TEST(DynamicBfhTest, CompressedStoreSupportsTheFullLifecycle) {
+  const auto taxa = phylo::TaxonSet::make_numbered(12);
+  auto trees = make_trees(taxa, 5, 0x7DD);
+  const auto probes = make_trees(taxa, 3, 0x8EE);
+  BfhrfOptions opts;
+  opts.compressed_keys = true;
+  DynamicBfhIndex index(taxa->size(), opts);
+  const auto ids = index.add_trees(trees);
+  index.remove_tree(ids[2]);
+  util::Rng rng(0x9FF);
+  Tree next = trees[4];
+  sim::random_spr_leaf(next, rng);
+  index.replace_tree(ids[4], next);
+  index.compact();
+
+  std::vector<Tree> current = {trees[0], trees[1], trees[3], next};
+  Bfhrf fresh(taxa->size(), opts);
+  fresh.build(current);
+  EXPECT_EQ(index.query(probes), fresh.query(probes));
+}
+
+}  // namespace
+}  // namespace bfhrf::core

@@ -1,0 +1,67 @@
+// Delta-vs-rebuild oracle self-tests (qc/dynamic.hpp): the randomized
+// add/remove/replace/compact sequences must pass on both store kinds, the
+// report must carry the replay seed, and the multi-threaded probe path
+// must agree with the single-threaded one.
+#include "qc/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace bfhrf::qc {
+namespace {
+
+DynamicOracleOptions small_opts() {
+  DynamicOracleOptions opts;
+  opts.sequences = 2;
+  opts.n = 10;
+  opts.initial_trees = 4;
+  opts.ops = 10;
+  opts.probes = 4;
+  return opts;
+}
+
+TEST(DynamicOracleTest, PassesOnBothStoreKinds) {
+  for (const bool compressed : {false, true}) {
+    DynamicOracleOptions opts = small_opts();
+    opts.compressed_keys = compressed;
+    const DynamicOracleReport report = check_dynamic_equivalence(opts);
+    EXPECT_TRUE(report.ok())
+        << (report.failures.empty() ? "" : report.failures.front());
+    EXPECT_EQ(report.sequences_run, opts.sequences);
+    EXPECT_EQ(report.operations, opts.sequences * opts.ops);
+    // One equivalence check after init plus one per op, per sequence.
+    EXPECT_EQ(report.checks, opts.sequences * (opts.ops + 1));
+  }
+}
+
+TEST(DynamicOracleTest, MultithreadedProbesAgree) {
+  DynamicOracleOptions opts = small_opts();
+  opts.threads = 4;
+  const DynamicOracleReport report = check_dynamic_equivalence(opts);
+  EXPECT_TRUE(report.ok())
+      << (report.failures.empty() ? "" : report.failures.front());
+}
+
+TEST(DynamicOracleTest, SummaryCarriesReplaySeed) {
+  DynamicOracleOptions opts = small_opts();
+  opts.sequences = 1;
+  opts.ops = 2;
+  opts.seed = 0xABCD;
+  const DynamicOracleReport report = check_dynamic_equivalence(opts);
+  EXPECT_NE(report.summary().find("0xABCD"), std::string::npos)
+      << report.summary();
+  EXPECT_EQ(report.seed, 0xABCDu);
+}
+
+TEST(DynamicOracleTest, TrivialSplitsModeAlsoPasses) {
+  DynamicOracleOptions opts = small_opts();
+  opts.sequences = 1;
+  opts.include_trivial = true;
+  const DynamicOracleReport report = check_dynamic_equivalence(opts);
+  EXPECT_TRUE(report.ok())
+      << (report.failures.empty() ? "" : report.failures.front());
+}
+
+}  // namespace
+}  // namespace bfhrf::qc

@@ -1,0 +1,233 @@
+// GroupDirectory tombstone tests (util/group_table.hpp).
+//
+// The dynamic-index layer leans on three directory properties:
+//   * erase() writes DELETED, never EMPTY, so probe chains displaced past
+//     an erased slot stay reachable — even through fully-tombstoned groups;
+//   * a failed find() reports the FIRST deleted-or-empty slot on the probe
+//     path, so reinsertion reuses tombstones and delete-then-reinsert
+//     restores the original control bytes;
+//   * all of the above is byte-identical across SIMD/SWAR dispatch, which
+//     the mixed insert/erase sweep pins on the real FrequencyHash.
+#include "util/group_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/frequency_hash.hpp"
+#include "util/bitset.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace bfhrf {
+namespace {
+
+using util::GroupDirectory;
+using util::kCtrlDeleted;
+using util::kCtrlEmpty;
+using util::kGroupWidth;
+using util::simd::Level;
+
+/// Restores autodetected dispatch no matter how a test exits.
+struct ForceLevelGuard {
+  explicit ForceLevelGuard(Level level) {
+    util::simd::set_force_level(level);
+  }
+  ~ForceLevelGuard() { util::simd::set_force_level(std::nullopt); }
+};
+
+/// Synthetic fingerprint whose home group and 7-bit tag are chosen
+/// directly (slot hash = fp >> 7, tag = fp & 0x7f).
+constexpr std::uint64_t fp_for(std::size_t group, std::uint8_t tag) {
+  return (static_cast<std::uint64_t>(group) << 7) | tag;
+}
+
+/// Minimal occupant model: the directory plus a per-slot fingerprint, so
+/// the eq predicate resolves exactly like a real table's full-key check.
+struct ModelTable {
+  GroupDirectory dir;
+  std::vector<std::uint64_t> fps;
+
+  explicit ModelTable(std::size_t slots) : fps(slots, 0) {
+    dir.reset(slots);
+  }
+
+  [[nodiscard]] GroupDirectory::FindResult find(std::uint64_t fp) const {
+    return dir.find(fp, [&](std::size_t i) { return fps[i] == fp; });
+  }
+
+  std::size_t insert(std::uint64_t fp) {
+    const auto r = find(fp);
+    EXPECT_FALSE(r.found) << "duplicate insert";
+    dir.mark(r.index, fp);
+    fps[r.index] = fp;
+    return r.index;
+  }
+};
+
+TEST(GroupTableTest, DeleteThenReinsertReusesSlot) {
+  for (const Level level : {util::simd::active_level(), Level::Swar}) {
+    ForceLevelGuard guard(level);
+    ModelTable t(64);
+    const std::uint64_t fp = fp_for(1, 0x11);
+    t.insert(fp_for(1, 0x10));
+    const std::size_t idx = t.insert(fp);
+    t.insert(fp_for(1, 0x12));
+    const std::vector<std::uint8_t> before(t.dir.ctrl_bytes().begin(),
+                                           t.dir.ctrl_bytes().end());
+
+    t.dir.erase(idx);
+    t.fps[idx] = 0;
+    EXPECT_TRUE(t.dir.deleted(idx));
+    EXPECT_FALSE(t.dir.occupied(idx));
+    EXPECT_EQ(t.dir.tombstone_count(), 1u);
+    EXPECT_FALSE(t.find(fp).found);
+    // The tombstone IS the reported insertion point...
+    EXPECT_EQ(t.find(fp).index, idx);
+
+    // ...so reinsertion restores the exact pre-erase layout.
+    EXPECT_EQ(t.insert(fp), idx);
+    EXPECT_EQ(t.dir.tombstone_count(), 0u);
+    const std::vector<std::uint8_t> after(t.dir.ctrl_bytes().begin(),
+                                          t.dir.ctrl_bytes().end());
+    EXPECT_EQ(after, before);
+  }
+}
+
+TEST(GroupTableTest, ProbeChainCrossesFullyDeletedGroup) {
+  for (const Level level : {util::simd::active_level(), Level::Swar}) {
+    ForceLevelGuard guard(level);
+    ModelTable t(64);  // 4 groups
+    // 17 keys homed on group 2: sixteen fill it, the 17th displaces into
+    // group 3.
+    std::vector<std::size_t> slots;
+    for (std::uint8_t tag = 0; tag < 17; ++tag) {
+      slots.push_back(t.insert(fp_for(2, tag)));
+    }
+    const std::size_t overflow = slots.back();
+    ASSERT_GE(overflow, 3 * kGroupWidth) << "17th key did not displace";
+
+    // Tombstone the entire home group: no EMPTY byte remains there, so a
+    // probe that stopped at DELETED bytes would lose the displaced key.
+    for (std::size_t i = 0; i < kGroupWidth; ++i) {
+      t.dir.erase(2 * kGroupWidth + i);
+      t.fps[2 * kGroupWidth + i] = 0;
+    }
+    EXPECT_EQ(t.dir.tombstone_count(), kGroupWidth);
+
+    const auto hit = t.find(fp_for(2, 16));
+    EXPECT_TRUE(hit.found);
+    EXPECT_EQ(hit.index, overflow);
+    EXPECT_GE(hit.groups_probed, 2u);
+
+    // An absent key homed on the dead group probes THROUGH it to the first
+    // empty byte, but reports the first tombstone as the insertion point.
+    const auto miss = t.find(fp_for(2, 0x55));
+    EXPECT_FALSE(miss.found);
+    EXPECT_EQ(miss.index, 2 * kGroupWidth);
+    EXPECT_GE(miss.groups_probed, 2u);
+
+    // Reinsertion claims that tombstone back.
+    EXPECT_EQ(t.insert(fp_for(2, 0x55)), 2 * kGroupWidth);
+    EXPECT_EQ(t.dir.tombstone_count(), kGroupWidth - 1);
+  }
+}
+
+TEST(GroupTableTest, ResetDropsTombstones) {
+  ModelTable t(32);
+  const std::size_t idx = t.insert(fp_for(0, 0x01));
+  t.dir.erase(idx);
+  EXPECT_EQ(t.dir.tombstone_count(), 1u);
+  t.dir.reset(32);
+  EXPECT_EQ(t.dir.tombstone_count(), 0u);
+  for (const std::uint8_t byte : t.dir.ctrl_bytes()) {
+    EXPECT_EQ(byte, kCtrlEmpty);
+  }
+}
+
+// --- dispatch equivalence under mixed insert/erase --------------------------
+
+/// The full observable state of a FrequencyHash after a deterministic
+/// insert/erase/reinsert workload at the CURRENT dispatch level: control
+/// bytes (tombstone placement included), live tombstone count, and the
+/// iteration image.
+struct MixedImage {
+  std::vector<std::uint8_t> ctrl;
+  std::size_t tombstones = 0;
+  std::vector<std::pair<std::vector<std::uint64_t>, std::uint32_t>> contents;
+};
+
+MixedImage mixed_image(std::size_t n_bits, std::uint64_t seed) {
+  const std::size_t words = util::words_for_bits(n_bits);
+  const std::size_t tail_bits = n_bits % 64;
+  const std::uint64_t tail_mask =
+      tail_bits == 0 ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << tail_bits) - 1;
+  util::Rng rng(seed);
+
+  // 1000 distinct keys (rare post-mask duplicates are skipped, keeping the
+  // sequence identical across dispatch levels).
+  std::vector<std::vector<std::uint64_t>> keys;
+  std::map<std::vector<std::uint64_t>, bool> seen;
+  while (keys.size() < 1000) {
+    std::vector<std::uint64_t> k(words);
+    for (auto& w : k) {
+      w = rng();
+    }
+    k[words - 1] &= tail_mask;
+    if (!seen.emplace(k, true).second) {
+      continue;
+    }
+    keys.push_back(std::move(k));
+  }
+
+  core::FrequencyHash hash(n_bits, 0);
+  const auto span = [&](std::size_t i) {
+    return util::ConstWordSpan{keys[i].data(), words};
+  };
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    hash.add(span(i), static_cast<std::uint32_t>(1 + i % 3));
+  }
+  // Fully erase every second key (tombstoning; the ratio-triggered
+  // compaction may fire mid-stream — it is deterministic either way)...
+  for (std::size_t i = 0; i < keys.size(); i += 2) {
+    hash.remove(span(i), static_cast<std::uint32_t>(1 + i % 3));
+  }
+  // ...then reinsert every fourth, reclaiming a subset of the tombstones.
+  for (std::size_t i = 0; i < keys.size(); i += 4) {
+    hash.add(span(i));
+  }
+
+  MixedImage img;
+  img.ctrl.assign(hash.directory().ctrl_bytes().begin(),
+                  hash.directory().ctrl_bytes().end());
+  img.tombstones = hash.tombstone_count();
+  hash.for_each([&](util::ConstWordSpan key, std::uint32_t freq) {
+    img.contents.emplace_back(
+        std::vector<std::uint64_t>(key.begin(), key.end()), freq);
+  });
+  return img;
+}
+
+TEST(GroupTableTest, MixedInsertEraseIsByteIdenticalAcrossLevels) {
+  // n spans the one-word fast path boundary (63/64) and multi-word keys.
+  for (const std::size_t n_bits : {std::size_t{63}, std::size_t{64},
+                                   std::size_t{65}, std::size_t{1000}}) {
+    MixedImage swar;
+    {
+      ForceLevelGuard guard(Level::Swar);
+      swar = mixed_image(n_bits, 0xd1d0 ^ n_bits);
+    }
+    const MixedImage vec = mixed_image(n_bits, 0xd1d0 ^ n_bits);  // native
+    EXPECT_EQ(swar.tombstones, vec.tombstones) << "n_bits=" << n_bits;
+    EXPECT_EQ(swar.ctrl, vec.ctrl) << "n_bits=" << n_bits;
+    EXPECT_EQ(swar.contents, vec.contents) << "n_bits=" << n_bits;
+  }
+}
+
+}  // namespace
+}  // namespace bfhrf

@@ -82,6 +82,40 @@ TEST(SimdGroupTest, MatchEmptyIsExactOnBothPaths) {
   }
 }
 
+TEST(SimdGroupTest, DeletedBytesAreAvailableButNeverEmpty) {
+  // Tombstones (0xfe) must be skipped by the probe scan (never tag- or
+  // empty-matched) yet offered for reuse (available-matched) — the
+  // property that keeps erase/reinsert layouts identical across levels.
+  util::Rng rng(0xdead5eedu);
+  alignas(64) std::array<std::uint8_t, 16> ctrl;
+  for (int round = 0; round < 2000; ++round) {
+    std::uint32_t empties = 0;
+    std::uint32_t available = 0;
+    for (int i = 0; i < 16; ++i) {
+      const std::uint64_t roll = rng() & 3;
+      if (roll == 0) {
+        ctrl[static_cast<std::size_t>(i)] = 0x80;
+        empties |= 1u << i;
+        available |= 1u << i;
+      } else if (roll == 1) {
+        ctrl[static_cast<std::size_t>(i)] = 0xfe;  // deleted
+        available |= 1u << i;
+      } else {
+        ctrl[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(rng() & 0x7f);
+      }
+    }
+    EXPECT_EQ(Group16Swar::load(ctrl.data()).match_empty(), empties);
+    EXPECT_EQ(Group16Vec::load(ctrl.data()).match_empty(), empties);
+    EXPECT_EQ(Group16Swar::load(ctrl.data()).match_available(), available);
+    EXPECT_EQ(Group16Vec::load(ctrl.data()).match_available(), available);
+    const auto tag = static_cast<std::uint8_t>(rng() & 0x7f);
+    const std::uint32_t deleted = available & ~empties;
+    EXPECT_EQ(Group16Swar::load(ctrl.data()).match(tag) & deleted, 0u);
+    EXPECT_EQ(Group16Vec::load(ctrl.data()).match(tag) & deleted, 0u);
+  }
+}
+
 TEST(SimdGroupTest, SwarMatchIsSupersetAndNeverFlagsEmptyBytes) {
   util::Rng rng(0x5eedf00du);
   alignas(64) std::array<std::uint8_t, 16> ctrl;
