@@ -8,6 +8,7 @@
 //   bfhrf_cli -r reference.nwk [-q query.nwk] [-t THREADS]
 //             [--normalized | --half] [--min-size K] [--max-size K]
 //             [--include-trivial] [--compressed-keys] [--stats]
+//             [--shards N] [--save-index FILE [--mapped] | --load-index FILE]
 //
 // With no -q, the reference collection is scored against itself (Q is R,
 // the paper's experimental setting). Input files may be Newick (streamed)
@@ -41,6 +42,8 @@ struct CliOptions {
   std::string save_index;   // write the built index here
   std::string load_index;   // read a prebuilt index instead of -r
   std::size_t threads = 1;
+  std::size_t shards = 1;   // 0 = auto-size from threads/hardware
+  bool mapped_format = false;  // --save-index writes the mmap-able layout
   bfhrf::core::RfNorm norm = bfhrf::core::RfNorm::None;
   std::optional<std::size_t> min_size;
   std::optional<std::size_t> max_size;
@@ -65,7 +68,7 @@ void usage(const char* argv0) {
       "usage: %s -r reference.nwk [-q query.nwk] [-t THREADS]\n"
       "          [--normalized | --half] [--min-size K] [--max-size K]\n"
       "          [--include-trivial] [--compressed-keys] [--stats]\n"
-      "          [--save-index FILE | --load-index FILE]\n"
+      "          [--shards N] [--save-index FILE [--mapped] | --load-index FILE]\n"
       "\n"
       "Average Robinson-Foulds distance of each query tree against the\n"
       "reference collection, via a bipartition frequency hash (BFHRF).\n"
@@ -101,8 +104,12 @@ CliOptions parse_args(int argc, char** argv) {
       o.include_trivial = true;
     } else if (arg == "--compressed-keys") {
       o.compressed_keys = true;
+    } else if (arg == "--shards") {
+      o.shards = bfhrf::util::parse_size(need_value("--shards"));
     } else if (arg == "--save-index") {
       o.save_index = need_value("--save-index");
+    } else if (arg == "--mapped") {
+      o.mapped_format = true;
     } else if (arg == "--load-index") {
       o.load_index = need_value("--load-index");
     } else if (arg == "--stats") {
@@ -121,6 +128,9 @@ CliOptions parse_args(int argc, char** argv) {
   if (!o.load_index.empty() && o.query_path.empty()) {
     throw bfhrf::InvalidArgument("--load-index requires -q (the reference "
                                  "trees are not stored in the index)");
+  }
+  if (o.mapped_format && o.save_index.empty()) {
+    throw bfhrf::InvalidArgument("--mapped only makes sense with --save-index");
   }
   return o;
 }
@@ -147,6 +157,7 @@ int main(int argc, char** argv) {
     opts.norm = cli.norm;
     opts.include_trivial = cli.include_trivial;
     opts.compressed_keys = cli.compressed_keys;
+    opts.shards = cli.shards;
     opts.variant = variant.get();
 
     util::WallTimer timer;
@@ -206,8 +217,12 @@ int main(int argc, char** argv) {
     }
     const double build_seconds = timer.seconds();
     if (!cli.save_index.empty()) {
-      core::save_bfhrf_file(engine, cli.save_index);
-      std::fprintf(stderr, "# index saved to %s\n", cli.save_index.c_str());
+      core::save_bfhrf_file(engine, cli.save_index,
+                            cli.mapped_format ? core::IndexFormat::Mapped
+                                              : core::IndexFormat::V1Stream);
+      std::fprintf(stderr, "# index saved to %s (%s)\n",
+                   cli.save_index.c_str(),
+                   cli.mapped_format ? "mapped" : "v1 stream");
     }
 
     // Phase 2: run Q (or R again) through the hash.

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Deeper verification tier than the plain `ctest` loop:
 #   1. ASan+UBSan build, full labeled suite + bfhrf_verify differential run
-#      + the delta-vs-rebuild dynamic-index oracle
+#      + the delta-vs-rebuild dynamic-index oracle + the sharding/
+#      persistence oracle + a CLI walk that builds a sharded index, saves
+#      the mmap-able layout, and reloads it zero-copy
 #   2. TSan build, concurrency-sensitive labels only (parallel, obs,
 #      verify) + bfhrf_verify differential run + the dynamic oracle with
-#      concurrent probe readers
+#      concurrent probe readers + the persistence oracle with 4 build lanes
 #   3. BFHRF_OBS=OFF build, full suite (instrumentation compiled out)
 #   4. BFHRF_DISABLE_SIMD=ON build, full suite + bfhrf_verify (portable
 #      SWAR paths only; proves dispatch-level equivalence end to end)
@@ -31,6 +33,12 @@ VERIFY_ARGS=${BFHRF_VERIFY_ARGS:-"n=64 r=32 q=32"}
 # kind (raw + compressed), so sequences=100 yields 200 checked sequences.
 DYNAMIC_ARGS=${BFHRF_DYNAMIC_ARGS:-"sequences=100 n=16 trees=8 ops=24"}
 
+# Persistence oracle workload: sharded builds vs single-table, both
+# on-disk formats round-tripped (v1 stream parse and BFHMAP mmap view),
+# the tombstone-compacting save, and warm-started dynamic indexes — all
+# compared bit-for-bit.
+PERSIST_ARGS=${BFHRF_PERSIST_ARGS:-"n=24 r=24 q=10"}
+
 run cmake --preset asan-ubsan
 run cmake --build --preset asan-ubsan -j "$(nproc)"
 run ctest --preset asan-ubsan
@@ -38,6 +46,29 @@ run ctest --preset asan-ubsan
 run ./build-asan/tools/bfhrf_verify --generate ${VERIFY_ARGS}
 # shellcheck disable=SC2086
 run ./build-asan/tools/bfhrf_verify --dynamic ${DYNAMIC_ARGS}
+# shellcheck disable=SC2086
+run ./build-asan/tools/bfhrf_verify --persist ${PERSIST_ARGS} --threads 4
+
+# End-to-end index walk: build a small sharded index with the CLI,
+# persist it in the mmap-able layout, reload it zero-copy, and require
+# byte-identical query output from the mapped view. The sanitizer
+# presets build without examples (BFHRF_BUILD_EXAMPLES=OFF), so this
+# uses the default tree — the mmap + asan interaction itself is covered
+# by the --persist oracle above, which maps index files under ASan.
+PERSIST_DIR=$(mktemp -d)
+trap 'rm -rf "${PERSIST_DIR}"' EXIT
+run cmake -B build -S .
+run cmake --build build -j "$(nproc)" --target bfhrf_generate bfhrf_cli
+run ./build/examples/bfhrf_generate --preset variable-trees -n 32 -r 24 \
+  --seed 7 -o "${PERSIST_DIR}/ref.nwk"
+echo
+echo "=== bfhrf_cli sharded build -> mapped save -> mmap reload ==="
+./build/examples/bfhrf_cli -r "${PERSIST_DIR}/ref.nwk" -t 2 --shards 4 \
+  --save-index "${PERSIST_DIR}/ref.bfhmap" --mapped \
+  > "${PERSIST_DIR}/direct.tsv"
+./build/examples/bfhrf_cli --load-index "${PERSIST_DIR}/ref.bfhmap" \
+  -q "${PERSIST_DIR}/ref.nwk" > "${PERSIST_DIR}/mapped.tsv"
+run diff "${PERSIST_DIR}/direct.tsv" "${PERSIST_DIR}/mapped.tsv"
 
 run cmake --preset tsan
 run cmake --build --preset tsan -j "$(nproc)"
@@ -46,6 +77,8 @@ run ctest --preset tsan
 run ./build-tsan/tools/bfhrf_verify --generate ${VERIFY_ARGS}
 # shellcheck disable=SC2086  # --threads 4: concurrent probe readers
 run ./build-tsan/tools/bfhrf_verify --dynamic ${DYNAMIC_ARGS} --threads 4
+# shellcheck disable=SC2086  # sharded build lanes under TSan
+run ./build-tsan/tools/bfhrf_verify --persist ${PERSIST_ARGS} --threads 4
 
 run cmake --preset obs-off
 run cmake --build --preset obs-off -j "$(nproc)"

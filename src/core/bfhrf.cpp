@@ -2,10 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <exception>
+#include <mutex>
 #include <thread>
 #include <utility>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "core/compressed_hash.hpp"
+#include "core/index_file.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/pipeline.hpp"
 #include "parallel/thread_pool.hpp"
@@ -63,6 +72,14 @@ const obs::Counter g_delta_keys_shared =
 const obs::Gauge g_tombstone_ratio =
     obs::gauge("bfhrf.hash.tombstone_ratio");
 
+// Sharded-build metrics: resolved shard count and post-build balance
+// (largest shard / mean, 1.0 = perfect), plus the keys and add_many chunks
+// the insert lanes pushed (chunking bounds per-batch table pre-sizing).
+const obs::Gauge g_shard_count = obs::gauge("bfhrf.build.shard.count");
+const obs::Gauge g_shard_skew = obs::gauge("bfhrf.build.shard.skew");
+const obs::Counter g_shard_keys = obs::counter("bfhrf.build.shard.keys");
+const obs::Counter g_shard_chunks = obs::counter("bfhrf.build.shard.chunks");
+
 }  // namespace
 
 Bfhrf::Bfhrf(std::size_t n_bits, BfhrfOptions opts)
@@ -74,10 +91,42 @@ Bfhrf::Bfhrf(std::size_t n_bits, BfhrfOptions opts)
   if (opts_.batch_size == 0) {
     opts_.batch_size = 1;
   }
-  store_ = make_store(opts_.expected_unique);
-  if (!opts_.compressed_keys) {
-    fast_store_ = static_cast<const FrequencyHash*>(store_.get());
+  if (opts_.shards > 1 &&
+      (opts_.compressed_keys || opts_.variant != nullptr)) {
+    throw InvalidArgument(
+        "Bfhrf: shards > 1 requires the raw-key classic-RF path "
+        "(compressed stores have no sharded form; weighted variants need "
+        "a deterministic accumulation order)");
   }
+  const std::size_t shards = effective_shards();
+  if (shards > 1) {
+    auto sharded = std::make_unique<ShardedFrequencyHash>(
+        n_bits_, shards, opts_.expected_unique);
+    sharded_store_ = sharded.get();
+    store_ = std::move(sharded);
+  } else {
+    store_ = make_store(opts_.expected_unique);
+    if (!opts_.compressed_keys) {
+      fast_store_ = static_cast<const FrequencyHash*>(store_.get());
+    }
+  }
+  refresh_index_view();
+}
+
+std::size_t Bfhrf::effective_shards() const {
+  if (opts_.compressed_keys || opts_.variant != nullptr) {
+    return 1;
+  }
+  std::size_t want = opts_.shards;
+  if (want == 0) {
+    // Auto: one shard per build worker the hardware can actually run, so
+    // single-threaded (or single-core) engines keep the single-table
+    // layout and its exact historical behavior.
+    const auto hw = std::max(1u, std::thread::hardware_concurrency());
+    want = std::min(opts_.threads, static_cast<std::size_t>(hw));
+  }
+  want = std::min<std::size_t>(want, 64);
+  return want <= 1 ? 1 : std::bit_ceil(want);
 }
 
 std::unique_ptr<FrequencyStore> Bfhrf::make_store(
@@ -134,9 +183,20 @@ void Bfhrf::add_tree(const phylo::Tree& tree, FrequencyStore& target,
           ? scratch.extractor.extract(tree, bip_opts)
           : (local = phylo::extract_bipartitions(tree, bip_opts));
 
-  if (use_batched_add()) {
-    // make_store() only hands out FrequencyHash when keys are uncompressed.
-    auto& hash = static_cast<FrequencyHash&>(target);
+  if (auto* sharded = dynamic_cast<ShardedFrequencyHash*>(&target);
+      use_batched_add() && sharded != nullptr) {
+    // Inline sharded build (threads <= 1): route-and-insert through the
+    // store's own staging buffers. Sharding is classic-RF only (ctor
+    // invariant), so the whole arena goes in at unit weight.
+    sharded->add_many(bips.arena_view().data(), bips.size(), nullptr);
+    return;
+  }
+  // make_store() hands out FrequencyHash when keys are uncompressed; an
+  // adopted read-only mapped store fails the cast and falls through to
+  // the virtual path below, whose add_weighted throws for it.
+  if (auto* hash_ptr = dynamic_cast<FrequencyHash*>(&target);
+      use_batched_add() && hash_ptr != nullptr) {
+    FrequencyHash& hash = *hash_ptr;
     if (opts_.variant == nullptr) {
       // Classic RF keeps every split at unit weight: insert the arena
       // wholesale — no per-split popcount, virtual keep/weight, or
@@ -219,6 +279,8 @@ void Bfhrf::build(std::span<const phylo::Tree> reference) {
     for (const auto& t : reference) {
       add_tree(t, *store_, scratch);
     }
+  } else if (sharded_store_ != nullptr) {
+    build_span_sharded(reference);
   } else {
     // Per-worker private stores; pairwise-merged (deterministic counts).
     std::vector<std::unique_ptr<FrequencyStore>> partials;
@@ -237,6 +299,141 @@ void Bfhrf::build(std::span<const phylo::Tree> reference) {
   reference_trees_ += reference.size();
   g_build_trees.inc(reference.size());
   publish_store_metrics();
+}
+
+void Bfhrf::build_span_sharded(std::span<const phylo::Tree> reference) {
+  // Phase A — routing. Each rank owns buckets[rank][shard]: a contiguous
+  // key arena of the splits it routed to that shard. Ranks never share a
+  // bucket, so the phase is lock-free and allocation stays rank-local
+  // (first-touch places a rank's staging pages on its own node).
+  const std::size_t ranks = opts_.threads;
+  const std::size_t shards = sharded_store_->shard_count();
+  std::vector<std::vector<std::vector<std::uint64_t>>> buckets(
+      ranks, std::vector<std::vector<std::uint64_t>>(shards));
+  std::vector<WorkerScratch> scratch(ranks);
+  parallel::parallel_for_ranked(
+      0, reference.size(), opts_.threads,
+      [&](std::size_t rank, std::size_t i) {
+        route_tree(reference[i], scratch[rank], buckets[rank]);
+      });
+  // Phase B — per-shard insertion, one lane per contiguous shard range.
+  insert_buckets(buckets);
+}
+
+void Bfhrf::route_tree(
+    const phylo::Tree& tree, WorkerScratch& scratch,
+    std::vector<std::vector<std::uint64_t>>& buckets) const {
+  if (!tree.taxa() || tree.taxa()->size() != n_bits_) {
+    throw InvalidArgument("Bfhrf: tree taxon universe width mismatch");
+  }
+  // Sharding is classic-RF only (every split kept at unit weight), so
+  // routing needs neither the variant filter nor sorted arenas.
+  const phylo::BipartitionOptions bip_opts{.include_trivial =
+                                               opts_.include_trivial};
+  phylo::BipartitionSet local;
+  const phylo::BipartitionSet& bips =
+      opts_.reuse_scratch
+          ? scratch.extractor.extract(tree, bip_opts)
+          : (local = phylo::extract_bipartitions(tree, bip_opts));
+  const std::size_t wp = util::words_for_bits(n_bits_);
+  const std::uint32_t bits = sharded_store_->shard_bits();
+  const auto arena = bips.arena_view();
+  const std::size_t n = bips.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint64_t* key = arena.data() + k * wp;
+    const std::uint64_t fp = util::hash_words({key, wp});
+    auto& bucket = buckets[shard_of(fp, bits)];
+    bucket.insert(bucket.end(), key, key + wp);
+  }
+}
+
+void Bfhrf::insert_lane(
+    std::size_t lane, std::size_t lanes,
+    std::vector<std::vector<std::vector<std::uint64_t>>>& buckets) {
+  maybe_pin_build_thread(lane);
+  const std::size_t shards = sharded_store_->shard_count();
+  const std::size_t wp = util::words_for_bits(n_bits_);
+  // Chunked add_many: add_many pre-sizes its table from the batch length,
+  // so feeding a whole duplicate-heavy bucket at once would reserve for
+  // keys that all collapse onto existing slots. 4096 keys amortizes the
+  // pipeline ramp while keeping the over-reserve bounded.
+  constexpr std::size_t kChunkKeys = 4096;
+  const std::size_t begin = lane * shards / lanes;
+  const std::size_t end = (lane + 1) * shards / lanes;
+  std::uint64_t lane_keys = 0;
+  std::uint64_t lane_chunks = 0;
+  for (std::size_t s = begin; s < end; ++s) {
+    FrequencyHash& shard = sharded_store_->shard(s);
+    for (auto& rank_buckets : buckets) {
+      std::vector<std::uint64_t>& bucket = rank_buckets[s];
+      const std::size_t n = bucket.size() / wp;
+      for (std::size_t off = 0; off < n; off += kChunkKeys) {
+        const std::size_t take = std::min(kChunkKeys, n - off);
+        // The shard's bulk pages fault in here — on the lane that owns the
+        // shard (first-touch NUMA placement when lanes are pinned).
+        shard.add_many(bucket.data() + off * wp, take, nullptr);
+        ++lane_chunks;
+      }
+      lane_keys += n;
+      // Release routing storage as it drains; peak memory is one shard
+      // range, not the whole key stream.
+      bucket.clear();
+      bucket.shrink_to_fit();
+    }
+  }
+  g_shard_keys.inc(lane_keys);
+  g_shard_chunks.inc(lane_chunks);
+}
+
+void Bfhrf::insert_buckets(
+    std::vector<std::vector<std::vector<std::uint64_t>>>& buckets) {
+  const std::size_t shards = sharded_store_->shard_count();
+  const std::size_t lanes =
+      std::max<std::size_t>(1, std::min(opts_.threads, shards));
+  if (lanes == 1) {
+    insert_lane(0, 1, buckets);
+    return;
+  }
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(lanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      workers.emplace_back([&, lane] {
+        const obs::ScopedThreadSink sink_flush;
+        try {
+          insert_lane(lane, lanes, buckets);
+        } catch (...) {
+          const std::lock_guard lock(err_mu);
+          if (!first_error) {
+            first_error = std::current_exception();
+          }
+        }
+      });
+    }
+    // workers join here; lanes own disjoint shard ranges, so a throwing
+    // lane cannot corrupt another lane's shards.
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+void Bfhrf::maybe_pin_build_thread(std::size_t lane) const {
+#if defined(__linux__)
+  if (!opts_.pin_build_threads) {
+    return;
+  }
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(lane % hw), &set);
+  // Best-effort: under a restricted cpuset the scheduler stays in charge.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)lane;
+#endif
 }
 
 void Bfhrf::build(TreeSource& reference) {
@@ -264,6 +461,43 @@ std::size_t Bfhrf::pipeline_workers() const noexcept {
 void Bfhrf::build_stream_pipelined(TreeSource& reference) {
   const std::size_t workers = pipeline_workers();
   const std::size_t lanes = std::max<std::size_t>(1, workers);
+
+  if (sharded_store_ != nullptr && opts_.threads > 1) {
+    // Sharded streaming build: consumers route keys into per-rank buckets
+    // while the producer keeps parsing; then the pipeline's drain barrier
+    // turns the same worker threads into insert lanes over disjoint shard
+    // ranges. No partials, no merge phase.
+    const std::size_t shards = sharded_store_->shard_count();
+    std::vector<std::vector<std::vector<std::uint64_t>>> buckets(
+        lanes, std::vector<std::vector<std::uint64_t>>(shards));
+    std::vector<WorkerScratch> scratch(lanes);
+    const std::size_t insert_lanes =
+        std::max<std::size_t>(1, std::min(lanes, shards));
+    std::size_t seen = 0;
+    parallel::pipeline_run<phylo::Tree>(
+        workers, queue_capacity(),
+        [&](const parallel::PipelineEmit<phylo::Tree>& emit) {
+          phylo::Tree t;
+          while (reference.next(t)) {
+            ++seen;
+            if (!emit(std::move(t))) {
+              break;  // aborted; the failure rethrows after join
+            }
+          }
+        },
+        [&](std::size_t rank, phylo::Tree& t) {
+          route_tree(t, scratch[rank], buckets[rank]);
+        },
+        [&](std::size_t lane) {
+          if (lane < insert_lanes) {
+            insert_lane(lane, insert_lanes, buckets);
+          }
+        });
+    reference_trees_ += seen;
+    g_build_trees.inc(seen);
+    publish_store_metrics();
+    return;
+  }
 
   std::vector<std::unique_ptr<FrequencyStore>> partials;
   std::vector<WorkerScratch> scratch(lanes);
@@ -378,10 +612,10 @@ double Bfhrf::query_bipartitions(const phylo::BipartitionSet& bips,
     throw InvalidArgument("Bfhrf::query before build");
   }
   const auto r = static_cast<double>(reference_trees_);
-  const FrequencyHash& store = *fast_store_;
-  const std::size_t wp = store.words_per_key();
+  const BfhIndexView& view = index_view_;
+  const std::size_t wp = util::words_for_bits(n_bits_);
 
-  double rf_left = store.total_weight();  // sumBFHR
+  double rf_left = store_->total_weight();  // sumBFHR
   double rf_right = 0.0;
   double query_weight_sum = 0.0;
   std::size_t kept = 0;
@@ -392,8 +626,8 @@ double Bfhrf::query_bipartitions(const phylo::BipartitionSet& bips,
     // rearranged accumulation is bit-identical to the per-split loop.
     kept = bips.size();
     scratch.freqs.resize(kept);
-    store.frequency_many(bips.arena_view().data(), kept,
-                         scratch.freqs.data());
+    view.frequency_many(bips.arena_view().data(), kept,
+                        scratch.freqs.data());
     double sum_freq = 0.0;
     for (std::size_t i = 0; i < kept; ++i) {
       sum_freq += static_cast<double>(scratch.freqs[i]);
@@ -419,8 +653,8 @@ double Bfhrf::query_bipartitions(const phylo::BipartitionSet& bips,
     });
     kept = scratch.kept_weights.size();
     scratch.freqs.resize(kept);
-    store.frequency_many(scratch.kept_keys.data(), kept,
-                         scratch.freqs.data());
+    view.frequency_many(scratch.kept_keys.data(), kept,
+                        scratch.freqs.data());
     for (std::size_t i = 0; i < kept; ++i) {
       const double w = scratch.kept_weights[i];
       const double freq = static_cast<double>(scratch.freqs[i]);
@@ -438,7 +672,7 @@ double Bfhrf::query_bipartitions(const phylo::BipartitionSet& bips,
   }
 
   const double avg = (rf_left + rf_right) / r;
-  const double max_avg = (store.total_weight() / r) + query_weight_sum;
+  const double max_avg = (store_->total_weight() / r) + query_weight_sum;
   return apply_norm(avg, max_avg, opts_.norm);
 }
 
@@ -564,7 +798,42 @@ std::vector<double> Bfhrf::query_stream_barrier(TreeSource& queries) const {
   return out;
 }
 
-void Bfhrf::publish_store_metrics() const {
+void Bfhrf::refresh_index_view() {
+  if (fast_store_ != nullptr) {
+    index_view_ = BfhIndexView(*fast_store_);
+    return;
+  }
+  if (sharded_store_ != nullptr) {
+    index_view_ = BfhIndexView(*sharded_store_);
+    return;
+  }
+  if (const auto* mapped =
+          dynamic_cast<const MappedFrequencyStore*>(store_.get());
+      mapped != nullptr && mapped->kind() == MappedStoreKind::Raw) {
+    index_view_ = mapped->index_view();
+    return;
+  }
+  index_view_ = BfhIndexView{};  // compressed: legacy virtual query loop
+}
+
+void Bfhrf::adopt_store(std::unique_ptr<FrequencyStore> store,
+                        std::size_t reference_trees) {
+  store_ = std::move(store);
+  fast_store_ = nullptr;
+  sharded_store_ = nullptr;
+  if (!opts_.compressed_keys) {
+    if (auto* sharded = dynamic_cast<ShardedFrequencyHash*>(store_.get())) {
+      sharded_store_ = sharded;
+    } else if (auto* hash = dynamic_cast<FrequencyHash*>(store_.get())) {
+      fast_store_ = hash;
+    }
+  }
+  reference_trees_ = reference_trees;
+  publish_store_metrics();
+}
+
+void Bfhrf::publish_store_metrics() {
+  refresh_index_view();
   g_unique.set(static_cast<double>(store_->unique_count()));
   g_resident.set(static_cast<double>(store_->memory_bytes()));
   if (fast_store_ != nullptr) {
@@ -577,6 +846,10 @@ void Bfhrf::publish_store_metrics() const {
     g_mean_probe.set(stats.mean_groups);
     g_max_probe.set(static_cast<double>(stats.max_groups));
     g_tombstone_ratio.set(fast_store_->tombstone_ratio());
+  }
+  if (sharded_store_ != nullptr) {
+    g_shard_count.set(static_cast<double>(sharded_store_->shard_count()));
+    g_shard_skew.set(sharded_store_->shard_skew());
   }
 }
 
@@ -591,8 +864,18 @@ BfhrfStats Bfhrf::stats() const {
 
 // --- DynamicBfhIndex --------------------------------------------------------
 
+namespace {
+// The dynamic index's remove/replace paths mutate one concrete
+// FrequencyHash; force the single-table store regardless of the caller's
+// shard request.
+BfhrfOptions dynamic_opts(BfhrfOptions o) {
+  o.shards = 1;
+  return o;
+}
+}  // namespace
+
 DynamicBfhIndex::DynamicBfhIndex(std::size_t n_bits, BfhrfOptions opts)
-    : engine_(n_bits, opts) {}
+    : engine_(n_bits, dynamic_opts(std::move(opts))) {}
 
 DynamicBfhIndex::Entry DynamicBfhIndex::extract_entry(
     const phylo::Tree& tree) {

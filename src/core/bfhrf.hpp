@@ -26,11 +26,13 @@
 #include <iosfwd>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/frequency_hash.hpp"
 #include "core/frequency_store.hpp"
 #include "core/rf.hpp"
+#include "core/sharded_hash.hpp"
 #include "core/tree_source.hpp"
 #include "core/variants.hpp"
 #include "phylo/bipartition.hpp"
@@ -101,6 +103,29 @@ struct BfhrfOptions {
   /// on query — when the store is a raw FrequencyHash. Off reproduces the
   /// legacy virtual per-split loops (ablation baseline).
   bool batched_hash = true;
+
+  /// Frequency-store shard count (rounded up to a power of two, capped at
+  /// 64). 0 = auto: min(threads, hardware concurrency), so multi-threaded
+  /// builds on multi-core hosts shard by default; 1 disables sharding
+  /// explicitly. Sharding splits the store into per-worker-owned
+  /// FrequencyHash shards routed by the top fingerprint bits
+  /// (core/sharded_hash.hpp): parallel builds write disjoint shards with
+  /// no locks and NO MERGE PHASE — each unique key is inserted exactly
+  /// once instead of once per worker partial plus once per merge round.
+  /// Classic-RF results are bit-identical to the single-table engine.
+  /// Only the raw-key classic path shards (weighted variants need a
+  /// deterministic float accumulation order; compressed stores have no
+  /// sharded form) — requesting shards > 1 with either throws
+  /// InvalidArgument.
+  std::size_t shards = 0;
+
+  /// Pin each sharded-build insert lane to a CPU (Linux only; no-op
+  /// elsewhere). With first-touch allocation a shard's bulk pages are
+  /// faulted by the lane that fills it; pinning keeps that lane — and so
+  /// the shard's pages — on a stable core/node for the NUMA-local case.
+  /// Off by default: the scheduler usually does fine, and pinning hurts
+  /// when the process shares the machine.
+  bool pin_build_threads = false;
 };
 
 /// Build/query statistics surfaced to the bench harness.
@@ -114,6 +139,7 @@ struct BfhrfStats {
 class Bfhrf {
  public:
   friend Bfhrf load_bfhrf(std::istream& in, BfhrfOptions opts);
+  friend Bfhrf load_bfhrf_mapped(const std::string& path, BfhrfOptions opts);
   friend class DynamicBfhIndex;
 
   /// `n_bits` is the taxon-universe width (TaxonSet::size()); all trees fed
@@ -181,6 +207,35 @@ class Bfhrf {
   [[nodiscard]] double query_one(const phylo::Tree& tree,
                                  WorkerScratch& scratch) const;
 
+  /// Sharded build drivers (engaged when the store is sharded): phase A
+  /// routes every tree's keys into per-rank per-shard buckets (parallel,
+  /// contention-free — ranks own their buckets); phase B assigns each
+  /// insert lane a contiguous shard range and feeds it every rank's bucket
+  /// for those shards through chunked add_many calls. No partials, no
+  /// merge: each key is inserted exactly once.
+  void build_span_sharded(std::span<const phylo::Tree> reference);
+  void route_tree(const phylo::Tree& tree, WorkerScratch& scratch,
+                  std::vector<std::vector<std::uint64_t>>& buckets) const;
+  void insert_lane(std::size_t lane, std::size_t lanes,
+                   std::vector<std::vector<std::vector<std::uint64_t>>>&
+                       buckets);
+  void insert_buckets(
+      std::vector<std::vector<std::vector<std::uint64_t>>>& buckets);
+  void maybe_pin_build_thread(std::size_t lane) const;
+
+  /// Shard count the options resolve to (1 = unsharded single table).
+  [[nodiscard]] std::size_t effective_shards() const;
+
+  /// Rebuild the cached query view over the current store (must run after
+  /// every store mutation batch — table growth reallocates the memory the
+  /// view points into). publish_store_metrics() calls this, and every
+  /// mutation path ends with publish_store_metrics().
+  void refresh_index_view();
+
+  /// Replace the store with a deserialized or mapped one (load paths).
+  void adopt_store(std::unique_ptr<FrequencyStore> store,
+                   std::size_t reference_trees);
+
   /// Streaming phase-1/2 drivers per StreamingMode.
   void build_stream_pipelined(TreeSource& reference);
   void build_stream_barrier(TreeSource& reference);
@@ -201,16 +256,18 @@ class Bfhrf {
   /// chosen when threads <= 1 or the host has one hardware thread).
   [[nodiscard]] std::size_t pipeline_workers() const noexcept;
 
-  /// Publish post-build store shape (U, resident bytes) as obs gauges.
-  void publish_store_metrics() const;
+  /// Publish post-build store shape (U, resident bytes) as obs gauges and
+  /// refresh the cached query view (every mutation path ends here).
+  void publish_store_metrics();
 
   [[nodiscard]] const RfVariant& variant() const noexcept {
     return opts_.variant != nullptr ? *opts_.variant : classic_rf();
   }
 
-  /// True when queries should run the batched frequency_many path.
+  /// True when queries should run the batched frequency_many path (valid
+  /// for every raw-key store: single table, sharded, or mapped).
   [[nodiscard]] bool use_batched_query() const noexcept {
-    return opts_.batched_hash && fast_store_ != nullptr;
+    return opts_.batched_hash && index_view_.valid();
   }
 
   /// True when builds should insert through FrequencyHash::add_many
@@ -222,9 +279,16 @@ class Bfhrf {
   std::size_t n_bits_;
   BfhrfOptions opts_;
   std::unique_ptr<FrequencyStore> store_;
-  /// store_ downcast when it is a raw FrequencyHash (devirtualized query
-  /// path); nullptr for compressed stores.
+  /// store_ downcast when it is a raw single-table FrequencyHash
+  /// (devirtualized batched add path); nullptr otherwise.
   const FrequencyHash* fast_store_ = nullptr;
+  /// store_ downcast when it is sharded; nullptr otherwise.
+  ShardedFrequencyHash* sharded_store_ = nullptr;
+  /// Cached routing view for the batched query path — valid for every
+  /// raw-key store shape (single, sharded, mapped); invalid (falls back to
+  /// the virtual per-split loop) for compressed stores. Refreshed by
+  /// publish_store_metrics() at the end of every mutation path.
+  BfhIndexView index_view_;
   std::size_t reference_trees_ = 0;
 };
 
@@ -263,7 +327,21 @@ class DynamicBfhIndex {
     std::size_t keys_shared = 0;
   };
 
+  /// Note: the dynamic index always runs a single-shard store (opts.shards
+  /// is overridden to 1) — incremental removal needs the one concrete
+  /// FrequencyHash the tombstoning remove paths mutate.
   explicit DynamicBfhIndex(std::size_t n_bits, BfhrfOptions opts = {});
+
+  /// Open a saved index file as a live dynamic index. A raw single-shard
+  /// MAPPED file takes the zero-parse fast path: the layout is mapped and
+  /// adopted verbatim into the mutable store (memcpy + tombstone recount —
+  /// no per-key re-probing); other formats/shapes replay their keys. The
+  /// baseline trees carry no per-tree key sets, so they cannot be
+  /// individually removed or replaced — only trees added afterwards can.
+  /// Runtime options (threads, norm, …) come from `opts`; store kind and
+  /// the trivial-split convention come from the file.
+  [[nodiscard]] static DynamicBfhIndex from_index_file(
+      const std::string& path, BfhrfOptions opts = {});
 
   /// Insert one tree; returns its id (stable for the index's lifetime).
   std::size_t add_tree(const phylo::Tree& tree);

@@ -186,6 +186,41 @@ void CompressedFrequencyHash::for_each_key(
   }
 }
 
+void CompressedFrequencyHash::adopt_layout(std::span<const std::uint8_t> ctrl,
+                                           std::span<const Slot> slots,
+                                           std::span<const std::byte> arena_bytes,
+                                           std::size_t live_keys,
+                                           std::uint64_t total_count,
+                                           double total_weight) {
+  if (ctrl.size() != slots.size() || ctrl.size() < util::kGroupWidth) {
+    throw InvalidArgument(
+        "CompressedFrequencyHash::adopt_layout: ctrl/slot arrays must be "
+        "the same power-of-two length");
+  }
+  dir_.assign(ctrl);
+  slots_.assign(slots.begin(), slots.end());
+  arena_.assign(arena_bytes.begin(), arena_bytes.end());
+  size_ = live_keys;
+  total_ = total_count;
+  total_weight_ = total_weight;
+}
+
+std::uint32_t CompressedHashView::frequency(util::ConstWordSpan key) const {
+  BFHRF_ASSERT(key.size() == util::words_for_bits(codec_.n_bits()));
+  auto& scratch = tl_scratch();
+  scratch.clear();
+  codec_.encode(key, scratch);
+  const std::uint64_t fp = util::hash_words(key);
+  const auto r = dir_.find(fp, [&](std::size_t idx) {
+    const Slot& s = slots_[idx];
+    return s.fingerprint == fp && s.length == scratch.size() &&
+           std::memcmp(arena_ + s.offset, scratch.data(), scratch.size()) ==
+               0;
+  });
+  record_probe(r.groups_probed);
+  return slots_[r.index].count;
+}
+
 void CompressedFrequencyHash::ensure_capacity(std::size_t incoming) {
   // Same policy as FrequencyHash::ensure_capacity: occupancy counts
   // tombstones, the target size counts live keys only (the rehash drops

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/frequency_store.hpp"
@@ -22,6 +23,21 @@ namespace bfhrf::core {
 
 class CompressedFrequencyHash final : public FrequencyStore {
  public:
+  /// One table slot. Public because the slot array is persisted verbatim by
+  /// the mapped index format (core/index_file) and addressed directly by
+  /// CompressedHashView over mapped memory. 24 bytes including 4 bytes of
+  /// tail padding — the index writer zero-fills records before assigning
+  /// fields so persisted padding is deterministic.
+  struct Slot {
+    std::uint64_t fingerprint = 0;  ///< kept for rehash (encodings are not
+                                    ///< re-hashed to recover it)
+    std::uint32_t offset = 0;  ///< byte offset of the encoding in arena_
+    std::uint32_t length = 0;  ///< encoding length in bytes
+    std::uint32_t count = 0;   ///< 0 marks an empty slot
+  };
+  static_assert(sizeof(Slot) == 24 && alignof(Slot) == 8,
+                "Slot layout is part of the on-disk index format");
+
   explicit CompressedFrequencyHash(std::size_t n_bits,
                                    std::size_t expected_unique = 0);
 
@@ -73,15 +89,32 @@ class CompressedFrequencyHash final : public FrequencyStore {
                             static_cast<double>(size_);
   }
 
- private:
-  struct Slot {
-    std::uint64_t fingerprint = 0;  ///< kept for rehash (encodings are not
-                                    ///< re-hashed to recover it)
-    std::uint32_t offset = 0;  ///< byte offset of the encoding in arena_
-    std::uint32_t length = 0;  ///< encoding length in bytes
-    std::uint32_t count = 0;   ///< 0 marks an empty slot
-  };
+  /// The control-byte directory (index-file writer / layout oracles).
+  [[nodiscard]] const util::GroupDirectory& directory() const noexcept {
+    return dir_;
+  }
 
+  /// The raw slot array (index-file writer; length is the slot capacity).
+  [[nodiscard]] std::span<const Slot> slots() const noexcept {
+    return {slots_.data(), slots_.size()};
+  }
+
+  /// The raw encoding arena (index-file writer). May contain dead
+  /// encodings while tombstones exist; compact() first to persist densely.
+  [[nodiscard]] std::span<const std::byte> arena() const noexcept {
+    return {arena_.data(), arena_.size()};
+  }
+
+  /// Adopt a verbatim (ctrl, slots, arena) image previously produced by a
+  /// CompressedFrequencyHash over the same universe — the deserialization
+  /// warm start (see FrequencyHash::adopt_layout).
+  void adopt_layout(std::span<const std::uint8_t> ctrl,
+                    std::span<const Slot> slots,
+                    std::span<const std::byte> arena_bytes,
+                    std::size_t live_keys, std::uint64_t total_count,
+                    double total_weight);
+
+ private:
   /// Group-probed find for the slot matching (`fp`, encoded bytes); see
   /// util/group_table.hpp for the control-byte scheme shared with
   /// FrequencyHash.
@@ -100,6 +133,37 @@ class CompressedFrequencyHash final : public FrequencyStore {
   util::GroupDirectory dir_;
   std::vector<Slot> slots_;
   std::vector<std::byte> arena_;
+};
+
+/// Non-owning read-only view over a CompressedFrequencyHash layout — the
+/// mapped-index query path (core/index_file). frequency() encodes the
+/// probe key into thread-local scratch and compares encoded bytes against
+/// the (possibly mmapped) arena, exactly like the owning store's read
+/// path, so mapped and in-memory lookups are bit-identical. All pointed-to
+/// memory must outlive the view; the ctrl section must be 16-byte aligned
+/// and the slot section 8-byte aligned.
+class CompressedHashView {
+ public:
+  using Slot = CompressedFrequencyHash::Slot;
+
+  CompressedHashView() = default;
+  CompressedHashView(std::size_t n_bits, util::GroupDirectoryView dir,
+                     const Slot* slots, const std::byte* arena) noexcept
+      : codec_(n_bits), dir_(dir), slots_(slots), arena_(arena) {}
+
+  /// View over a live store (invalidated by any mutation of it).
+  explicit CompressedHashView(const CompressedFrequencyHash& h) noexcept
+      : CompressedHashView(h.n_bits(), h.directory().view(),
+                           h.slots().data(), h.arena().data()) {}
+
+  /// Frequency of one bipartition (0 if absent).
+  [[nodiscard]] std::uint32_t frequency(util::ConstWordSpan key) const;
+
+ private:
+  SparseKeyCodec codec_{1};
+  util::GroupDirectoryView dir_;
+  const Slot* slots_ = nullptr;
+  const std::byte* arena_ = nullptr;
 };
 
 }  // namespace bfhrf::core

@@ -133,10 +133,43 @@ std::uint32_t FrequencyHash::frequency(util::ConstWordSpan key) const {
   return slots_[r.index].count;
 }
 
+std::uint32_t FrequencyHashView::frequency(util::ConstWordSpan key) const {
+  BFHRF_ASSERT(key.size() == words_per_);
+  const std::uint64_t fp = util::hash_words(key);
+  const auto r = dir_.find(fp, [&](std::size_t idx) {
+    return util::equal_words_fold(
+        keys_ + static_cast<std::size_t>(slots_[idx].key_index) * words_per_,
+        key.data(), words_per_);
+  });
+  record_probe(r.groups_probed);
+  return slots_[r.index].count;
+}
+
+std::uint32_t FrequencyHashView::count_for(std::uint64_t fp,
+                                           const std::uint64_t* key,
+                                           std::uint64_t& probe_groups) const {
+  const std::size_t wp = words_per_;
+  util::GroupDirectoryView::FindResult r;
+  if (wp == 1) {
+    const std::uint64_t k = *key;
+    r = dir_.find(fp, [&](std::size_t idx) {
+      return keys_[slots_[idx].key_index] == k;
+    });
+  } else {
+    r = dir_.find(fp, [&](std::size_t idx) {
+      return util::equal_words_fold(
+          keys_ + static_cast<std::size_t>(slots_[idx].key_index) * wp, key,
+          wp);
+    });
+  }
+  probe_groups += r.groups_probed;
+  return slots_[r.index].count;
+}
+
 template <typename Group>
-void FrequencyHash::frequency_many_impl(const std::uint64_t* keys,
-                                        std::size_t count,
-                                        std::uint32_t* out) const {
+void FrequencyHashView::frequency_many_impl(const std::uint64_t* keys,
+                                            std::size_t count,
+                                            std::uint32_t* out) const {
   // Four-stage prefetch pipeline, one stage per dependent memory level.
   // Stage A fingerprints key i+kCtrlAhead and prefetches its home CONTROL
   // group (one line — slot lines are not touched blindly). Stage B, at
@@ -178,7 +211,7 @@ void FrequencyHash::frequency_many_impl(const std::uint64_t* keys,
       cand = static_cast<std::uint32_t>(
           dir_.home_group(fp) * util::kGroupWidth +
           static_cast<std::size_t>(std::countr_zero(hint.match_mask)));
-      __builtin_prefetch(slots_.data() + cand);
+      __builtin_prefetch(slots_ + cand);
     }
     cands[j & (kRing - 1)] = cand;
   };
@@ -186,7 +219,7 @@ void FrequencyHash::frequency_many_impl(const std::uint64_t* keys,
     const std::uint32_t cand = cands[j & (kRing - 1)];
     if (cand != kNoCand) {
       __builtin_prefetch(
-          keys_.data() + static_cast<std::size_t>(slots_[cand].key_index) * wp);
+          keys_ + static_cast<std::size_t>(slots_[cand].key_index) * wp);
     }
   };
   const auto warm = [count](std::size_t ahead) {
@@ -223,9 +256,8 @@ void FrequencyHash::frequency_many_impl(const std::uint64_t* keys,
       const std::uint64_t* k = keys + i * wp;
       r = dir_.find_hinted<Group>(fp, hint, [&](std::size_t idx) {
         return util::equal_words_fold(
-            keys_.data() +
-                static_cast<std::size_t>(slots_[idx].key_index) * wp,
-            k, wp);
+            keys_ + static_cast<std::size_t>(slots_[idx].key_index) * wp, k,
+            wp);
       });
     }
     probe_groups += r.groups_probed;
@@ -237,15 +269,21 @@ void FrequencyHash::frequency_many_impl(const std::uint64_t* keys,
   }
 }
 
-void FrequencyHash::frequency_many(const std::uint64_t* keys,
-                                   std::size_t count,
-                                   std::uint32_t* out) const {
+void FrequencyHashView::frequency_many(const std::uint64_t* keys,
+                                       std::size_t count,
+                                       std::uint32_t* out) const {
   // Hoist the dispatch-level check out of the per-key loop.
   if (util::simd::vectorized()) {
     frequency_many_impl<util::simd::Group16Vec>(keys, count, out);
   } else {
     frequency_many_impl<util::simd::Group16Swar>(keys, count, out);
   }
+}
+
+void FrequencyHash::frequency_many(const std::uint64_t* keys,
+                                   std::size_t count,
+                                   std::uint32_t* out) const {
+  FrequencyHashView(*this).frequency_many(keys, count, out);
 }
 
 template <typename Group>
@@ -456,6 +494,26 @@ void FrequencyHash::merge_from(const FrequencyStore& other) {
     throw InvalidArgument("FrequencyHash::merge_from: incompatible store");
   }
   merge(*o);
+}
+
+void FrequencyHash::adopt_layout(std::span<const std::uint8_t> ctrl,
+                                 std::span<const Slot> slots,
+                                 std::span<const std::uint64_t> key_words,
+                                 std::size_t live_keys,
+                                 std::uint64_t total_count,
+                                 double total_weight) {
+  if (ctrl.size() != slots.size() || ctrl.size() < util::kGroupWidth ||
+      !std::has_single_bit(ctrl.size())) {
+    throw InvalidArgument(
+        "FrequencyHash::adopt_layout: ctrl/slot arrays must be the same "
+        "power-of-two length");
+  }
+  dir_.assign(ctrl);
+  slots_.assign(slots.begin(), slots.end());
+  keys_.assign(key_words.begin(), key_words.end());
+  size_ = live_keys;
+  total_ = total_count;
+  total_weight_ = total_weight;
 }
 
 void FrequencyHash::ensure_capacity(std::size_t incoming) {

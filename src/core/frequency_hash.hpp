@@ -33,6 +33,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/frequency_store.hpp"
@@ -45,6 +46,17 @@ namespace bfhrf::core {
 
 class FrequencyHash final : public FrequencyStore {
  public:
+  /// One table slot: an index into the key arena plus the key's frequency.
+  /// Public (and exactly 8 bytes with no padding) because the slot array is
+  /// persisted verbatim by the mapped index format (core/index_file) and
+  /// addressed directly by FrequencyHashView over mapped memory.
+  struct Slot {
+    std::uint32_t key_index = 0;  ///< key lives at keys[key_index*words_per]
+    std::uint32_t count = 0;      ///< 0 marks an empty slot
+  };
+  static_assert(sizeof(Slot) == 8 && alignof(Slot) == 4,
+                "Slot layout is part of the on-disk index format");
+
   /// `n_bits` = taxon universe width; `expected_unique` pre-sizes the table.
   explicit FrequencyHash(std::size_t n_bits, std::size_t expected_unique = 0);
 
@@ -193,6 +205,31 @@ class FrequencyHash final : public FrequencyStore {
     return dir_;
   }
 
+  /// The raw slot array (index-file writer; length == capacity_slots()).
+  [[nodiscard]] std::span<const Slot> slots() const noexcept {
+    return {slots_.data(), slots_.size()};
+  }
+
+  /// The raw key arena in words (index-file writer). Length can exceed
+  /// unique_count()*words_per_key() when tombstoned keys linger; compact()
+  /// first to persist a dense arena.
+  [[nodiscard]] std::span<const std::uint64_t> key_arena() const noexcept {
+    return {keys_.data(), keys_.size()};
+  }
+
+  /// Adopt a verbatim (ctrl, slots, keys) image previously produced by a
+  /// FrequencyHash over the same universe — the warm-start path of index
+  /// deserialization: O(bytes) copies instead of re-probing every key.
+  /// `ctrl` and `slots` must be the same power-of-two length; `live_keys`,
+  /// `total_count` and `total_weight` restore the summary counters. The
+  /// image is trusted to be self-consistent (it came from this codebase's
+  /// writer, which validated it on save).
+  void adopt_layout(std::span<const std::uint8_t> ctrl,
+                    std::span<const Slot> slots,
+                    std::span<const std::uint64_t> key_words,
+                    std::size_t live_keys, std::uint64_t total_count,
+                    double total_weight);
+
   /// Probe-length distribution over the RESIDENT keys: how many control
   /// groups a successful lookup of each stored key walks (1 = found in its
   /// home group). Computed by an O(U) scan on demand — the read path keeps
@@ -204,11 +241,6 @@ class FrequencyHash final : public FrequencyStore {
   [[nodiscard]] ProbeStats probe_stats() const;
 
  private:
-  struct Slot {
-    std::uint32_t key_index = 0;  ///< key lives at keys_[key_index*words_per_]
-    std::uint32_t count = 0;      ///< 0 marks an empty slot
-  };
-
   [[nodiscard]] util::ConstWordSpan key_at(std::uint32_t index) const noexcept {
     return {keys_.data() + static_cast<std::size_t>(index) * words_per_,
             words_per_};
@@ -220,9 +252,6 @@ class FrequencyHash final : public FrequencyStore {
   [[nodiscard]] util::GroupDirectory::FindResult find_key(
       util::ConstWordSpan key, std::uint64_t fp) const noexcept;
 
-  template <typename Group>
-  void frequency_many_impl(const std::uint64_t* keys, std::size_t count,
-                           std::uint32_t* out) const;
   template <typename Group>
   void add_many_impl(const std::uint64_t* keys, std::size_t count,
                      const double* weights);
@@ -257,6 +286,65 @@ class FrequencyHash final : public FrequencyStore {
   util::GroupDirectory dir_;               ///< control bytes (7-bit tags)
   util::CacheAlignedVector<Slot> slots_;   ///< power-of-two sized
   std::vector<std::uint64_t> keys_;        ///< arena of full keys
+};
+
+/// Non-owning read-only view over a FrequencyHash layout: the control
+/// directory, slot array, and key arena as raw pointers. The batched
+/// lookup pipeline lives HERE — FrequencyHash::frequency_many delegates to
+/// its view, a ShardedFrequencyHash exposes one view per shard, and the
+/// mapped index (core/index_file) builds views straight over mmapped file
+/// sections. One probe implementation, three backings, bit-identical
+/// results. All pointed-to memory must outlive the view and must satisfy
+/// the directory's 16-byte alignment requirement.
+class FrequencyHashView {
+ public:
+  using Slot = FrequencyHash::Slot;
+
+  FrequencyHashView() = default;
+  FrequencyHashView(util::GroupDirectoryView dir, const Slot* slots,
+                    const std::uint64_t* keys, std::size_t words_per) noexcept
+      : dir_(dir), slots_(slots), keys_(keys), words_per_(words_per) {}
+
+  /// View over a live FrequencyHash (invalidated by any mutation of it).
+  explicit FrequencyHashView(const FrequencyHash& h) noexcept
+      : FrequencyHashView(h.directory().view(), h.slots().data(),
+                          h.key_arena().data(), h.words_per_key()) {}
+
+  [[nodiscard]] util::GroupDirectoryView directory() const noexcept {
+    return dir_;
+  }
+  [[nodiscard]] std::size_t words_per_key() const noexcept {
+    return words_per_;
+  }
+
+  /// Frequency of one bipartition (0 if absent).
+  [[nodiscard]] std::uint32_t frequency(util::ConstWordSpan key) const;
+
+  /// Batched lookup over a contiguous arena of `count` keys — the 4-stage
+  /// software-prefetch pipeline documented at
+  /// FrequencyHash::frequency_many.
+  void frequency_many(const std::uint64_t* keys, std::size_t count,
+                      std::uint32_t* out) const;
+
+  /// Prefetch the home control group of `fp` (multi-shard routing loops).
+  void prefetch(std::uint64_t fp) const noexcept { dir_.prefetch(fp); }
+
+  /// Count stored for `key` under its precomputed fingerprint (0 if
+  /// absent); accumulates control groups probed into `probe_groups` for
+  /// the caller's one-flush-per-batch obs accounting.
+  [[nodiscard]] std::uint32_t count_for(std::uint64_t fp,
+                                        const std::uint64_t* key,
+                                        std::uint64_t& probe_groups) const;
+
+ private:
+  template <typename Group>
+  void frequency_many_impl(const std::uint64_t* keys, std::size_t count,
+                           std::uint32_t* out) const;
+
+  util::GroupDirectoryView dir_;
+  const Slot* slots_ = nullptr;
+  const std::uint64_t* keys_ = nullptr;
+  std::size_t words_per_ = 0;
 };
 
 }  // namespace bfhrf::core

@@ -1,0 +1,500 @@
+#include "core/index_file.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define BFHRF_HAVE_MMAP 1
+#else
+#define BFHRF_HAVE_MMAP 0
+#endif
+
+#include "obs/metrics.hpp"
+#include "util/bitset.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+const obs::Counter g_writes = obs::counter("bfhrf.index.file.writes");
+const obs::Counter g_save_compactions =
+    obs::counter("bfhrf.index.file.save_compactions");
+const obs::Counter g_mmap_loads = obs::counter("bfhrf.index.mmap.loads");
+const obs::Gauge g_mmap_bytes = obs::gauge("bfhrf.index.mmap.bytes");
+const obs::Histogram g_load_seconds =
+    obs::histogram("bfhrf.index.mmap.load_seconds");
+
+constexpr std::uint64_t align_up(std::uint64_t v) noexcept {
+  return (v + (kMappedSectionAlign - 1)) &
+         ~std::uint64_t{kMappedSectionAlign - 1};
+}
+
+void require(bool ok, const std::string& path, const char* what) {
+  if (!ok) {
+    throw ParseError("mapped index '" + path + "': " + what);
+  }
+}
+
+/// Position-tracking binary writer with zero-padding up to aligned offsets.
+class FileWriter {
+ public:
+  explicit FileWriter(const std::string& path)
+      : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+    if (!out_) {
+      throw Error("cannot open '" + path + "' for writing");
+    }
+  }
+
+  void write(const void* p, std::size_t n) {
+    out_.write(static_cast<const char*>(p),
+               static_cast<std::streamsize>(n));
+    pos_ += n;
+  }
+
+  void pad_to(std::uint64_t off) {
+    BFHRF_ASSERT(off >= pos_);
+    static constexpr char kZeros[kMappedSectionAlign] = {};
+    while (pos_ < off) {
+      const std::uint64_t n = std::min<std::uint64_t>(off - pos_,
+                                                      sizeof kZeros);
+      write(kZeros, static_cast<std::size_t>(n));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t pos() const noexcept { return pos_; }
+
+  void finish() {
+    out_.flush();
+    if (!out_) {
+      throw Error("write failed for '" + path_ + "'");
+    }
+  }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t pos_ = 0;
+};
+
+}  // namespace
+
+void write_index_file(const FrequencyStore& store, const IndexFileMeta& meta,
+                      const std::string& path) {
+  if (std::endian::native != std::endian::little) {
+    throw Error("the mapped index format is little-endian only");
+  }
+
+  // Resolve the concrete store: a list of raw shards, or one compressed
+  // table.
+  std::vector<const FrequencyHash*> raw;
+  const CompressedFrequencyHash* comp = nullptr;
+  if (const auto* sh = dynamic_cast<const ShardedFrequencyHash*>(&store)) {
+    raw.reserve(sh->shard_count());
+    for (std::size_t s = 0; s < sh->shard_count(); ++s) {
+      raw.push_back(&sh->shard(s));
+    }
+  } else if (const auto* f = dynamic_cast<const FrequencyHash*>(&store)) {
+    raw.push_back(f);
+  } else if (const auto* c =
+                 dynamic_cast<const CompressedFrequencyHash*>(&store)) {
+    comp = c;
+  } else {
+    throw InvalidArgument(
+        "write_index_file: unsupported store type (a mapped store's backing "
+        "file already is the index)");
+  }
+
+  // Never persist tombstones: compact a private copy of any shard carrying
+  // DELETED control bytes, so loaded indexes always start dense and the
+  // key arenas written below hold exactly the live keys.
+  std::vector<std::unique_ptr<FrequencyHash>> scrubbed;
+  for (const FrequencyHash*& p : raw) {
+    if (p->tombstone_count() != 0) {
+      auto copy = std::make_unique<FrequencyHash>(*p);
+      copy->compact();
+      p = copy.get();
+      scrubbed.push_back(std::move(copy));
+      g_save_compactions.inc();
+    }
+  }
+  std::unique_ptr<CompressedFrequencyHash> comp_scrubbed;
+  if (comp != nullptr && comp->tombstone_count() != 0) {
+    comp_scrubbed = std::make_unique<CompressedFrequencyHash>(*comp);
+    comp_scrubbed->compact();
+    comp = comp_scrubbed.get();
+    g_save_compactions.inc();
+  }
+
+  const std::size_t shard_count = comp != nullptr ? 1 : raw.size();
+  const std::size_t wp = util::words_for_bits(store.n_bits());
+  const std::size_t slot_size = comp != nullptr
+                                    ? sizeof(CompressedFrequencyHash::Slot)
+                                    : sizeof(FrequencyHash::Slot);
+
+  MappedHeader h{};
+  std::memcpy(h.magic, kMappedMagic, sizeof h.magic);
+  h.version = kMappedVersion;
+  h.store_kind = static_cast<std::uint32_t>(
+      comp != nullptr ? MappedStoreKind::Compressed : MappedStoreKind::Raw);
+  h.flags = meta.include_trivial ? kMappedFlagIncludeTrivial : 0;
+  h.shard_count = static_cast<std::uint32_t>(shard_count);
+  h.n_bits = store.n_bits();
+  h.words_per_key = wp;
+  h.reference_trees = meta.reference_trees;
+  h.unique_keys = store.unique_count();
+  h.total_count = store.total_count();
+  h.total_weight = store.total_weight();
+
+  std::vector<MappedShardRecord> records(shard_count);
+  std::uint64_t off =
+      sizeof(MappedHeader) + shard_count * sizeof(MappedShardRecord);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    MappedShardRecord& r = records[s];
+    if (comp != nullptr) {
+      r.slot_count = comp->slots().size();
+      r.key_bytes = comp->arena().size();
+      r.live_keys = comp->unique_count();
+      r.total_count = comp->total_count();
+      r.total_weight = comp->total_weight();
+    } else {
+      const FrequencyHash& fh = *raw[s];
+      // A compacted (or never-tombstoned) table's arena is dense: exactly
+      // one key per live slot.
+      BFHRF_ASSERT(fh.key_arena().size() == fh.unique_count() * wp);
+      r.slot_count = fh.capacity_slots();
+      r.key_bytes = fh.key_arena().size() * sizeof(std::uint64_t);
+      r.live_keys = fh.unique_count();
+      r.total_count = fh.total_count();
+      r.total_weight = fh.total_weight();
+    }
+    off = align_up(off);
+    r.ctrl_offset = off;
+    off += r.slot_count;
+    off = align_up(off);
+    r.slots_offset = off;
+    off += r.slot_count * slot_size;
+    off = align_up(off);
+    r.keys_offset = off;
+    off += r.key_bytes;
+  }
+  h.file_bytes = off;
+
+  FileWriter w(path);
+  w.write(&h, sizeof h);
+  w.write(records.data(), shard_count * sizeof(MappedShardRecord));
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const MappedShardRecord& r = records[s];
+    w.pad_to(r.ctrl_offset);
+    const std::span<const std::uint8_t> ctrl =
+        comp != nullptr ? comp->directory().ctrl_bytes()
+                        : raw[s]->directory().ctrl_bytes();
+    w.write(ctrl.data(), ctrl.size());
+    w.pad_to(r.slots_offset);
+    if (comp != nullptr) {
+      // The compressed slot has 4 bytes of tail padding; stage through a
+      // memset-zeroed buffer so persisted padding is deterministic.
+      const std::span<const CompressedFrequencyHash::Slot> slots =
+          comp->slots();
+      std::vector<CompressedFrequencyHash::Slot> staged(slots.size());
+      std::memset(staged.data(), 0, staged.size() * slot_size);
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        staged[i].fingerprint = slots[i].fingerprint;
+        staged[i].offset = slots[i].offset;
+        staged[i].length = slots[i].length;
+        staged[i].count = slots[i].count;
+      }
+      w.write(staged.data(), staged.size() * slot_size);
+    } else {
+      const std::span<const FrequencyHash::Slot> slots = raw[s]->slots();
+      w.write(slots.data(), slots.size() * slot_size);
+    }
+    w.pad_to(r.keys_offset);
+    if (comp != nullptr) {
+      const std::span<const std::byte> arena = comp->arena();
+      w.write(arena.data(), arena.size());
+    } else {
+      const std::span<const std::uint64_t> keys = raw[s]->key_arena();
+      w.write(keys.data(), keys.size() * sizeof(std::uint64_t));
+    }
+  }
+  BFHRF_ASSERT(w.pos() == h.file_bytes);
+  w.finish();
+  g_writes.inc();
+}
+
+MappedIndex::MappedIndex(const std::string& path) {
+#if BFHRF_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st{};
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+      void* p = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                       PROT_READ, MAP_PRIVATE, fd, 0);
+      if (p != MAP_FAILED) {
+        base_ = static_cast<const std::uint8_t*>(p);
+        size_ = static_cast<std::size_t>(st.st_size);
+        mmapped_ = true;
+      }
+    }
+    ::close(fd);
+  }
+#endif
+  if (base_ == nullptr) {
+    // Aligned-read fallback (no mmap, or the map failed): the cache-line
+    // aligned buffer satisfies the same 16-byte group-load requirement.
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      throw Error("cannot open index file '" + path + "'");
+    }
+    in.seekg(0, std::ios::end);
+    const std::streamoff len = in.tellg();
+    in.seekg(0, std::ios::beg);
+    fallback_.resize(len > 0 ? static_cast<std::size_t>(len) : 0);
+    if (!fallback_.empty()) {
+      in.read(reinterpret_cast<char*>(fallback_.data()),
+              static_cast<std::streamsize>(fallback_.size()));
+    }
+    if (!in) {
+      throw Error("failed to read index file '" + path + "'");
+    }
+    base_ = fallback_.data();
+    size_ = fallback_.size();
+  }
+  try {
+    validate(path);
+  } catch (...) {
+    release();
+    throw;
+  }
+  g_mmap_loads.inc();
+  if (mmapped_) {
+    g_mmap_bytes.set(static_cast<double>(size_));
+  }
+}
+
+void MappedIndex::validate(const std::string& path) const {
+  require(size_ >= sizeof(MappedHeader), path, "file shorter than header");
+  require(reinterpret_cast<std::uintptr_t>(base_) % util::kGroupWidth == 0,
+          path, "backing memory is not 16-byte aligned");
+  const MappedHeader& h = header();
+  require(std::memcmp(h.magic, kMappedMagic, sizeof kMappedMagic) == 0, path,
+          "bad magic (not a mapped BFHRF index)");
+  require(h.version == kMappedVersion, path, "unsupported format version");
+  require(h.store_kind <= 1, path, "unknown store kind");
+  require(h.shard_count >= 1 &&
+              std::has_single_bit(std::uint64_t{h.shard_count}),
+          path, "shard count must be a power of two");
+  require(h.store_kind ==
+                  static_cast<std::uint32_t>(MappedStoreKind::Raw) ||
+              h.shard_count == 1,
+          path, "compressed stores are single-shard");
+  require(h.file_bytes == size_, path, "truncated or oversized file");
+  require(h.n_bits >= 1 && h.n_bits <= (std::uint64_t{1} << 31), path,
+          "implausible taxon count");
+  require(h.words_per_key ==
+              util::words_for_bits(static_cast<std::size_t>(h.n_bits)),
+          path, "words_per_key does not match n_bits");
+  const std::uint64_t records_end =
+      sizeof(MappedHeader) +
+      std::uint64_t{h.shard_count} * sizeof(MappedShardRecord);
+  require(records_end <= size_, path, "shard records out of bounds");
+  const bool raw =
+      h.store_kind == static_cast<std::uint32_t>(MappedStoreKind::Raw);
+  const std::uint64_t slot_size = raw
+                                      ? sizeof(FrequencyHash::Slot)
+                                      : sizeof(CompressedFrequencyHash::Slot);
+  const auto in_bounds = [&](std::uint64_t off, std::uint64_t len) {
+    return off >= records_end && off <= size_ && len <= size_ - off;
+  };
+  std::uint64_t live = 0;
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < h.shard_count; ++s) {
+    const MappedShardRecord& r = shard(s);
+    require(r.slot_count >= util::kGroupWidth &&
+                std::has_single_bit(r.slot_count) && r.slot_count <= size_,
+            path, "bad shard slot count");
+    require(r.ctrl_offset % kMappedSectionAlign == 0 &&
+                r.slots_offset % kMappedSectionAlign == 0 &&
+                r.keys_offset % kMappedSectionAlign == 0,
+            path, "misaligned section offset");
+    require(in_bounds(r.ctrl_offset, r.slot_count), path,
+            "ctrl section out of bounds");
+    require(in_bounds(r.slots_offset, r.slot_count * slot_size), path,
+            "slot section out of bounds");
+    require(in_bounds(r.keys_offset, r.key_bytes), path,
+            "key section out of bounds");
+    require(r.live_keys <= r.slot_count, path,
+            "more live keys than slots");
+    if (raw) {
+      // A persisted arena is dense (the writer compacts): exactly
+      // live_keys keys of words_per_key words.
+      require(r.key_bytes % sizeof(std::uint64_t) == 0, path,
+              "raw key arena not word-sized");
+      const std::uint64_t words = r.key_bytes / sizeof(std::uint64_t);
+      require(h.words_per_key != 0 && words % h.words_per_key == 0 &&
+                  words / h.words_per_key == r.live_keys,
+              path, "raw key arena size does not match live keys");
+    }
+    live += r.live_keys;
+    total += r.total_count;
+  }
+  require(live == h.unique_keys, path,
+          "per-shard live keys do not sum to the header total");
+  require(total == h.total_count, path,
+          "per-shard frequencies do not sum to the header total");
+}
+
+void MappedIndex::release() noexcept {
+#if BFHRF_HAVE_MMAP
+  if (mmapped_ && base_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(base_), size_);
+  }
+#endif
+  base_ = nullptr;
+  size_ = 0;
+  mmapped_ = false;
+  fallback_.clear();
+}
+
+MappedIndex::~MappedIndex() { release(); }
+
+MappedIndex::MappedIndex(MappedIndex&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mmapped_(std::exchange(other.mmapped_, false)),
+      fallback_(std::move(other.fallback_)) {}
+
+MappedIndex& MappedIndex::operator=(MappedIndex&& other) noexcept {
+  if (this != &other) {
+    release();
+    base_ = std::exchange(other.base_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mmapped_ = std::exchange(other.mmapped_, false);
+    fallback_ = std::move(other.fallback_);
+  }
+  return *this;
+}
+
+namespace {
+MappedIndex open_timed(const std::string& path) {
+  const obs::ScopedTimer timer(g_load_seconds);
+  return MappedIndex(path);
+}
+}  // namespace
+
+MappedFrequencyStore::MappedFrequencyStore(const std::string& path)
+    : index_(open_timed(path)) {
+  const MappedHeader& h = index_.header();
+  if (kind() == MappedStoreKind::Raw) {
+    shard_bits_ = static_cast<std::uint32_t>(
+        std::countr_zero(std::uint64_t{h.shard_count}));
+    raw_views_.reserve(h.shard_count);
+    for (std::size_t s = 0; s < h.shard_count; ++s) {
+      raw_views_.emplace_back(
+          util::GroupDirectoryView(index_.ctrl(s).data(),
+                                   static_cast<std::size_t>(
+                                       index_.shard(s).slot_count)),
+          index_.raw_slots(s).data(), index_.raw_keys(s).data(),
+          static_cast<std::size_t>(h.words_per_key));
+    }
+    view_ = BfhIndexView(raw_views_, shard_bits_);
+  } else {
+    compressed_view_ = CompressedHashView(
+        static_cast<std::size_t>(h.n_bits),
+        util::GroupDirectoryView(index_.ctrl(0).data(),
+                                 static_cast<std::size_t>(
+                                     index_.shard(0).slot_count)),
+        index_.compressed_slots(0).data(),
+        index_.compressed_arena(0).data());
+  }
+}
+
+void MappedFrequencyStore::read_only_violation(const char* op) {
+  throw Error(std::string("MappedFrequencyStore is read-only: ") + op +
+              " (warm-start a mutable store to modify a loaded index)");
+}
+
+void MappedFrequencyStore::add_weighted(util::ConstWordSpan, std::uint32_t,
+                                        double) {
+  read_only_violation("add_weighted");
+}
+
+void MappedFrequencyStore::remove_weighted(util::ConstWordSpan,
+                                           std::uint32_t, double) {
+  read_only_violation("remove_weighted");
+}
+
+void MappedFrequencyStore::merge_from(const FrequencyStore&) {
+  read_only_violation("merge_from");
+}
+
+void MappedFrequencyStore::set_total_weight(double) {
+  read_only_violation("set_total_weight");
+}
+
+std::uint32_t MappedFrequencyStore::frequency(util::ConstWordSpan key) const {
+  if (kind() == MappedStoreKind::Compressed) {
+    return compressed_view_.frequency(key);
+  }
+  const std::uint64_t fp = util::hash_words(key);
+  return raw_views_[shard_of(fp, shard_bits_)].frequency(key);
+}
+
+void MappedFrequencyStore::for_each_key(
+    const std::function<void(util::ConstWordSpan, std::uint32_t)>& fn) const {
+  const MappedHeader& h = index_.header();
+  if (kind() == MappedStoreKind::Raw) {
+    const std::size_t wp = static_cast<std::size_t>(h.words_per_key);
+    for (std::size_t s = 0; s < h.shard_count; ++s) {
+      const std::span<const FrequencyHash::Slot> slots = index_.raw_slots(s);
+      const std::span<const std::uint64_t> keys = index_.raw_keys(s);
+      for (const FrequencyHash::Slot& slot : slots) {
+        if (slot.count != 0) {
+          fn({keys.data() +
+                  static_cast<std::size_t>(slot.key_index) * wp,
+              wp},
+             slot.count);
+        }
+      }
+    }
+    return;
+  }
+  const SparseKeyCodec codec(static_cast<std::size_t>(h.n_bits));
+  util::DynamicBitset decoded(static_cast<std::size_t>(h.n_bits));
+  const std::span<const CompressedFrequencyHash::Slot> slots =
+      index_.compressed_slots(0);
+  const std::span<const std::byte> arena = index_.compressed_arena(0);
+  for (const CompressedFrequencyHash::Slot& slot : slots) {
+    if (slot.count == 0) {
+      continue;
+    }
+    (void)codec.decode(ByteSpan{arena.data() + slot.offset, slot.length},
+                       decoded);
+    fn(decoded.words(), slot.count);
+  }
+}
+
+void MappedFrequencyStore::warm_start(FrequencyHash& target) const {
+  if (kind() != MappedStoreKind::Raw || shard_count() != 1) {
+    throw InvalidArgument(
+        "MappedFrequencyStore::warm_start: only raw single-shard indexes "
+        "adopt directly (replay multi-shard/compressed via for_each_key)");
+  }
+  if (target.n_bits() != n_bits()) {
+    throw InvalidArgument(
+        "MappedFrequencyStore::warm_start: taxon universe mismatch");
+  }
+  target.adopt_layout(index_.ctrl(0), index_.raw_slots(0),
+                      index_.raw_keys(0), unique_count(), total_count(),
+                      total_weight());
+}
+
+}  // namespace bfhrf::core

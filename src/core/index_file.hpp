@@ -1,0 +1,249 @@
+// The mmap-able BFHRF index format ("BFHMAP", format v2 alongside the v1
+// "BFHv" stream in core/serialize.cpp).
+//
+// The v1 stream stores (count, key) records and REBUILDS the hash on load —
+// every key re-probed, every table line written. This format instead
+// persists the built tables verbatim, section-aligned so the file can be
+// mmapped read-only and queried IN PLACE:
+//
+//   offset 0    MappedHeader                (128 bytes, little-endian)
+//   offset 128  MappedShardRecord × S       (64 bytes each)
+//   aligned 64  shard 0 ctrl bytes          (slot_count bytes)
+//   aligned 64  shard 0 slot array          (slot_count × sizeof(Slot))
+//   aligned 64  shard 0 key arena           (key_bytes)
+//   aligned 64  shard 1 ctrl bytes ... (per shard, in shard order)
+//
+// Every section starts on a 64-byte boundary (one cache line; also
+// satisfies the 16-byte alignment the vectorized group probes require and
+// the 8-byte alignment of both slot layouts), so views constructed over
+// the mapped bytes run the exact same probe code as in-memory tables —
+// cold-load is an mmap + header validation, zero deserialization, and
+// query results are bit-identical by construction. Raw stores persist one
+// record per shard (ShardedFrequencyHash) or a single record
+// (FrequencyHash); compressed stores persist one record whose "key arena"
+// is the encoding byte arena.
+//
+// Tombstones are never persisted: the writer compacts a private copy of
+// any shard that carries DELETED ctrl bytes, so a loaded index starts
+// dense (ROADMAP "delta-aware index persistence").
+//
+// Like the v1 stream the format is explicitly little-endian and
+// fixed-layout; static_asserts pin the struct sizes. Loading validates
+// magic, version, section bounds, 64-byte section alignment, power-of-two
+// shard/slot counts, and per-shard vs header totals, throwing ParseError
+// on any mismatch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/compressed_hash.hpp"
+#include "core/frequency_hash.hpp"
+#include "core/sharded_hash.hpp"
+
+namespace bfhrf::core {
+
+inline constexpr char kMappedMagic[8] = {'B', 'F', 'H', 'M', 'A', 'P', 0, 0};
+inline constexpr std::uint32_t kMappedVersion = 1;
+inline constexpr std::size_t kMappedSectionAlign = 64;
+
+/// Store kinds a mapped index can hold.
+enum class MappedStoreKind : std::uint32_t {
+  Raw = 0,         ///< FrequencyHash shards (raw bitmask keys)
+  Compressed = 1,  ///< one CompressedFrequencyHash (SparseKeyCodec arena)
+};
+
+struct MappedHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t store_kind;  ///< MappedStoreKind
+  std::uint32_t flags;       ///< bit 0: include_trivial
+  std::uint32_t shard_count;
+  std::uint64_t n_bits;
+  std::uint64_t words_per_key;
+  std::uint64_t reference_trees;
+  std::uint64_t unique_keys;
+  std::uint64_t total_count;
+  double total_weight;
+  std::uint64_t file_bytes;  ///< exact file size (truncation check)
+  std::uint64_t reserved[6];
+};
+static_assert(sizeof(MappedHeader) == 128,
+              "MappedHeader is part of the on-disk format");
+
+struct MappedShardRecord {
+  std::uint64_t slot_count;    ///< power of two, multiple of 16
+  std::uint64_t ctrl_offset;   ///< file offsets, all 64-byte aligned
+  std::uint64_t slots_offset;
+  std::uint64_t keys_offset;
+  std::uint64_t key_bytes;     ///< arena length in bytes
+  std::uint64_t live_keys;
+  std::uint64_t total_count;
+  double total_weight;
+};
+static_assert(sizeof(MappedShardRecord) == 64,
+              "MappedShardRecord is part of the on-disk format");
+
+inline constexpr std::uint32_t kMappedFlagIncludeTrivial = 1u << 0;
+
+/// Engine metadata carried in the header (what BfhrfOptions needs back).
+/// The store kind is derived from the store's concrete type, not declared
+/// here.
+struct IndexFileMeta {
+  bool include_trivial = false;
+  std::size_t reference_trees = 0;
+};
+
+/// Write `store` to `path` in the mapped format. Accepts FrequencyHash,
+/// ShardedFrequencyHash, and CompressedFrequencyHash stores; shards
+/// carrying tombstones are compacted into a private copy first, so the
+/// file never contains DELETED ctrl bytes. Throws InvalidArgument for
+/// other store types (including an already-mapped store — the file it
+/// came from IS the mapped form) and Error on I/O failure.
+void write_index_file(const FrequencyStore& store, const IndexFileMeta& meta,
+                      const std::string& path);
+
+/// A validated read-only mapping of an index file. Prefers mmap (the
+/// kernel pages sections in on demand); falls back to an aligned in-memory
+/// read where mmap is unavailable. Move-only; unmaps on destruction.
+class MappedIndex {
+ public:
+  explicit MappedIndex(const std::string& path);
+  ~MappedIndex();
+
+  MappedIndex(MappedIndex&& other) noexcept;
+  MappedIndex& operator=(MappedIndex&& other) noexcept;
+  MappedIndex(const MappedIndex&) = delete;
+  MappedIndex& operator=(const MappedIndex&) = delete;
+
+  [[nodiscard]] const MappedHeader& header() const noexcept {
+    return *reinterpret_cast<const MappedHeader*>(base_);
+  }
+  [[nodiscard]] const MappedShardRecord& shard(std::size_t s) const noexcept {
+    return reinterpret_cast<const MappedShardRecord*>(
+        base_ + sizeof(MappedHeader))[s];
+  }
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return size_; }
+  /// True when the bytes are an actual mmap (false = aligned-read
+  /// fallback). Obs gauge bfhrf.index.mmap.bytes only counts true maps.
+  [[nodiscard]] bool is_mmap() const noexcept { return mmapped_; }
+
+  [[nodiscard]] std::span<const std::uint8_t> ctrl(std::size_t s) const {
+    const MappedShardRecord& r = shard(s);
+    return {base_ + r.ctrl_offset, static_cast<std::size_t>(r.slot_count)};
+  }
+  [[nodiscard]] std::span<const FrequencyHash::Slot> raw_slots(
+      std::size_t s) const {
+    const MappedShardRecord& r = shard(s);
+    return {reinterpret_cast<const FrequencyHash::Slot*>(base_ +
+                                                         r.slots_offset),
+            static_cast<std::size_t>(r.slot_count)};
+  }
+  [[nodiscard]] std::span<const std::uint64_t> raw_keys(std::size_t s) const {
+    const MappedShardRecord& r = shard(s);
+    return {reinterpret_cast<const std::uint64_t*>(base_ + r.keys_offset),
+            static_cast<std::size_t>(r.key_bytes / sizeof(std::uint64_t))};
+  }
+  [[nodiscard]] std::span<const CompressedFrequencyHash::Slot>
+  compressed_slots(std::size_t s) const {
+    const MappedShardRecord& r = shard(s);
+    return {reinterpret_cast<const CompressedFrequencyHash::Slot*>(
+                base_ + r.slots_offset),
+            static_cast<std::size_t>(r.slot_count)};
+  }
+  [[nodiscard]] std::span<const std::byte> compressed_arena(
+      std::size_t s) const {
+    const MappedShardRecord& r = shard(s);
+    return {reinterpret_cast<const std::byte*>(base_ + r.keys_offset),
+            static_cast<std::size_t>(r.key_bytes)};
+  }
+
+ private:
+  void validate(const std::string& path) const;
+  void release() noexcept;
+
+  const std::uint8_t* base_ = nullptr;
+  std::size_t size_ = 0;
+  bool mmapped_ = false;
+  util::CacheAlignedVector<std::uint8_t> fallback_;
+};
+
+/// FrequencyStore served directly off a MappedIndex — the zero-copy
+/// cold-load path. Read-only: every mutator throws Error. Queries go
+/// through the same FrequencyHashView/CompressedHashView probe code as
+/// in-memory tables (Bfhrf routes its batched query path through
+/// index_view()).
+class MappedFrequencyStore final : public FrequencyStore {
+ public:
+  explicit MappedFrequencyStore(const std::string& path);
+
+  [[nodiscard]] MappedStoreKind kind() const noexcept {
+    return static_cast<MappedStoreKind>(index_.header().store_kind);
+  }
+  [[nodiscard]] bool include_trivial() const noexcept {
+    return (index_.header().flags & kMappedFlagIncludeTrivial) != 0;
+  }
+  [[nodiscard]] std::size_t reference_trees() const noexcept {
+    return static_cast<std::size_t>(index_.header().reference_trees);
+  }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return index_.header().shard_count;
+  }
+  [[nodiscard]] const MappedIndex& index() const noexcept { return index_; }
+
+  /// Routing view over the mapped shards (raw kind only; invalid view for
+  /// compressed).
+  [[nodiscard]] const BfhIndexView& index_view() const noexcept {
+    return view_;
+  }
+
+  /// Copy the mapped layout into a mutable FrequencyHash over the same
+  /// universe — the DynamicBfhIndex warm start (memcpy + tombstone
+  /// recount, no per-key re-probing). Raw single-shard only; throws
+  /// InvalidArgument otherwise (multi-shard/compressed callers replay
+  /// through for_each_key).
+  void warm_start(FrequencyHash& target) const;
+
+  // FrequencyStore interface (read-only).
+  [[nodiscard]] std::size_t n_bits() const noexcept override {
+    return static_cast<std::size_t>(index_.header().n_bits);
+  }
+  [[nodiscard]] std::size_t unique_count() const noexcept override {
+    return static_cast<std::size_t>(index_.header().unique_keys);
+  }
+  [[nodiscard]] std::uint64_t total_count() const noexcept override {
+    return index_.header().total_count;
+  }
+  [[nodiscard]] double total_weight() const noexcept override {
+    return index_.header().total_weight;
+  }
+  void add_weighted(util::ConstWordSpan key, std::uint32_t count,
+                    double weight) override;
+  void remove_weighted(util::ConstWordSpan key, std::uint32_t count,
+                       double weight) override;
+  [[nodiscard]] std::uint32_t frequency(util::ConstWordSpan key)
+      const override;
+  void merge_from(const FrequencyStore& other) override;
+  void for_each_key(const std::function<void(util::ConstWordSpan,
+                                             std::uint32_t)>& fn)
+      const override;
+  [[nodiscard]] std::size_t memory_bytes() const override {
+    return index_.size_bytes();
+  }
+  void set_total_weight(double w) override;
+
+ private:
+  [[noreturn]] static void read_only_violation(const char* op);
+
+  MappedIndex index_;
+  std::vector<FrequencyHashView> raw_views_;  ///< raw kind, one per shard
+  std::uint32_t shard_bits_ = 0;
+  BfhIndexView view_;                   ///< raw kind (over raw_views_ copies)
+  CompressedHashView compressed_view_;  ///< compressed kind
+};
+
+}  // namespace bfhrf::core

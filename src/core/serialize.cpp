@@ -4,7 +4,9 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <utility>
 
+#include "core/index_file.hpp"
 #include "util/error.hpp"
 
 namespace bfhrf::core {
@@ -111,10 +113,40 @@ Bfhrf load_bfhrf(std::istream& in, BfhrfOptions opts) {
     throw ParseError("bfhrf load: count mismatch (corrupt stream)");
   }
   engine.store_->set_total_weight(total_weight);
+  // The replay grew the store's tables; refresh the cached query view so
+  // it points at the final layout.
+  engine.publish_store_metrics();
   return engine;
 }
 
-void save_bfhrf_file(const Bfhrf& engine, const std::string& path) {
+Bfhrf load_bfhrf_mapped(const std::string& path, BfhrfOptions opts) {
+  auto mapped = std::make_unique<MappedFrequencyStore>(path);
+  // Store shape is the file's, not the caller's: the ctor-made store is
+  // discarded by adopt_store, so keep it the minimal single table.
+  opts.compressed_keys = mapped->kind() == MappedStoreKind::Compressed;
+  opts.include_trivial = mapped->include_trivial();
+  opts.shards = 1;
+  const std::size_t n_bits = mapped->n_bits();
+  const std::size_t trees = mapped->reference_trees();
+  Bfhrf engine(n_bits, opts);
+  engine.adopt_store(std::move(mapped), trees);
+  return engine;
+}
+
+void save_bfhrf_file(const Bfhrf& engine, const std::string& path,
+                     IndexFormat format) {
+  if (format == IndexFormat::Mapped) {
+    const BfhrfStats stats = engine.stats();
+    if (stats.reference_trees == 0) {
+      throw InvalidArgument("save_bfhrf: engine has not been built");
+    }
+    write_index_file(
+        engine.store(),
+        IndexFileMeta{.include_trivial = engine.options().include_trivial,
+                      .reference_trees = stats.reference_trees},
+        path);
+    return;
+  }
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     throw Error("save_bfhrf: cannot open '" + path + "' for writing");
@@ -127,7 +159,61 @@ Bfhrf load_bfhrf_file(const std::string& path, BfhrfOptions opts) {
   if (!in) {
     throw Error("load_bfhrf: cannot open '" + path + "'");
   }
+  // Sniff the representation off the magic so callers need no format flag.
+  char magic[8] = {};
+  in.read(magic, sizeof magic);
+  if (in.gcount() >= 6 && std::memcmp(magic, kMappedMagic, 6) == 0) {
+    in.close();
+    return load_bfhrf_mapped(path, opts);
+  }
+  in.clear();
+  in.seekg(0);
   return load_bfhrf(in, opts);
+}
+
+// --- DynamicBfhIndex::from_index_file ---------------------------------------
+
+DynamicBfhIndex DynamicBfhIndex::from_index_file(const std::string& path,
+                                                 BfhrfOptions opts) {
+  opts.shards = 1;  // dynamic index invariant (single concrete table)
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      throw Error("from_index_file: cannot open '" + path + "'");
+    }
+    char magic[8] = {};
+    in.read(magic, sizeof magic);
+    if (in.gcount() < 6 || std::memcmp(magic, kMappedMagic, 6) != 0) {
+      // v1 stream: full rebuild-on-load, then wrap.
+      in.clear();
+      in.seekg(0);
+      Bfhrf engine = load_bfhrf(in, opts);
+      DynamicBfhIndex index(engine.n_bits_, engine.options());
+      index.engine_ = std::move(engine);
+      return index;
+    }
+  }
+
+  const MappedFrequencyStore mapped(path);
+  opts.compressed_keys = mapped.kind() == MappedStoreKind::Compressed;
+  opts.include_trivial = mapped.include_trivial();
+  DynamicBfhIndex index(mapped.n_bits(), opts);
+  Bfhrf& engine = index.engine_;
+  if (mapped.kind() == MappedStoreKind::Raw && mapped.shard_count() == 1) {
+    // Zero-parse warm start: adopt the mapped layout verbatim into the
+    // index's mutable table (memcpy + tombstone recount; the writer
+    // compacted, so the recount finds none).
+    mapped.warm_start(static_cast<FrequencyHash&>(*engine.store_));
+  } else {
+    // Multi-shard or compressed files replay into the single table.
+    mapped.for_each_key([&](util::ConstWordSpan key, std::uint32_t count) {
+      engine.store_->add(key, count);
+    });
+    engine.store_->set_total_weight(mapped.total_weight());
+  }
+  engine.reference_trees_ = mapped.reference_trees();
+  engine.publish_store_metrics();
+  return index;
 }
 
 }  // namespace bfhrf::core

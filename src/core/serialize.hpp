@@ -10,12 +10,20 @@
 //   ...
 //   Bfhrf engine = load_bfhrf(in, {.threads = 8});  // per query batch
 //
-// Format (little-endian, versioned): header {magic "BFHv", u32 version,
-// u8 store-kind, u8 include-trivial, u64 n_bits, u64 reference_trees,
-// u64 unique, u64 total, f64 total_weight}, then per unique key
-// {u32 count, raw key words}. Keys are written in raw bitmask form for
-// both store kinds; a compressed store re-encodes on load. Integrity is
-// checked on load (magic, version, counts, totals).
+// Two formats share the file-path entry points, distinguished by magic:
+//
+//  * V1Stream ("BFHv"): header {magic "BFHv", u32 version, u8 store-kind,
+//    u8 include-trivial, u64 n_bits, u64 reference_trees, u64 unique,
+//    u64 total, f64 total_weight}, then per unique key {u32 count, raw key
+//    words}. Keys are written in raw bitmask form for both store kinds; a
+//    compressed store re-encodes on load. Compact and store-agnostic, but
+//    load REBUILDS the hash (every key re-probed).
+//  * Mapped ("BFHMAP", core/index_file.hpp): the built tables persisted
+//    verbatim, section-aligned; load_bfhrf_mapped mmaps the file and
+//    serves queries directly off the mapping — zero deserialization.
+//
+// Integrity is checked on load for both (magic, version, counts, totals,
+// and for Mapped: section bounds and alignment).
 //
 // NOTE: if the engine was built under a filter/weight variant, the stored
 // keys are the filtered ones and total_weight is the weighted sum; load
@@ -30,18 +38,38 @@
 
 namespace bfhrf::core {
 
-/// Serialize a built engine to a binary stream. Throws InvalidArgument if
-/// the engine has not been built, Error on stream failure.
+/// On-disk representation for the file-path save entry point.
+enum class IndexFormat {
+  V1Stream,  ///< "BFHv" key/count records (compact, rebuild on load)
+  Mapped,    ///< "BFHMAP" verbatim tables (mmap on load, zero-copy serve)
+};
+
+/// Serialize a built engine to a binary stream (V1Stream only — the mapped
+/// format needs a seekable file; use save_bfhrf_file). Throws
+/// InvalidArgument if the engine has not been built, Error on stream
+/// failure.
 void save_bfhrf(const Bfhrf& engine, std::ostream& out);
 
-/// Reconstruct a saved engine. Runtime options (threads, variant, norm)
-/// come from `opts`; the store kind, trivial-split convention, universe
-/// width and contents come from the stream. Throws ParseError on a
-/// malformed or truncated stream.
+/// Reconstruct a saved engine from a V1Stream. Runtime options (threads,
+/// variant, norm) come from `opts`; the store kind, trivial-split
+/// convention, universe width and contents come from the stream. Throws
+/// ParseError on a malformed or truncated stream.
 [[nodiscard]] Bfhrf load_bfhrf(std::istream& in, BfhrfOptions opts = {});
 
-/// File-path conveniences.
-void save_bfhrf_file(const Bfhrf& engine, const std::string& path);
+/// Open a mapped-format index file as a read-only engine: the file is
+/// mmapped (or read whole where mmap is unavailable), validated, and
+/// queried in place — no per-key deserialization, bit-identical results.
+/// The engine's store is immutable; calling build on it throws. Runtime
+/// options come from `opts` (shards/compressed_keys are overridden by the
+/// file's own layout). Throws ParseError on a malformed file.
+[[nodiscard]] Bfhrf load_bfhrf_mapped(const std::string& path,
+                                      BfhrfOptions opts = {});
+
+/// File-path conveniences. Saving picks the representation via `format`;
+/// loading sniffs the magic, so a caller needs no format flag ("BFHv" →
+/// stream rebuild, "BFHMAP" → zero-copy map).
+void save_bfhrf_file(const Bfhrf& engine, const std::string& path,
+                     IndexFormat format = IndexFormat::V1Stream);
 [[nodiscard]] Bfhrf load_bfhrf_file(const std::string& path,
                                     BfhrfOptions opts = {});
 

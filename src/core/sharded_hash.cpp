@@ -1,0 +1,242 @@
+#include "core/sharded_hash.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+// Lookup probes through the shard router (per-shard pipelines account
+// their own probes under core.frequency_hash.*; these count only the
+// multi-shard routed path).
+const obs::Counter g_routed_probes =
+    obs::counter("core.sharded_hash.routed_probes");
+
+std::size_t round_up_pow2(std::size_t v) {
+  return v <= 1 ? 1 : std::bit_ceil(v);
+}
+
+}  // namespace
+
+ShardedFrequencyHash::ShardedFrequencyHash(std::size_t n_bits,
+                                           std::size_t shard_count,
+                                           std::size_t expected_unique)
+    : n_bits_(n_bits) {
+  const std::size_t count = round_up_pow2(shard_count);
+  shard_bits_ = static_cast<std::uint32_t>(std::countr_zero(count));
+  shards_.reserve(count);
+  const std::size_t per_shard = expected_unique / count;
+  for (std::size_t s = 0; s < count; ++s) {
+    // Shards start at their minimum size when no hint is given: their bulk
+    // pages should be faulted in by the build worker that fills them
+    // (first-touch NUMA placement), not by this constructor's thread.
+    shards_.push_back(std::make_unique<FrequencyHash>(n_bits, per_shard));
+  }
+  stage_keys_.resize(count);
+  stage_weights_.resize(count);
+}
+
+std::size_t ShardedFrequencyHash::shard_index(util::ConstWordSpan key) const {
+  return shard_of(util::hash_words(key), shard_bits_);
+}
+
+std::size_t ShardedFrequencyHash::unique_count() const noexcept {
+  std::size_t sum = 0;
+  for (const auto& s : shards_) {
+    sum += s->unique_count();
+  }
+  return sum;
+}
+
+std::uint64_t ShardedFrequencyHash::total_count() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& s : shards_) {
+    sum += s->total_count();
+  }
+  return sum;
+}
+
+double ShardedFrequencyHash::total_weight() const noexcept {
+  double sum = 0.0;
+  for (const auto& s : shards_) {
+    sum += s->total_weight();
+  }
+  return sum;
+}
+
+void ShardedFrequencyHash::add_weighted(util::ConstWordSpan key,
+                                        std::uint32_t count, double weight) {
+  shards_[shard_index(key)]->add_weighted(key, count, weight);
+}
+
+void ShardedFrequencyHash::remove_weighted(util::ConstWordSpan key,
+                                           std::uint32_t count,
+                                           double weight) {
+  shards_[shard_index(key)]->remove_weighted(key, count, weight);
+}
+
+void ShardedFrequencyHash::add_many(const std::uint64_t* keys,
+                                    std::size_t count,
+                                    const double* weights) {
+  if (count == 0) {
+    return;
+  }
+  const std::size_t wp = words_per_key();
+  for (auto& v : stage_keys_) {
+    v.clear();
+  }
+  if (weights != nullptr) {
+    for (auto& v : stage_weights_) {
+      v.clear();
+    }
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t* k = keys + i * wp;
+    const std::size_t s =
+        shard_of(util::hash_words({k, wp}), shard_bits_);
+    stage_keys_[s].insert(stage_keys_[s].end(), k, k + wp);
+    if (weights != nullptr) {
+      stage_weights_[s].push_back(weights[i]);
+    }
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::size_t n = stage_keys_[s].size() / wp;
+    if (n != 0) {
+      shards_[s]->add_many(stage_keys_[s].data(), n,
+                           weights != nullptr ? stage_weights_[s].data()
+                                              : nullptr);
+    }
+  }
+}
+
+void ShardedFrequencyHash::compact() {
+  for (auto& s : shards_) {
+    s->compact();
+  }
+}
+
+std::uint32_t ShardedFrequencyHash::frequency(util::ConstWordSpan key) const {
+  return shards_[shard_index(key)]->frequency(key);
+}
+
+void ShardedFrequencyHash::merge_from(const FrequencyStore& other) {
+  if (const auto* o = dynamic_cast<const ShardedFrequencyHash*>(&other)) {
+    if (o->shard_bits_ == shard_bits_ && o->n_bits_ == n_bits_) {
+      // Same routing: shards correspond pairwise, merge without re-routing.
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        shards_[s]->merge(o->shard(s));
+      }
+      return;
+    }
+  }
+  // Different shape (or a plain FrequencyHash): replay keys through the
+  // router. Matches FrequencyHash::merge's weighted-total bookkeeping.
+  const double other_weight = other.total_weight();
+  const double other_total = static_cast<double>(other.total_count());
+  other.for_each_key([this](util::ConstWordSpan key, std::uint32_t count) {
+    add(key, count);
+  });
+  set_total_weight(total_weight() + other_weight - other_total);
+}
+
+void ShardedFrequencyHash::reserve(std::size_t expected_unique) {
+  const std::size_t per_shard = expected_unique / shards_.size();
+  for (auto& s : shards_) {
+    s->reserve(per_shard);
+  }
+}
+
+void ShardedFrequencyHash::for_each_key(
+    const std::function<void(util::ConstWordSpan, std::uint32_t)>& fn) const {
+  for (const auto& s : shards_) {
+    s->for_each_key(fn);
+  }
+}
+
+std::size_t ShardedFrequencyHash::memory_bytes() const {
+  std::size_t sum = 0;
+  for (const auto& s : shards_) {
+    sum += s->memory_bytes();
+  }
+  return sum;
+}
+
+void ShardedFrequencyHash::set_total_weight(double w) {
+  // Only shard 0's total is adjusted: per-shard weighted totals are
+  // meaningless in isolation (deserialization restores the aggregate), so
+  // park the correction where the sum comes out right.
+  double others = 0.0;
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    others += shards_[s]->total_weight();
+  }
+  shards_[0]->set_total_weight(w - others);
+}
+
+double ShardedFrequencyHash::shard_skew() const {
+  const std::size_t unique = unique_count();
+  if (unique == 0) {
+    return 1.0;
+  }
+  std::size_t largest = 0;
+  for (const auto& s : shards_) {
+    largest = std::max(largest, s->unique_count());
+  }
+  const double mean =
+      static_cast<double>(unique) / static_cast<double>(shards_.size());
+  return static_cast<double>(largest) / mean;
+}
+
+BfhIndexView::BfhIndexView(const ShardedFrequencyHash& sharded)
+    : shard_bits_(sharded.shard_bits()) {
+  shards_.reserve(sharded.shard_count());
+  for (std::size_t s = 0; s < sharded.shard_count(); ++s) {
+    shards_.emplace_back(sharded.shard(s));
+  }
+}
+
+void BfhIndexView::frequency_many(const std::uint64_t* keys,
+                                  std::size_t count,
+                                  std::uint32_t* out) const {
+  if (shards_.size() == 1) {
+    // Single table: the full 4-stage hinted prefetch pipeline.
+    shards_[0].frequency_many(keys, count, out);
+    return;
+  }
+  // Multi-shard router: fingerprint + shard a few keys ahead and prefetch
+  // each key's home control group inside its owning shard, then resolve
+  // in order. Shallower than the single-table pipeline (the shard is a
+  // data-dependent indirection), but the control line is resident by
+  // resolve time, which is most of the win.
+  constexpr std::size_t kAhead = 8;
+  const std::size_t wp = shards_[0].words_per_key();
+  std::uint64_t fps[kAhead];
+  std::uint32_t sids[kAhead];
+  std::uint64_t probe_groups = 0;
+  const auto stage = [&](std::size_t j) {
+    const std::uint64_t fp = util::hash_words({keys + j * wp, wp});
+    const std::uint32_t sid =
+        static_cast<std::uint32_t>(shard_of(fp, shard_bits_));
+    fps[j % kAhead] = fp;
+    sids[j % kAhead] = sid;
+    shards_[sid].prefetch(fp);
+  };
+  const std::size_t warm = count < kAhead ? count : kAhead;
+  for (std::size_t i = 0; i < warm; ++i) {
+    stage(i);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t fp = fps[i % kAhead];
+    const std::uint32_t sid = sids[i % kAhead];
+    if (i + kAhead < count) {
+      stage(i + kAhead);
+    }
+    out[i] = shards_[sid].count_for(fp, keys + i * wp, probe_groups);
+  }
+  g_routed_probes.inc(probe_groups);
+}
+
+}  // namespace bfhrf::core

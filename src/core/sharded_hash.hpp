@@ -1,0 +1,168 @@
+// ShardedFrequencyHash — the frequency hash split into S = 2^b private
+// FrequencyHash shards, routed by the TOP b bits of the key fingerprint.
+//
+// Why top bits: the group-probed table consumes the fingerprint from the
+// bottom up (low 7 bits = control tag, next 57 = home group;
+// util/group_table.hpp), so the top bits are statistically independent of
+// everything a shard-local probe looks at. Each shard therefore behaves
+// exactly like a standalone FrequencyHash over its key subset — same probe
+// lengths, same layouts, same batched pipelines — and the routing function
+// is a single shift.
+//
+// What sharding buys (the build-scaling tentpole, ROADMAP "million-tree
+// scale"):
+//  * CONTENTION-FREE PARALLEL BUILDS. Key ownership is static, so build
+//    workers write disjoint shards with no locks and no shared cache
+//    lines. The legacy parallel build gives every worker a private table
+//    and then MERGES: each unique key is inserted once per worker partial,
+//    re-probed once per pairwise merge round, and once more in the final
+//    fold into the engine store — ~(1 + log2 W + 1)x insert work per key.
+//    Sharded routing inserts each key exactly once, which is why the
+//    sharded build wins even on a single core (bench_ablation_shard, A9).
+//  * NUMA FIRST-TOUCH. Shards start tiny; their bulk pages are faulted in
+//    by the worker that fills them (Linux first-touch places them on that
+//    worker's node). An optional affinity policy pins build workers so the
+//    touch happens on a stable socket (BfhrfOptions::pin_build_threads).
+//  * A SHARD-SHAPED FILE FORMAT. The mmap index layout (core/index_file)
+//    persists each shard's (ctrl, slots, keys) sections verbatim, so a
+//    sharded build streams to disk with no re-keying and maps back with no
+//    deserialization.
+//
+// Determinism: classic RF frequencies are order-independent sums, so a
+// sharded build reaches bit-identical counts regardless of worker
+// interleaving. Weighted variants accumulate floating-point totals whose
+// value depends on addition order, so Bfhrf only engages the sharded store
+// for the unit-weight classic path (variant == nullptr).
+//
+// Concurrency model: single writer PER SHARD (distinct shards may be
+// written concurrently by distinct threads); the read path is safe for any
+// number of concurrent readers once writers are quiesced.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/frequency_hash.hpp"
+#include "core/frequency_store.hpp"
+
+namespace bfhrf::core {
+
+/// Shard owning the key with fingerprint `fp` under `shard_bits` (top-bit
+/// routing; 0 bits = everything in shard 0).
+[[nodiscard]] constexpr std::size_t shard_of(std::uint64_t fp,
+                                             std::uint32_t shard_bits) noexcept {
+  return shard_bits == 0
+             ? 0
+             : static_cast<std::size_t>(fp >> (64u - shard_bits));
+}
+
+class ShardedFrequencyHash final : public FrequencyStore {
+ public:
+  /// `shard_count` is rounded up to a power of two (min 1);
+  /// `expected_unique` is split evenly across shards as a pre-size hint.
+  ShardedFrequencyHash(std::size_t n_bits, std::size_t shard_count,
+                       std::size_t expected_unique = 0);
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::uint32_t shard_bits() const noexcept {
+    return shard_bits_;
+  }
+  [[nodiscard]] FrequencyHash& shard(std::size_t s) noexcept {
+    return *shards_[s];
+  }
+  [[nodiscard]] const FrequencyHash& shard(std::size_t s) const noexcept {
+    return *shards_[s];
+  }
+
+  /// Shard owning `key` (hashes it; build hot paths precompute the
+  /// fingerprint and call shard_of directly).
+  [[nodiscard]] std::size_t shard_index(util::ConstWordSpan key) const;
+
+  // FrequencyStore interface — totals are sums across shards; mutations
+  // route to the owning shard.
+  [[nodiscard]] std::size_t n_bits() const noexcept override {
+    return n_bits_;
+  }
+  [[nodiscard]] std::size_t words_per_key() const noexcept {
+    return shards_.front()->words_per_key();
+  }
+  [[nodiscard]] std::size_t unique_count() const noexcept override;
+  [[nodiscard]] std::uint64_t total_count() const noexcept override;
+  [[nodiscard]] double total_weight() const noexcept override;
+
+  void add_weighted(util::ConstWordSpan key, std::uint32_t count,
+                    double weight) override;
+  void remove_weighted(util::ConstWordSpan key, std::uint32_t count,
+                       double weight) override;
+
+  /// Batched insert of `count` contiguous arena keys (mirrors
+  /// FrequencyHash::add_many): keys are routed into per-shard staging
+  /// buffers (reused across calls, so steady-state batches allocate
+  /// nothing) and each shard ingests its slice through the prefetch
+  /// pipeline. Single-threaded; parallel builds bypass this and feed
+  /// shards directly from per-worker buckets (core/bfhrf).
+  void add_many(const std::uint64_t* keys, std::size_t count,
+                const double* weights);
+
+  void compact() override;
+  [[nodiscard]] std::uint32_t frequency(util::ConstWordSpan key)
+      const override;
+  void merge_from(const FrequencyStore& other) override;
+  void reserve(std::size_t expected_unique) override;
+  void for_each_key(const std::function<void(util::ConstWordSpan,
+                                             std::uint32_t)>& fn)
+      const override;
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  void set_total_weight(double w) override;
+
+  /// Largest shard's unique-key count over the mean — 1.0 is a perfectly
+  /// balanced build (obs gauge bfhrf.build.shard.skew).
+  [[nodiscard]] double shard_skew() const;
+
+ private:
+  std::size_t n_bits_ = 0;
+  std::uint32_t shard_bits_ = 0;
+  std::vector<std::unique_ptr<FrequencyHash>> shards_;
+  // add_many routing scratch, reused across batches.
+  std::vector<std::vector<std::uint64_t>> stage_keys_;
+  std::vector<std::vector<double>> stage_weights_;
+};
+
+/// Read-only routing view over one or more FrequencyHash layouts — THE
+/// query-path object of the raw-key engine. One shard: delegates to the
+/// shard's full 4-stage prefetch pipeline (bit-identical to the historical
+/// single-table fast path). Multiple shards: a fingerprint-routing loop
+/// that prefetches each key's home control group in its owning shard a few
+/// keys ahead. Backed equally by live tables (Bfhrf after a build) and by
+/// mmapped index sections (core/index_file) — the zero-copy cold-serve
+/// path.
+class BfhIndexView {
+ public:
+  BfhIndexView() = default;
+  explicit BfhIndexView(const FrequencyHash& single)
+      : shards_{FrequencyHashView(single)} {}
+  explicit BfhIndexView(const ShardedFrequencyHash& sharded);
+  BfhIndexView(std::vector<FrequencyHashView> shards,
+               std::uint32_t shard_bits)
+      : shards_(std::move(shards)), shard_bits_(shard_bits) {}
+
+  [[nodiscard]] bool valid() const noexcept { return !shards_.empty(); }
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// Batched lookup over a contiguous key arena (see
+  /// FrequencyHash::frequency_many for the contract).
+  void frequency_many(const std::uint64_t* keys, std::size_t count,
+                      std::uint32_t* out) const;
+
+ private:
+  std::vector<FrequencyHashView> shards_;
+  std::uint32_t shard_bits_ = 0;
+};
+
+}  // namespace bfhrf::core

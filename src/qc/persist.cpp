@@ -1,0 +1,282 @@
+#include "qc/persist.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/bfhrf.hpp"
+#include "core/index_file.hpp"
+#include "core/serialize.hpp"
+#include "core/sharded_hash.hpp"
+#include "qc/harness.hpp"
+#include "util/error.hpp"
+#include "util/group_table.hpp"
+
+namespace bfhrf::qc {
+namespace {
+
+using core::Bfhrf;
+using core::BfhrfOptions;
+
+/// A store's contents as a comparable value: sorted (key words, count)
+/// pairs plus the scalar totals.
+struct StoreImage {
+  std::vector<std::pair<std::vector<std::uint64_t>, std::uint32_t>> keys;
+  std::size_t unique = 0;
+  std::uint64_t total = 0;
+  double weight = 0.0;
+};
+
+StoreImage image_of(const core::FrequencyStore& store) {
+  StoreImage img;
+  img.unique = store.unique_count();
+  img.total = store.total_count();
+  img.weight = store.total_weight();
+  img.keys.reserve(img.unique);
+  store.for_each_key([&](util::ConstWordSpan key, std::uint32_t count) {
+    img.keys.emplace_back(std::vector<std::uint64_t>(key.begin(), key.end()),
+                          count);
+  });
+  std::sort(img.keys.begin(), img.keys.end());
+  return img;
+}
+
+struct Context {
+  const PersistOracleOptions& opts;
+  PersistOracleReport& report;
+
+  void fail(const std::string& what) {
+    char seed[32];
+    std::snprintf(seed, sizeof seed, "0x%llX",
+                  static_cast<unsigned long long>(opts.seed));
+    report.failures.push_back("persist: " + what +
+                              " (replay with --seed=" + seed + ")");
+  }
+
+  bool check(bool ok, const std::string& what) {
+    ++report.checks;
+    if (!ok) {
+      fail(what);
+    }
+    return ok;
+  }
+};
+
+void compare_stores(Context& ctx, const core::FrequencyStore& got,
+                    const StoreImage& want, const std::string& label) {
+  const StoreImage img = image_of(got);
+  ctx.check(img.unique == want.unique,
+            label + ": unique_count " + std::to_string(img.unique) +
+                " != " + std::to_string(want.unique));
+  ctx.check(img.total == want.total,
+            label + ": total_count " + std::to_string(img.total) +
+                " != " + std::to_string(want.total));
+  ctx.check(img.weight == want.weight, label + ": total_weight diverged");
+  ctx.check(img.keys == want.keys, label + ": (key, count) multiset differs");
+}
+
+void compare_queries(Context& ctx, std::span<const double> got,
+                     std::span<const double> want, const std::string& label) {
+  if (!ctx.check(got.size() == want.size(), label + ": query count differs")) {
+    return;
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    // Bit-identical, not approximately equal: every path ends in the same
+    // integer-valued classic-RF accumulation.
+    if (!ctx.check(got[i] == want[i],
+                   label + ": query " + std::to_string(i) + " avgRF " +
+                       std::to_string(got[i]) + " != " +
+                       std::to_string(want[i]))) {
+      return;
+    }
+  }
+}
+
+/// True when any shard's ctrl section carries a DELETED byte — saved
+/// index files must never (writer-side compaction invariant).
+bool has_tombstones(const core::MappedIndex& index) {
+  for (std::size_t s = 0; s < index.header().shard_count; ++s) {
+    const auto ctrl = index.ctrl(s);
+    if (std::find(ctrl.begin(), ctrl.end(), util::kCtrlDeleted) !=
+        ctrl.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+class ScratchFile {
+ public:
+  ScratchFile(const std::string& dir, std::uint64_t seed, const char* tag) {
+    const std::filesystem::path base =
+        dir.empty() ? std::filesystem::temp_directory_path()
+                    : std::filesystem::path(dir);
+    char name[96];
+    std::snprintf(name, sizeof name, "bfhrf_persist_%llx_%s.bfi",
+                  static_cast<unsigned long long>(seed), tag);
+    path_ = (base / name).string();
+  }
+  ~ScratchFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+};
+
+void round_trip_both_formats(Context& ctx, const Bfhrf& engine,
+                             std::span<const phylo::Tree> queries,
+                             const StoreImage& want,
+                             std::span<const double> want_rf,
+                             const std::string& label) {
+  {
+    const ScratchFile file(ctx.opts.scratch_dir, ctx.opts.seed, "v1");
+    core::save_bfhrf_file(engine, file.path(), core::IndexFormat::V1Stream);
+    const Bfhrf loaded = core::load_bfhrf_file(file.path());
+    ++ctx.report.round_trips;
+    compare_stores(ctx, loaded.store(), want, label + " v1");
+    compare_queries(ctx, loaded.query(queries), want_rf, label + " v1");
+  }
+  {
+    const ScratchFile file(ctx.opts.scratch_dir, ctx.opts.seed, "map");
+    core::save_bfhrf_file(engine, file.path(), core::IndexFormat::Mapped);
+    const Bfhrf loaded = core::load_bfhrf_file(file.path());
+    ++ctx.report.round_trips;
+    const auto* mapped =
+        dynamic_cast<const core::MappedFrequencyStore*>(&loaded.store());
+    if (ctx.check(mapped != nullptr,
+                  label + " mapped: load did not serve zero-copy "
+                          "(store is not MappedFrequencyStore)")) {
+      ctx.check(!has_tombstones(mapped->index()),
+                label + " mapped: file contains DELETED ctrl bytes");
+    }
+    compare_stores(ctx, loaded.store(), want, label + " mapped");
+    compare_queries(ctx, loaded.query(queries), want_rf, label + " mapped");
+  }
+}
+
+}  // namespace
+
+PersistOracleReport check_persist_equivalence(
+    const PersistOracleOptions& opts) {
+  PersistOracleReport report;
+  report.seed = opts.seed;
+  Context ctx{opts, report};
+
+  HarnessOptions wl;
+  wl.seed = opts.seed;
+  wl.n = opts.n;
+  wl.r = opts.r;
+  wl.q = opts.q;
+  wl.moves = opts.moves;
+  const Workload workload = make_workload(wl);
+  const std::span<const phylo::Tree> reference = workload.reference;
+  const std::span<const phylo::Tree> queries = workload.queries;
+  const std::size_t n_bits = workload.taxa->size();
+
+  // --- baseline: single-table, single-threaded ---------------------------
+  BfhrfOptions base_opts;
+  base_opts.shards = 1;
+  base_opts.include_trivial = opts.include_trivial;
+  Bfhrf baseline(n_bits, base_opts);
+  baseline.build(reference);
+  const StoreImage want = image_of(baseline.store());
+  const std::vector<double> want_rf = baseline.query(queries);
+
+  round_trip_both_formats(ctx, baseline, queries, want, want_rf, "single");
+
+  // --- sharded builds vs baseline, plus their round trips ----------------
+  for (const std::size_t shards : opts.shard_counts) {
+    for (const std::size_t threads : {std::size_t{1}, opts.threads}) {
+      BfhrfOptions sharded_opts;
+      sharded_opts.shards = shards;
+      sharded_opts.threads = threads;
+      sharded_opts.include_trivial = opts.include_trivial;
+      Bfhrf sharded(n_bits, sharded_opts);
+      sharded.build(reference);
+      const std::string label = "shards=" + std::to_string(shards) +
+                                " threads=" + std::to_string(threads);
+      ctx.check(dynamic_cast<const core::ShardedFrequencyHash*>(
+                    &sharded.store()) != nullptr,
+                label + ": engine did not build a sharded store");
+      compare_stores(ctx, sharded.store(), want, label);
+      compare_queries(ctx, sharded.query(queries), want_rf, label);
+      if (threads != 1) {
+        continue;  // round-trip each shard count once
+      }
+      round_trip_both_formats(ctx, sharded, queries, want, want_rf, label);
+    }
+  }
+
+  // --- compressed store round trips --------------------------------------
+  {
+    BfhrfOptions comp_opts;
+    comp_opts.compressed_keys = true;
+    comp_opts.include_trivial = opts.include_trivial;
+    Bfhrf compressed(n_bits, comp_opts);
+    compressed.build(reference);
+    compare_queries(ctx, compressed.query(queries), want_rf, "compressed");
+    round_trip_both_formats(ctx, compressed, queries, want, want_rf,
+                            "compressed");
+  }
+
+  // --- tombstoned dynamic state: save must compact -----------------------
+  {
+    BfhrfOptions dyn_opts;
+    dyn_opts.include_trivial = opts.include_trivial;
+    core::DynamicBfhIndex index(n_bits, dyn_opts);
+    const std::vector<std::size_t> ids = index.add_trees(reference);
+    // Remove a third of the trees so some counts hit zero and tombstone.
+    for (std::size_t i = 0; i < ids.size(); i += 3) {
+      index.remove_tree(ids[i]);
+    }
+    const StoreImage dyn_want = image_of(index.store());
+    const std::vector<double> dyn_rf = index.query(queries);
+
+    const ScratchFile file(opts.scratch_dir, opts.seed, "tomb");
+    core::write_index_file(
+        index.store(),
+        core::IndexFileMeta{.include_trivial = opts.include_trivial,
+                            .reference_trees = index.tree_count()},
+        file.path());
+    ++report.round_trips;
+    const Bfhrf loaded = core::load_bfhrf_file(file.path());
+    const auto* mapped =
+        dynamic_cast<const core::MappedFrequencyStore*>(&loaded.store());
+    if (ctx.check(mapped != nullptr, "tombstoned mapped: not zero-copy")) {
+      ctx.check(!has_tombstones(mapped->index()),
+                "tombstoned mapped: writer persisted DELETED ctrl bytes");
+    }
+    compare_stores(ctx, loaded.store(), dyn_want, "tombstoned mapped");
+    compare_queries(ctx, loaded.query(queries), dyn_rf, "tombstoned mapped");
+
+    // Warm start: reopen the file as a live dynamic index and mutate it.
+    core::DynamicBfhIndex reopened =
+        core::DynamicBfhIndex::from_index_file(file.path(), dyn_opts);
+    compare_stores(ctx, reopened.store(), dyn_want, "warm-start");
+    compare_queries(ctx, reopened.query(queries), dyn_rf, "warm-start");
+    const std::size_t added = reopened.add_tree(reference.front());
+    reopened.remove_tree(added);
+    compare_stores(ctx, reopened.store(), dyn_want,
+                   "warm-start after add+remove");
+  }
+
+  return report;
+}
+
+std::string PersistOracleReport::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "persist oracle: %zu checks, %zu round trips, %zu failures "
+                "(seed 0x%llX)",
+                checks, round_trips, failures.size(),
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+}  // namespace bfhrf::qc

@@ -14,6 +14,9 @@
 // the slot hash (home-group index). Using disjoint bits keeps the tag
 // uncorrelated with the group choice, so a group's 16 tags behave like
 // independent 7-bit samples and a probe's false-candidate rate is ~16/128.
+// (The sharded store routes on the TOP fingerprint bits — see
+// core/sharded_hash.hpp — which are disjoint from both of these, so a
+// per-shard directory behaves exactly like a standalone one.)
 //
 // Probing: start at the home group, scan tag matches (caller verifies the
 // full key), and stop at the first group containing an EMPTY byte — an
@@ -30,6 +33,16 @@
 // verification rejects them, and the empty/available masks are exact on
 // every path, so table contents — including tombstone placement — are
 // byte-identical across dispatch levels.
+//
+// The read path is split out as GroupDirectoryView: a non-owning (ctrl
+// pointer, slot count) pair carrying every const probing primitive.
+// GroupDirectory owns the bytes and delegates probing to its view; a
+// mapped on-disk index (core/index_file.hpp) builds views directly over
+// the mmapped control sections, so cold-loaded and in-memory tables run
+// the exact same probe code. Because the vectorized path issues ALIGNED
+// 16-byte loads, any memory a view covers must be at least 16-byte
+// aligned; the on-disk format 64-byte-aligns every section and the loader
+// rejects files that violate it.
 #pragma once
 
 #include <bit>
@@ -55,7 +68,12 @@ inline constexpr std::uint8_t kCtrlDeleted = 0xfe;
   return fp >> 7;
 }
 
-class GroupDirectory {
+/// Non-owning read-only view over a control-byte directory. All probing
+/// primitives live here; GroupDirectory (below) owns storage and
+/// delegates, and mapped index shards construct views straight over the
+/// file bytes. The viewed memory must be 16-byte aligned (vector loads)
+/// and `slot_count` must be a power of two multiple of kGroupWidth.
+class GroupDirectoryView {
  public:
   struct FindResult {
     std::size_t index;   ///< matching slot, or the insertion point (the
@@ -74,52 +92,20 @@ class GroupDirectory {
     std::uint32_t empty_mask;  ///< empty bytes (exact on every path)
   };
 
-  GroupDirectory() = default;
+  GroupDirectoryView() = default;
+  GroupDirectoryView(const std::uint8_t* ctrl, std::size_t slot_count) noexcept
+      : ctrl_(ctrl), size_(slot_count) {}
 
-  /// Reset to `slot_count` empty slots (dropping any tombstones).
-  /// `slot_count` must be a power of two and at least kGroupWidth.
-  void reset(std::size_t slot_count) {
-    ctrl_.assign(slot_count, kCtrlEmpty);
-    tombstones_ = 0;
-  }
-
-  [[nodiscard]] std::size_t slot_count() const noexcept {
-    return ctrl_.size();
-  }
+  [[nodiscard]] std::size_t slot_count() const noexcept { return size_; }
   [[nodiscard]] std::size_t group_count() const noexcept {
-    return ctrl_.size() / kGroupWidth;
+    return size_ / kGroupWidth;
   }
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return ctrl_; }
   [[nodiscard]] bool occupied(std::size_t index) const noexcept {
     return ctrl_[index] < kCtrlEmpty;
   }
   [[nodiscard]] bool deleted(std::size_t index) const noexcept {
     return ctrl_[index] == kCtrlDeleted;
-  }
-
-  /// Live tombstones (erased slots not yet reused or compacted away).
-  [[nodiscard]] std::size_t tombstone_count() const noexcept {
-    return tombstones_;
-  }
-
-  /// The raw control bytes (tests / layout-equivalence oracles).
-  [[nodiscard]] std::span<const std::uint8_t> ctrl_bytes() const noexcept {
-    return {ctrl_.data(), ctrl_.size()};
-  }
-
-  /// Record `fp`'s tag at a slot returned by a failed find(). Reclaims the
-  /// slot's tombstone when the insertion point was a deleted slot.
-  void mark(std::size_t index, std::uint64_t fp) noexcept {
-    if (ctrl_[index] == kCtrlDeleted) {
-      --tombstones_;
-    }
-    ctrl_[index] = ctrl_tag(fp);
-  }
-
-  /// Tombstone an occupied slot. The byte becomes DELETED — never EMPTY —
-  /// so probe chains that were displaced past this slot stay intact.
-  void erase(std::size_t index) noexcept {
-    ctrl_[index] = kCtrlDeleted;
-    ++tombstones_;
   }
 
   [[nodiscard]] std::size_t home_group(std::uint64_t fp) const noexcept {
@@ -128,7 +114,7 @@ class GroupDirectory {
 
   /// Prefetch the home control group of `fp` (one cache line).
   void prefetch(std::uint64_t fp) const noexcept {
-    __builtin_prefetch(ctrl_.data() + home_group(fp) * kGroupWidth);
+    __builtin_prefetch(ctrl_ + home_group(fp) * kGroupWidth);
   }
 
   /// Find the slot whose occupant satisfies `eq` among slots tagged with
@@ -147,7 +133,7 @@ class GroupDirectory {
     std::uint32_t probed = 0;
     while (true) {
       ++probed;
-      const std::uint8_t* base = ctrl_.data() + g * kGroupWidth;
+      const std::uint8_t* base = ctrl_ + g * kGroupWidth;
       const Group group = Group::load(base);
       std::uint32_t m = group.match(tag);
       while (m != 0) {
@@ -179,8 +165,7 @@ class GroupDirectory {
   /// run a few keys ahead of the resolve.
   template <typename Group>
   [[nodiscard]] GroupHint inspect(std::uint64_t fp) const noexcept {
-    const Group group =
-        Group::load(ctrl_.data() + home_group(fp) * kGroupWidth);
+    const Group group = Group::load(ctrl_ + home_group(fp) * kGroupWidth);
     return {group.match(ctrl_tag(fp)), group.match_empty()};
   }
 
@@ -213,7 +198,7 @@ class GroupDirectory {
       }
       g = (g + 1) & gmask;
       ++probed;
-      const Group group = Group::load(ctrl_.data() + g * kGroupWidth);
+      const Group group = Group::load(ctrl_ + g * kGroupWidth);
       m = group.match(ctrl_tag(fp));
       empty = group.match_empty();
     }
@@ -240,12 +225,131 @@ class GroupDirectory {
   template <typename Group>
   [[nodiscard]] std::size_t first_candidate(std::uint64_t fp) const noexcept {
     const std::size_t g = home_group(fp);
-    const Group group = Group::load(ctrl_.data() + g * kGroupWidth);
+    const Group group = Group::load(ctrl_ + g * kGroupWidth);
     const std::uint32_t m = group.match(ctrl_tag(fp));
     if (m == 0) {
-      return ctrl_.size();
+      return size_;
     }
     return g * kGroupWidth + static_cast<std::size_t>(std::countr_zero(m));
+  }
+
+ private:
+  const std::uint8_t* ctrl_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+class GroupDirectory {
+ public:
+  using FindResult = GroupDirectoryView::FindResult;
+  using GroupHint = GroupDirectoryView::GroupHint;
+
+  GroupDirectory() = default;
+
+  /// Reset to `slot_count` empty slots (dropping any tombstones).
+  /// `slot_count` must be a power of two and at least kGroupWidth.
+  void reset(std::size_t slot_count) {
+    ctrl_.assign(slot_count, kCtrlEmpty);
+    tombstones_ = 0;
+  }
+
+  /// Adopt a verbatim control-byte image (deserialization warm starts:
+  /// the bytes were produced by another GroupDirectory over the same key
+  /// set, so probe chains are valid as-is). Tombstones are recounted from
+  /// the image.
+  void assign(std::span<const std::uint8_t> ctrl) {
+    ctrl_.assign(ctrl.begin(), ctrl.end());
+    tombstones_ = 0;
+    for (const std::uint8_t byte : ctrl_) {
+      if (byte == kCtrlDeleted) {
+        ++tombstones_;
+      }
+    }
+  }
+
+  /// Non-owning probing view over the current bytes. Invalidated by
+  /// reset/assign (reallocation), like any container reference.
+  [[nodiscard]] GroupDirectoryView view() const noexcept {
+    return {ctrl_.data(), ctrl_.size()};
+  }
+
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return ctrl_.size();
+  }
+  [[nodiscard]] std::size_t group_count() const noexcept {
+    return ctrl_.size() / kGroupWidth;
+  }
+  [[nodiscard]] bool occupied(std::size_t index) const noexcept {
+    return ctrl_[index] < kCtrlEmpty;
+  }
+  [[nodiscard]] bool deleted(std::size_t index) const noexcept {
+    return ctrl_[index] == kCtrlDeleted;
+  }
+
+  /// Live tombstones (erased slots not yet reused or compacted away).
+  [[nodiscard]] std::size_t tombstone_count() const noexcept {
+    return tombstones_;
+  }
+
+  /// The raw control bytes (tests / layout-equivalence oracles / the
+  /// index-file writer).
+  [[nodiscard]] std::span<const std::uint8_t> ctrl_bytes() const noexcept {
+    return {ctrl_.data(), ctrl_.size()};
+  }
+
+  /// Record `fp`'s tag at a slot returned by a failed find(). Reclaims the
+  /// slot's tombstone when the insertion point was a deleted slot.
+  void mark(std::size_t index, std::uint64_t fp) noexcept {
+    if (ctrl_[index] == kCtrlDeleted) {
+      --tombstones_;
+    }
+    ctrl_[index] = ctrl_tag(fp);
+  }
+
+  /// Tombstone an occupied slot. The byte becomes DELETED — never EMPTY —
+  /// so probe chains that were displaced past this slot stay intact.
+  void erase(std::size_t index) noexcept {
+    ctrl_[index] = kCtrlDeleted;
+    ++tombstones_;
+  }
+
+  [[nodiscard]] std::size_t home_group(std::uint64_t fp) const noexcept {
+    return view().home_group(fp);
+  }
+
+  /// Prefetch the home control group of `fp` (one cache line).
+  void prefetch(std::uint64_t fp) const noexcept { view().prefetch(fp); }
+
+  template <typename Group, typename Eq>
+  [[nodiscard]] FindResult find_with(std::uint64_t fp,
+                                     Eq&& eq) const noexcept {
+    return view().find_with<Group>(fp, std::forward<Eq>(eq));
+  }
+
+  template <typename Group>
+  [[nodiscard]] GroupHint inspect(std::uint64_t fp) const noexcept {
+    return view().inspect<Group>(fp);
+  }
+
+  template <typename Group, typename Eq>
+  [[nodiscard]] FindResult find_hinted(std::uint64_t fp, GroupHint hint,
+                                       Eq&& eq) const noexcept {
+    return view().find_hinted<Group>(fp, hint, std::forward<Eq>(eq));
+  }
+
+  /// Runtime-dispatched find (single-key paths).
+  template <typename Eq>
+  [[nodiscard]] FindResult find(std::uint64_t fp, Eq&& eq) const noexcept {
+    return view().find(fp, std::forward<Eq>(eq));
+  }
+
+  /// Insertion point for a key known to be absent (rehash loops).
+  [[nodiscard]] FindResult find_insert(std::uint64_t fp) const noexcept {
+    return view().find_insert(fp);
+  }
+
+  template <typename Group>
+  [[nodiscard]] std::size_t first_candidate(std::uint64_t fp) const noexcept {
+    return view().first_candidate<Group>(fp);
   }
 
   /// Bytes held by the control directory, rounded up to whole cache lines

@@ -1,0 +1,297 @@
+#include "core/index_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/bfhrf.hpp"
+#include "core/serialize.hpp"
+#include "support/test_util.hpp"
+#include "util/error.hpp"
+#include "util/group_table.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::core {
+namespace {
+
+using phylo::TaxonSet;
+using phylo::Tree;
+
+/// Self-deleting scratch path under the system temp dir.
+class TempFile {
+ public:
+  explicit TempFile(const char* tag) {
+    path_ = (std::filesystem::temp_directory_path() /
+             (std::string("bfhrf_index_test_") + tag + ".bfi"))
+                .string();
+  }
+  ~TempFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  [[nodiscard]] std::vector<char> bytes() const {
+    std::ifstream in(path_, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+  void write_bytes(const std::vector<char>& bytes) const {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+ private:
+  std::string path_;
+};
+
+struct BuiltEngine {
+  phylo::TaxonSetPtr taxa;
+  std::vector<Tree> reference;
+  std::vector<Tree> queries;
+};
+
+BuiltEngine make_workload(std::size_t n, std::size_t r, std::size_t q,
+                          std::uint64_t seed) {
+  BuiltEngine w;
+  w.taxa = TaxonSet::make_numbered(n);
+  util::Rng rng(seed);
+  w.reference = test::random_collection(w.taxa, r, 4, rng);
+  w.queries = test::random_collection(w.taxa, q, 6, rng);
+  return w;
+}
+
+TEST(IndexFileTest, HeaderLayoutIsPinned) {
+  // These sizes ARE the on-disk format; a change is a format revision.
+  EXPECT_EQ(sizeof(MappedHeader), 128u);
+  EXPECT_EQ(sizeof(MappedShardRecord), 64u);
+  EXPECT_EQ(kMappedSectionAlign % 16u, 0u);  // vector ctrl loads
+}
+
+TEST(IndexFileTest, MappedQueriesMatchMemoryAndV1Exactly) {
+  const BuiltEngine w = make_workload(26, 30, 10, 3);
+  Bfhrf engine(w.taxa->size(), {.shards = 1});
+  engine.build(w.reference);
+  const auto want = engine.query(w.queries);
+
+  const TempFile mapped_file("roundtrip_map");
+  const TempFile v1_file("roundtrip_v1");
+  save_bfhrf_file(engine, mapped_file.path(), IndexFormat::Mapped);
+  save_bfhrf_file(engine, v1_file.path(), IndexFormat::V1Stream);
+
+  const Bfhrf mapped = load_bfhrf_file(mapped_file.path());
+  const Bfhrf parsed = load_bfhrf_file(v1_file.path());
+
+  // The mapped load serves in place; the v1 load rebuilt a table.
+  EXPECT_NE(dynamic_cast<const MappedFrequencyStore*>(&mapped.store()),
+            nullptr);
+  EXPECT_EQ(dynamic_cast<const MappedFrequencyStore*>(&parsed.store()),
+            nullptr);
+  EXPECT_EQ(mapped.stats().reference_trees, engine.stats().reference_trees);
+  EXPECT_EQ(mapped.stats().unique_bipartitions,
+            engine.stats().unique_bipartitions);
+
+  const auto from_map = mapped.query(w.queries);
+  const auto from_v1 = parsed.query(w.queries);
+  for (std::size_t i = 0; i < w.queries.size(); ++i) {
+    EXPECT_EQ(from_map[i], want[i]) << "mapped query " << i;
+    EXPECT_EQ(from_v1[i], want[i]) << "v1 query " << i;
+  }
+}
+
+TEST(IndexFileTest, ShardedLayoutRoundTrips) {
+  const BuiltEngine w = make_workload(20, 24, 8, 5);
+  Bfhrf engine(w.taxa->size(), {.threads = 2, .shards = 4});
+  engine.build(w.reference);
+  const auto want = engine.query(w.queries);
+
+  const TempFile file("sharded");
+  save_bfhrf_file(engine, file.path(), IndexFormat::Mapped);
+  const MappedIndex index(file.path());
+  EXPECT_EQ(index.header().shard_count, 4u);
+  EXPECT_EQ(index.header().unique_keys, engine.stats().unique_bipartitions);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(index.shard(s).ctrl_offset % kMappedSectionAlign, 0u);
+    EXPECT_EQ(index.shard(s).slots_offset % kMappedSectionAlign, 0u);
+    EXPECT_EQ(index.shard(s).keys_offset % kMappedSectionAlign, 0u);
+  }
+
+  const Bfhrf loaded = load_bfhrf_file(file.path());
+  const auto got = loaded.query(w.queries);
+  for (std::size_t i = 0; i < w.queries.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]);
+  }
+}
+
+TEST(IndexFileTest, CompressedStoreRoundTrips) {
+  const BuiltEngine w = make_workload(40, 20, 6, 7);
+  Bfhrf engine(w.taxa->size(), {.compressed_keys = true});
+  engine.build(w.reference);
+  const auto want = engine.query(w.queries);
+
+  const TempFile file("compressed");
+  save_bfhrf_file(engine, file.path(), IndexFormat::Mapped);
+  const Bfhrf loaded = load_bfhrf_file(file.path());
+  const auto* store =
+      dynamic_cast<const MappedFrequencyStore*>(&loaded.store());
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->kind(), MappedStoreKind::Compressed);
+  EXPECT_TRUE(loaded.options().compressed_keys);
+  const auto got = loaded.query(w.queries);
+  for (std::size_t i = 0; i < w.queries.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]);
+  }
+}
+
+TEST(IndexFileTest, SaveCompactsTombstonedState) {
+  const BuiltEngine w = make_workload(18, 18, 6, 9);
+  DynamicBfhIndex index(w.taxa->size());
+  const auto ids = index.add_trees(w.reference);
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    index.remove_tree(ids[i]);
+  }
+  const auto want = index.query(w.queries);
+
+  const TempFile file("tombstones");
+  write_index_file(index.store(),
+                   IndexFileMeta{.reference_trees = index.tree_count()},
+                   file.path());
+  const MappedIndex mapped(file.path());
+  for (std::size_t s = 0; s < mapped.header().shard_count; ++s) {
+    for (const std::uint8_t byte : mapped.ctrl(s)) {
+      ASSERT_NE(byte, util::kCtrlDeleted)
+          << "writer persisted a DELETED ctrl byte";
+    }
+  }
+  const Bfhrf loaded = load_bfhrf_file(file.path());
+  const auto got = loaded.query(w.queries);
+  for (std::size_t i = 0; i < w.queries.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]);
+  }
+}
+
+TEST(IndexFileTest, WarmStartFromMappedFile) {
+  const BuiltEngine w = make_workload(22, 20, 6, 11);
+  Bfhrf engine(w.taxa->size(), {.shards = 1});
+  engine.build(w.reference);
+  const auto want = engine.query(w.queries);
+
+  const TempFile file("warmstart");
+  save_bfhrf_file(engine, file.path(), IndexFormat::Mapped);
+  DynamicBfhIndex dynamic = DynamicBfhIndex::from_index_file(file.path());
+  EXPECT_EQ(dynamic.stats().reference_trees, w.reference.size());
+  const auto got = dynamic.query(w.queries);
+  for (std::size_t i = 0; i < w.queries.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]);
+  }
+  // The warm-started index is mutable: adding and removing a tree keeps
+  // exact equivalence with the engine's own state transitions.
+  const std::size_t id = dynamic.add_tree(w.reference.front());
+  dynamic.remove_tree(id);
+  const auto after = dynamic.query(w.queries);
+  for (std::size_t i = 0; i < w.queries.size(); ++i) {
+    EXPECT_EQ(after[i], want[i]);
+  }
+}
+
+TEST(IndexFileTest, RejectsForeignAndCorruptFiles) {
+  const BuiltEngine w = make_workload(16, 10, 4, 13);
+  Bfhrf engine(w.taxa->size(), {.shards = 1});
+  engine.build(w.reference);
+  const TempFile file("corrupt");
+  save_bfhrf_file(engine, file.path(), IndexFormat::Mapped);
+  const std::vector<char> good = file.bytes();
+  ASSERT_GE(good.size(), sizeof(MappedHeader));
+
+  {  // bad magic
+    std::vector<char> bad = good;
+    bad[0] = 'X';
+    file.write_bytes(bad);
+    EXPECT_THROW(MappedIndex{file.path()}, ParseError);
+  }
+  {  // unsupported version
+    std::vector<char> bad = good;
+    const std::uint32_t v = 999;
+    std::memcpy(bad.data() + offsetof(MappedHeader, version), &v, sizeof v);
+    file.write_bytes(bad);
+    EXPECT_THROW(MappedIndex{file.path()}, ParseError);
+  }
+  {  // truncated mid-section
+    std::vector<char> bad = good;
+    bad.resize(bad.size() - 32);
+    file.write_bytes(bad);
+    EXPECT_THROW(MappedIndex{file.path()}, ParseError);
+  }
+  {  // truncated inside the header
+    std::vector<char> bad = good;
+    bad.resize(sizeof(MappedHeader) / 2);
+    file.write_bytes(bad);
+    EXPECT_THROW(MappedIndex{file.path()}, ParseError);
+  }
+  {  // misaligned section offset
+    std::vector<char> bad = good;
+    std::uint64_t off = 0;
+    const std::size_t field =
+        sizeof(MappedHeader) + offsetof(MappedShardRecord, ctrl_offset);
+    std::memcpy(&off, bad.data() + field, sizeof off);
+    off += 8;  // still in bounds, no longer 64-byte aligned
+    std::memcpy(bad.data() + field, &off, sizeof off);
+    file.write_bytes(bad);
+    EXPECT_THROW(MappedIndex{file.path()}, ParseError);
+  }
+  {  // shard totals no longer match the header
+    std::vector<char> bad = good;
+    std::uint64_t live = 0;
+    const std::size_t field =
+        sizeof(MappedHeader) + offsetof(MappedShardRecord, live_keys);
+    std::memcpy(&live, bad.data() + field, sizeof live);
+    live += 1;
+    std::memcpy(bad.data() + field, &live, sizeof live);
+    file.write_bytes(bad);
+    EXPECT_THROW(MappedIndex{file.path()}, ParseError);
+  }
+  // A v1 stream is not a mapped file; the mapped loader must refuse it
+  // (the sniffing load_bfhrf_file entry point handles both).
+  file.write_bytes(good);
+  save_bfhrf_file(engine, file.path(), IndexFormat::V1Stream);
+  EXPECT_THROW(MappedIndex{file.path()}, ParseError);
+  EXPECT_NO_THROW(load_bfhrf_file(file.path()));
+}
+
+TEST(IndexFileTest, SavingAMappedEngineToMappedFormatThrows) {
+  const BuiltEngine w = make_workload(16, 8, 2, 17);
+  Bfhrf engine(w.taxa->size(), {.shards = 1});
+  engine.build(w.reference);
+  const TempFile file("remap");
+  save_bfhrf_file(engine, file.path(), IndexFormat::Mapped);
+  const Bfhrf mapped = load_bfhrf_file(file.path());
+  const TempFile second("remap2");
+  // Its file already IS the mapped form; re-serializing the read-only
+  // store is an error, but the v1 stream (via for_each_key) still works.
+  EXPECT_THROW(save_bfhrf_file(mapped, second.path(), IndexFormat::Mapped),
+               InvalidArgument);
+  EXPECT_NO_THROW(
+      save_bfhrf_file(mapped, second.path(), IndexFormat::V1Stream));
+  const Bfhrf reparsed = load_bfhrf_file(second.path());
+  EXPECT_EQ(reparsed.stats().unique_bipartitions,
+            engine.stats().unique_bipartitions);
+}
+
+TEST(IndexFileTest, MappedStoreIsReadOnly) {
+  const BuiltEngine w = make_workload(16, 8, 2, 19);
+  Bfhrf engine(w.taxa->size(), {.shards = 1});
+  engine.build(w.reference);
+  const TempFile file("readonly");
+  save_bfhrf_file(engine, file.path(), IndexFormat::Mapped);
+  Bfhrf mapped = load_bfhrf_file(file.path());
+  // Mutating a mapped engine (e.g. building more trees into it) throws.
+  EXPECT_THROW(mapped.build(std::span<const Tree>(w.reference)), Error);
+}
+
+}  // namespace
+}  // namespace bfhrf::core

@@ -25,18 +25,20 @@
 #include "phylo/newick.hpp"
 #include "phylo/taxon_set.hpp"
 #include "qc/dynamic.hpp"
+#include "qc/persist.hpp"
 #include "qc/harness.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
 
 namespace {
 
-enum class Mode { Unset, Generate, Files, Replay, Dynamic };
+enum class Mode { Unset, Generate, Files, Replay, Dynamic, Persist };
 
 struct CliOptions {
   Mode mode = Mode::Unset;
   bfhrf::qc::HarnessOptions harness;
   bfhrf::qc::DynamicOracleOptions dynamic;
+  bfhrf::qc::PersistOracleOptions persist;
   std::string reference_path;
   std::string query_path;
   std::string replay_path;
@@ -51,6 +53,7 @@ void usage(const char* argv0) {
       "          | --replay failure.repro\n"
       "          | --dynamic [sequences=S] [n=N] [trees=T] [ops=O]\n"
       "                      [probes=P]\n"
+      "          | --persist [n=N] [r=R] [q=Q] [moves=M]\n"
       "       [--seed S] [--threads a,b,c] [--artifact PATH]\n"
       "       [--no-invariants] [--no-shrink] [--no-multi]\n"
       "       [--include-trivial] [--quiet]\n"
@@ -71,6 +74,12 @@ void usage(const char* argv0) {
       "                    checked bit-for-bit against a from-scratch\n"
       "                    rebuild (raw and compressed stores); --threads'\n"
       "                    largest count drives concurrent probe readers\n"
+      "  --persist         run the sharding/persistence oracle: sharded\n"
+      "                    builds, v1-stream and mapped (mmap) index round\n"
+      "                    trips, and warm starts are cross-checked\n"
+      "                    bit-for-bit against the single-table engine;\n"
+      "                    mapped files are scanned for persisted\n"
+      "                    tombstones\n"
       "  --seed S          workload seed (decimal or 0x hex); also read\n"
       "                    from BFHRF_FUZZ_SEED when the flag is absent\n"
       "  --threads a,b,c   thread counts to sweep (0 = hardware default)\n"
@@ -151,6 +160,27 @@ CliOptions parse_args(int argc, char** argv) {
               "' (expected sequences/n/trees/ops/probes)");
         }
       }
+    } else if (arg == "--persist") {
+      o.mode = Mode::Persist;
+      while (i + 1 < argc && std::strchr(argv[i + 1], '=') != nullptr &&
+             argv[i + 1][0] != '-') {
+        const std::string token = argv[++i];
+        const std::size_t eq = token.find('=');
+        const std::string key = token.substr(0, eq);
+        const std::string value = token.substr(eq + 1);
+        if (key == "n") {
+          o.persist.n = bfhrf::util::parse_size(value);
+        } else if (key == "r") {
+          o.persist.r = bfhrf::util::parse_size(value);
+        } else if (key == "q") {
+          o.persist.q = bfhrf::util::parse_size(value);
+        } else if (key == "moves") {
+          o.persist.moves = bfhrf::util::parse_size(value);
+        } else {
+          throw bfhrf::InvalidArgument("unknown --persist key '" + key +
+                                       "' (expected n/r/q/moves)");
+        }
+      }
     } else if (arg == "--files") {
       o.mode = Mode::Files;
       o.reference_path = need_value("--files");
@@ -187,6 +217,7 @@ CliOptions parse_args(int argc, char** argv) {
       o.harness.oracle.include_trivial = true;
       o.harness.invariant.include_trivial = true;
       o.dynamic.include_trivial = true;
+      o.persist.include_trivial = true;
     } else if (arg == "--quiet") {
       o.quiet = true;
     } else if (arg == "-h" || arg == "--help") {
@@ -199,7 +230,8 @@ CliOptions parse_args(int argc, char** argv) {
   if (o.mode == Mode::Unset) {
     usage(argv[0]);
     throw bfhrf::InvalidArgument(
-        "pick one of --generate / --files / --replay / --dynamic");
+        "pick one of --generate / --files / --replay / --dynamic / "
+        "--persist");
   }
   if (!seed_set) {
     // Same replay convention as the test suites (tests/support/test_main).
@@ -208,10 +240,12 @@ CliOptions parse_args(int argc, char** argv) {
     }
   }
   o.dynamic.seed = o.harness.seed;
+  o.persist.seed = o.harness.seed;
   // The oracle runs one index; the largest requested thread count drives
   // its concurrent probe readers.
   for (const std::size_t t : o.harness.oracle.thread_counts) {
     o.dynamic.threads = std::max(o.dynamic.threads, t);
+    o.persist.threads = std::max(o.persist.threads, t);
   }
   return o;
 }
@@ -244,6 +278,18 @@ int run_dynamic(const CliOptions& cli) {
   return combined.ok() ? 0 : 1;
 }
 
+/// --persist: the sharding / persistence / mmap equivalence oracle.
+int run_persist(const CliOptions& cli) {
+  const auto report = bfhrf::qc::check_persist_equivalence(cli.persist);
+  if (!cli.quiet) {
+    for (const std::string& f : report.failures) {
+      std::fprintf(stderr, "FAIL %s\n", f.c_str());
+    }
+  }
+  std::printf("%s\n", report.summary().c_str());
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -259,6 +305,9 @@ int main(int argc, char** argv) {
   try {
     if (cli.mode == Mode::Dynamic) {
       return run_dynamic(cli);
+    }
+    if (cli.mode == Mode::Persist) {
+      return run_persist(cli);
     }
     qc::HarnessResult result;
     switch (cli.mode) {
@@ -281,6 +330,7 @@ int main(int argc, char** argv) {
         result = qc::replay_artifact(cli.replay_path, cli.harness);
         break;
       case Mode::Dynamic:
+      case Mode::Persist:
       case Mode::Unset:
         return 2;  // unreachable; handled/rejected above
     }
