@@ -9,11 +9,16 @@
 //             [--normalized | --half] [--min-size K] [--max-size K]
 //             [--include-trivial] [--compressed-keys] [--stats]
 //             [--shards N] [--save-index FILE [--mapped] | --load-index FILE]
+//             [--matrix [--matrix-engine auto|legacy|dense|sparse]]
 //
 // With no -q, the reference collection is scored against itself (Q is R,
 // the paper's experimental setting). Input files may be Newick (streamed)
 // or NEXUS (detected by the #NEXUS header; loaded via the TREES block).
 // Output: one line per query tree, "<index>\t<avg RF>".
+//
+// --matrix switches to the exact all-pairs product instead: the full RF
+// matrix of the reference collection (core/all_pairs bit-matrix engines)
+// printed in PHYLIP format on stdout.
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -23,8 +28,11 @@
 #include <vector>
 
 #include <fstream>
+#include <iostream>
 
+#include "core/all_pairs.hpp"
 #include "core/bfhrf.hpp"
+#include "core/matrix_io.hpp"
 #include "core/serialize.hpp"
 #include "core/tree_source.hpp"
 #include "core/variants.hpp"
@@ -50,7 +58,28 @@ struct CliOptions {
   bool include_trivial = false;
   bool compressed_keys = false;
   bool stats = false;
+  bool matrix = false;  // all-pairs PHYLIP matrix instead of averages
+  bfhrf::core::AllPairsEngine matrix_engine =
+      bfhrf::core::AllPairsEngine::Auto;
 };
+
+bfhrf::core::AllPairsEngine parse_matrix_engine(const std::string& name) {
+  if (name == "auto") {
+    return bfhrf::core::AllPairsEngine::Auto;
+  }
+  if (name == "legacy") {
+    return bfhrf::core::AllPairsEngine::Legacy;
+  }
+  if (name == "dense") {
+    return bfhrf::core::AllPairsEngine::BitDense;
+  }
+  if (name == "sparse") {
+    return bfhrf::core::AllPairsEngine::BitSparse;
+  }
+  throw bfhrf::InvalidArgument("--matrix-engine must be auto, legacy, dense "
+                               "or sparse (got '" +
+                               name + "')");
+}
 
 /// Sniff the file format: NEXUS files start with "#NEXUS".
 bool is_nexus(const std::string& path) {
@@ -69,10 +98,13 @@ void usage(const char* argv0) {
       "          [--normalized | --half] [--min-size K] [--max-size K]\n"
       "          [--include-trivial] [--compressed-keys] [--stats]\n"
       "          [--shards N] [--save-index FILE [--mapped] | --load-index FILE]\n"
+      "          [--matrix [--matrix-engine auto|legacy|dense|sparse]]\n"
       "\n"
       "Average Robinson-Foulds distance of each query tree against the\n"
       "reference collection, via a bipartition frequency hash (BFHRF).\n"
-      "With no -q the reference collection is compared against itself.\n",
+      "With no -q the reference collection is compared against itself.\n"
+      "--matrix instead prints the exact all-pairs RF matrix of the\n"
+      "reference collection in PHYLIP format.\n",
       argv0);
 }
 
@@ -114,6 +146,10 @@ CliOptions parse_args(int argc, char** argv) {
       o.load_index = need_value("--load-index");
     } else if (arg == "--stats") {
       o.stats = true;
+    } else if (arg == "--matrix") {
+      o.matrix = true;
+    } else if (arg == "--matrix-engine") {
+      o.matrix_engine = parse_matrix_engine(need_value("--matrix-engine"));
     } else if (arg == "-h" || arg == "--help") {
       usage(argv[0]);
       std::exit(0);
@@ -131,6 +167,10 @@ CliOptions parse_args(int argc, char** argv) {
   }
   if (o.mapped_format && o.save_index.empty()) {
     throw bfhrf::InvalidArgument("--mapped only makes sense with --save-index");
+  }
+  if (o.matrix && !o.load_index.empty()) {
+    throw bfhrf::InvalidArgument("--matrix needs the reference trees (-r); "
+                                 "an index stores only the frequency hash");
   }
   return o;
 }
@@ -161,6 +201,37 @@ int main(int argc, char** argv) {
     opts.variant = variant.get();
 
     util::WallTimer timer;
+
+    // Matrix mode: the exact all-pairs product instead of the averages
+    // pipeline. The whole collection must be resident (the matrix is
+    // O(r²) anyway), so streamed Newick is collected into memory.
+    if (cli.matrix) {
+      std::vector<phylo::Tree> trees;
+      if (is_nexus(cli.reference_path)) {
+        trees =
+            std::move(phylo::read_nexus_file(cli.reference_path, taxa).trees);
+      } else {
+        core::FileTreeSource src(cli.reference_path, taxa);
+        phylo::Tree t;
+        while (src.next(t)) {
+          trees.push_back(std::move(t));
+        }
+      }
+      taxa->freeze();
+      const core::AllPairsOptions matrix_opts{
+          .threads = cli.threads,
+          .include_trivial = cli.include_trivial,
+          .engine = cli.matrix_engine};
+      const core::RfMatrix matrix = core::all_pairs_rf(trees, matrix_opts);
+      const std::vector<std::string> names(trees.size());  // "tN" defaults
+      core::write_phylip_matrix(std::cout, matrix, names);
+      if (cli.stats) {
+        std::fprintf(stderr,
+                     "# taxa: %zu\n# trees: %zu\n# matrix time: %.3f s\n",
+                     taxa->size(), trees.size(), timer.seconds());
+      }
+      return 0;
+    }
 
     // Phase 1: ingest R and build the frequency hash. Newick files are
     // streamed (a first pass discovers the taxon namespace, which the

@@ -25,7 +25,10 @@ run() {
 # Differential verification workload (docs/TESTING.md): every engine and
 # mode over a generated collection, full matrices cross-checked
 # bit-for-bit. Size can be overridden, e.g. BFHRF_VERIFY_ARGS="n=128 r=64".
-VERIFY_ARGS=${BFHRF_VERIFY_ARGS:-"n=64 r=32 q=32"}
+# The 1..8 thread sweep drives every all-pairs engine (legacy merge walk,
+# bit-matrix dense, bit-matrix sparse) and the BFHRF column paths at each
+# count under the sanitizers.
+VERIFY_ARGS=${BFHRF_VERIFY_ARGS:-"n=64 r=32 q=32 --threads 1,2,4,8"}
 
 # Dynamic-index oracle workload: randomized interleaved add/remove/
 # replace/compact sequences, each state checked bit-for-bit against a

@@ -133,6 +133,16 @@ std::uint32_t FrequencyHash::frequency(util::ConstWordSpan key) const {
   return slots_[r.index].count;
 }
 
+std::uint32_t FrequencyHash::key_index_of(util::ConstWordSpan key) const {
+  BFHRF_ASSERT(key.size() == words_per_);
+  const std::uint64_t fp = util::hash_words(key);
+  const auto r = util::simd::vectorized()
+                     ? find_key<util::simd::Group16Vec>(key, fp)
+                     : find_key<util::simd::Group16Swar>(key, fp);
+  record_probe(r.groups_probed);
+  return r.found ? slots_[r.index].key_index : kNoKeyIndex;
+}
+
 std::uint32_t FrequencyHashView::frequency(util::ConstWordSpan key) const {
   BFHRF_ASSERT(key.size() == words_per_);
   const std::uint64_t fp = util::hash_words(key);

@@ -101,6 +101,17 @@ class FrequencyHash final : public FrequencyStore {
   [[nodiscard]] std::uint32_t frequency(
       util::ConstWordSpan key) const override;
 
+  /// Sentinel returned by key_index_of() for an absent key.
+  static constexpr std::uint32_t kNoKeyIndex = 0xffffffffU;
+
+  /// Arena index of a stored bipartition, or kNoKeyIndex if absent. On a
+  /// freshly built (never-mutated) hash the arena appends keys in first-
+  /// insertion order, so these indexes form a dense id space [0, U) — the
+  /// universe numbering the bit-matrix all-pairs engine (core/bit_matrix)
+  /// encodes trees against. A hash that has seen removals may have arena
+  /// holes until compact(); the bit-matrix path only ever builds fresh.
+  [[nodiscard]] std::uint32_t key_index_of(util::ConstWordSpan key) const;
+
   /// Batched lookup: `keys` is a contiguous arena of `count` keys of
   /// words_per_key() words each (a BipartitionSet arena qualifies);
   /// out[i] receives the frequency of key i. Runs a software-prefetch

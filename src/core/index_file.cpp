@@ -28,6 +28,7 @@ const obs::Counter g_writes = obs::counter("bfhrf.index.file.writes");
 const obs::Counter g_save_compactions =
     obs::counter("bfhrf.index.file.save_compactions");
 const obs::Counter g_mmap_loads = obs::counter("bfhrf.index.mmap.loads");
+const obs::Counter g_mmap_advised = obs::counter("bfhrf.index.mmap.advised");
 const obs::Gauge g_mmap_bytes = obs::gauge("bfhrf.index.mmap.bytes");
 const obs::Histogram g_load_seconds =
     obs::histogram("bfhrf.index.mmap.load_seconds");
@@ -230,7 +231,7 @@ void write_index_file(const FrequencyStore& store, const IndexFileMeta& meta,
   g_writes.inc();
 }
 
-MappedIndex::MappedIndex(const std::string& path) {
+MappedIndex::MappedIndex(const std::string& path, MapAdvice advice) {
 #if BFHRF_HAVE_MMAP
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd >= 0) {
@@ -242,10 +243,21 @@ MappedIndex::MappedIndex(const std::string& path) {
         base_ = static_cast<const std::uint8_t*>(p);
         size_ = static_cast<std::size_t>(st.st_size);
         mmapped_ = true;
+        if (advice != MapAdvice::None) {
+          // Advisory only: a failure (e.g. a filesystem without
+          // readahead) costs nothing but the default paging behaviour.
+          const int hint = advice == MapAdvice::WillNeed ? MADV_WILLNEED
+                                                         : MADV_SEQUENTIAL;
+          if (::madvise(p, static_cast<std::size_t>(st.st_size), hint) == 0) {
+            g_mmap_advised.inc();
+          }
+        }
       }
     }
     ::close(fd);
   }
+#else
+  (void)advice;
 #endif
   if (base_ == nullptr) {
     // Aligned-read fallback (no mmap, or the map failed): the cache-line
@@ -384,14 +396,15 @@ MappedIndex& MappedIndex::operator=(MappedIndex&& other) noexcept {
 }
 
 namespace {
-MappedIndex open_timed(const std::string& path) {
+MappedIndex open_timed(const std::string& path, MapAdvice advice) {
   const obs::ScopedTimer timer(g_load_seconds);
-  return MappedIndex(path);
+  return MappedIndex(path, advice);
 }
 }  // namespace
 
-MappedFrequencyStore::MappedFrequencyStore(const std::string& path)
-    : index_(open_timed(path)) {
+MappedFrequencyStore::MappedFrequencyStore(const std::string& path,
+                                           MapAdvice advice)
+    : index_(open_timed(path, advice)) {
   const MappedHeader& h = index_.header();
   if (kind() == MappedStoreKind::Raw) {
     shard_bits_ = static_cast<std::uint32_t>(

@@ -107,12 +107,23 @@ struct IndexFileMeta {
 void write_index_file(const FrequencyStore& store, const IndexFileMeta& meta,
                       const std::string& path);
 
+/// Readahead policy applied to a fresh mapping (madvise on POSIX; a no-op
+/// on platforms without it and on the aligned-read fallback, which is
+/// already fully resident). Default None: pages fault in on demand — the
+/// right policy for sparse probe traffic over a warm cache. WillNeed asks
+/// the kernel to start reading the whole file ahead (cold-start serving:
+/// the first query burst doesn't eat a page fault per probe). Sequential
+/// doubles readahead and drops pages behind the scan (one-shot passes:
+/// compaction, external merge, bulk export).
+enum class MapAdvice : std::uint8_t { None, WillNeed, Sequential };
+
 /// A validated read-only mapping of an index file. Prefers mmap (the
 /// kernel pages sections in on demand); falls back to an aligned in-memory
 /// read where mmap is unavailable. Move-only; unmaps on destruction.
 class MappedIndex {
  public:
-  explicit MappedIndex(const std::string& path);
+  explicit MappedIndex(const std::string& path,
+                       MapAdvice advice = MapAdvice::None);
   ~MappedIndex();
 
   MappedIndex(MappedIndex&& other) noexcept;
@@ -179,7 +190,8 @@ class MappedIndex {
 /// index_view()).
 class MappedFrequencyStore final : public FrequencyStore {
  public:
-  explicit MappedFrequencyStore(const std::string& path);
+  explicit MappedFrequencyStore(const std::string& path,
+                                MapAdvice advice = MapAdvice::None);
 
   [[nodiscard]] MappedStoreKind kind() const noexcept {
     return static_cast<MappedStoreKind>(index_.header().store_kind);

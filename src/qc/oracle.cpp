@@ -163,11 +163,27 @@ void run_matrix_engines(std::span<const Tree> trees, const OracleOptions& opts,
                      report);
   }
 
+  // All-pairs: the legacy merge walk and both bit-matrix engines at every
+  // thread count — the engines share no kernels, so agreement here is the
+  // bit-for-bit cross-check of the dense-id encoding, the popcount path,
+  // and the sorted-id intersection path all at once.
   for (const std::size_t t : opts.thread_counts) {
-    const auto m = core::all_pairs_rf(
-        trees, {.threads = t, .include_trivial = opts.include_trivial});
-    compare_matrices("all_pairs/t" + std::to_string(t), "sequential", oracle,
-                     m, report);
+    static constexpr struct {
+      core::AllPairsEngine engine;
+      const char* label;
+    } kAllPairsEngines[] = {
+        {core::AllPairsEngine::Legacy, "all_pairs/legacy/t"},
+        {core::AllPairsEngine::BitDense, "all_pairs/dense/t"},
+        {core::AllPairsEngine::BitSparse, "all_pairs/sparse/t"},
+    };
+    for (const auto& e : kAllPairsEngines) {
+      const auto m = core::all_pairs_rf(
+          trees, {.threads = t,
+                  .include_trivial = opts.include_trivial,
+                  .engine = e.engine});
+      compare_matrices(e.label + std::to_string(t), "sequential", oracle, m,
+                       report);
+    }
   }
 
   // BFHRF per-column: the real build+query machinery at pair granularity.

@@ -1,0 +1,55 @@
+// Sorted dense-id set kernels: intersection cardinality over strictly
+// increasing uint32 lists.
+//
+// This is the sparse half of the bit-matrix all-pairs engine
+// (core/bit_matrix): when the collection's bipartition universe is wide and
+// each tree touches only a sliver of it, a tree is cheaper to hold as a
+// sorted list of dense universe ids than as a bit-row, and
+// RF(i,j) = d_i + d_j − 2·|ids_i ∩ ids_j| needs exactly one primitive —
+// the intersection count below.
+//
+// Three strategies, picked per call:
+//  * scalar two-pointer merge — the baseline, best when the lists are
+//    similar in length and short;
+//  * galloping — when one list is >= kGallopRatio times the other, binary
+//    search (doubling probe) each small-list element into the large list:
+//    O(small · log large) instead of O(small + large);
+//  * SSE2 4x4 block compare — the Schlegel/Katsogridakis all-pairs
+//    comparison: load four ids from each list, compare every pair with
+//    three lane rotations, popcount the hit mask, advance whichever block
+//    has the smaller maximum. Dispatched behind util::simd::vectorized()
+//    so BFHRF_DISABLE_SIMD builds and forced-SWAR runs take the scalar
+//    merge; all strategies are exact and byte-identical by construction
+//    (tests/util/sorted_ids_test.cpp proves it).
+//
+// Inputs must be sorted ascending and duplicate-free (the universe-id lists
+// are: each tree's bipartition set is deduplicated before encoding).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace bfhrf::util {
+
+/// One list must be at least this many times longer before the galloping
+/// path beats the linear merge (probe overhead vs. skipped elements).
+inline constexpr std::size_t kGallopRatio = 32;
+
+/// |a ∩ b| by scalar two-pointer merge. Always correct; exposed for the
+/// differential tests and as the SWAR fallback.
+[[nodiscard]] std::size_t intersect_count_scalar(
+    std::span<const std::uint32_t> a, std::span<const std::uint32_t> b) noexcept;
+
+/// |a ∩ b| by galloping search of the smaller list into the larger one.
+/// Exposed for the differential tests; the dispatcher picks it only past
+/// kGallopRatio size skew.
+[[nodiscard]] std::size_t intersect_count_gallop(
+    std::span<const std::uint32_t> a, std::span<const std::uint32_t> b) noexcept;
+
+/// |a ∩ b| — the dispatching entry point: galloping on heavy size skew,
+/// SSE2 block-compare when vector units are active, scalar merge otherwise.
+[[nodiscard]] std::size_t intersect_count_sorted(
+    std::span<const std::uint32_t> a, std::span<const std::uint32_t> b) noexcept;
+
+}  // namespace bfhrf::util

@@ -282,6 +282,29 @@ TEST(IndexFileTest, SavingAMappedEngineToMappedFormatThrows) {
             engine.stats().unique_bipartitions);
 }
 
+TEST(IndexFileTest, MapAdviceDoesNotChangeContents) {
+  // madvise is purely a paging hint: every readahead policy must serve
+  // the same header and the same frequencies, bit for bit.
+  const BuiltEngine w = make_workload(20, 12, 4, 23);
+  Bfhrf engine(w.taxa->size(), {.shards = 2});
+  engine.build(w.reference);
+  const TempFile file("advice");
+  save_bfhrf_file(engine, file.path(), IndexFormat::Mapped);
+
+  const MappedFrequencyStore plain(file.path());
+  const MappedFrequencyStore willneed(file.path(), MapAdvice::WillNeed);
+  const MappedFrequencyStore sequential(file.path(), MapAdvice::Sequential);
+  for (const MappedFrequencyStore* s : {&willneed, &sequential}) {
+    EXPECT_EQ(s->unique_count(), plain.unique_count());
+    EXPECT_EQ(s->total_count(), plain.total_count());
+    EXPECT_EQ(s->shard_count(), plain.shard_count());
+    EXPECT_EQ(s->reference_trees(), plain.reference_trees());
+    plain.for_each_key([&](util::ConstWordSpan key, std::uint32_t count) {
+      EXPECT_EQ(s->frequency(key), count);
+    });
+  }
+}
+
 TEST(IndexFileTest, MappedStoreIsReadOnly) {
   const BuiltEngine w = make_workload(16, 8, 2, 19);
   Bfhrf engine(w.taxa->size(), {.shards = 1});

@@ -119,7 +119,9 @@ TEST(OracleTest, MatrixOnlyCheckCoversEngineFamilies) {
   const auto trees = test::random_collection(taxa, 6, 2, rng);
   const OracleReport report = cross_check_matrix(trees, {});
   EXPECT_TRUE(report.ok()) << report.summary();
-  EXPECT_TRUE(ran_engine(report, "all_pairs/t2"));
+  EXPECT_TRUE(ran_engine(report, "all_pairs/legacy/t2"));
+  EXPECT_TRUE(ran_engine(report, "all_pairs/dense/t2"));
+  EXPECT_TRUE(ran_engine(report, "all_pairs/sparse/t2"));
   EXPECT_TRUE(ran_engine(report, "bfhrf/span/legacy-paths"));
 }
 

@@ -1,0 +1,98 @@
+#include "util/sorted_ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "support/test_util.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace bfhrf::util {
+namespace {
+
+using Ids = std::vector<std::uint32_t>;
+
+/// Reference: intersection cardinality via std::set membership.
+std::size_t naive_count(const Ids& a, const Ids& b) {
+  const std::set<std::uint32_t> sa(a.begin(), a.end());
+  std::size_t count = 0;
+  for (const std::uint32_t x : b) {
+    count += sa.count(x);
+  }
+  return count;
+}
+
+Ids random_sorted_ids(util::Rng& rng, std::size_t count,
+                      std::uint32_t universe) {
+  std::set<std::uint32_t> s;
+  while (s.size() < count) {
+    s.insert(static_cast<std::uint32_t>(rng.below(universe)));
+  }
+  return {s.begin(), s.end()};
+}
+
+TEST(SortedIdsTest, EdgeCases) {
+  const Ids empty;
+  const Ids one{5};
+  const Ids abc{1, 2, 3};
+  EXPECT_EQ(intersect_count_sorted(empty, empty), 0U);
+  EXPECT_EQ(intersect_count_sorted(empty, abc), 0U);
+  EXPECT_EQ(intersect_count_sorted(abc, empty), 0U);
+  EXPECT_EQ(intersect_count_sorted(one, abc), 0U);
+  EXPECT_EQ(intersect_count_sorted(abc, abc), 3U);
+  EXPECT_EQ(intersect_count_sorted(Ids{1, 3, 5, 7}, Ids{2, 4, 6, 8}), 0U);
+  EXPECT_EQ(intersect_count_sorted(Ids{1, 3, 5, 7}, Ids{3, 7, 9, 11}), 2U);
+}
+
+TEST(SortedIdsTest, StrategiesAgreeOnRandomLists) {
+  util::Rng rng(test::fuzz_seed(0x501D5));
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::uint32_t universe =
+        64 + static_cast<std::uint32_t>(rng.below(4096));
+    const std::uint64_t cap = std::min<std::uint64_t>(universe, 300);
+    const Ids a = random_sorted_ids(rng, rng.below(cap), universe);
+    const Ids b = random_sorted_ids(rng, rng.below(cap), universe);
+    const std::size_t expected = naive_count(a, b);
+    EXPECT_EQ(intersect_count_scalar(a, b), expected);
+    EXPECT_EQ(intersect_count_gallop(a, b), expected);
+    EXPECT_EQ(intersect_count_sorted(a, b), expected);
+    // Symmetry.
+    EXPECT_EQ(intersect_count_sorted(b, a), expected);
+  }
+}
+
+TEST(SortedIdsTest, GallopHandlesHeavySkew) {
+  util::Rng rng(7);
+  // Sizes past kGallopRatio so the dispatcher actually takes the gallop.
+  const Ids small = random_sorted_ids(rng, 8, 1U << 20);
+  const Ids large = random_sorted_ids(rng, 8 * kGallopRatio + 100, 1U << 20);
+  const std::size_t expected = naive_count(small, large);
+  EXPECT_EQ(intersect_count_gallop(small, large), expected);
+  EXPECT_EQ(intersect_count_sorted(small, large), expected);
+  EXPECT_EQ(intersect_count_sorted(large, small), expected);
+}
+
+TEST(SortedIdsTest, ForcedSwarMatchesVectorized) {
+  util::Rng rng(test::fuzz_seed(0x51D5));
+  for (int iter = 0; iter < 100; ++iter) {
+    const std::uint32_t universe =
+        16 + static_cast<std::uint32_t>(rng.below(1024));
+    const std::uint64_t cap = std::min<std::uint64_t>(universe, 200);
+    const Ids a = random_sorted_ids(rng, rng.below(cap), universe);
+    const Ids b = random_sorted_ids(rng, rng.below(cap), universe);
+    simd::set_force_level(simd::Level::Swar);
+    const std::size_t swar = intersect_count_sorted(a, b);
+    simd::set_force_level(std::nullopt);
+    const std::size_t vec = intersect_count_sorted(a, b);
+    EXPECT_EQ(swar, vec);
+    EXPECT_EQ(swar, naive_count(a, b));
+  }
+}
+
+}  // namespace
+}  // namespace bfhrf::util
