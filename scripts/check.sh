@@ -2,11 +2,13 @@
 # Deeper verification tier than the plain `ctest` loop:
 #   1. ASan+UBSan build, full labeled suite + bfhrf_verify differential run
 #      + the delta-vs-rebuild dynamic-index oracle + the sharding/
-#      persistence oracle + a CLI walk that builds a sharded index, saves
-#      the mmap-able layout, and reloads it zero-copy
+#      persistence oracle + the serve daemon loopback smoke + a CLI walk
+#      that builds a sharded index, saves the mmap-able layout, and
+#      reloads it zero-copy
 #   2. TSan build, concurrency-sensitive labels only (parallel, obs,
-#      verify) + bfhrf_verify differential run + the dynamic oracle with
-#      concurrent probe readers + the persistence oracle with 4 build lanes
+#      serve) + bfhrf_verify differential run + the dynamic oracle with
+#      concurrent probe readers + the persistence oracle with 4 build
+#      lanes + the serve daemon loopback smoke
 #   3. BFHRF_OBS=OFF build, full suite (instrumentation compiled out)
 #   4. BFHRF_DISABLE_SIMD=ON build, full suite + bfhrf_verify (portable
 #      SWAR paths only; proves dispatch-level equivalence end to end)
@@ -42,6 +44,61 @@ DYNAMIC_ARGS=${BFHRF_DYNAMIC_ARGS:-"sequences=100 n=16 trees=8 ops=24"}
 # compared bit-for-bit.
 PERSIST_ARGS=${BFHRF_PERSIST_ARGS:-"n=24 r=24 q=10"}
 
+# Scratch dirs for the CLI index walk and the serve loopback smoke.
+# Inputs for both are generated ONCE with the default (uninstrumented)
+# build up front; the sanitizer-built daemon/client binaries are then
+# driven against the same files in their own tiers.
+PERSIST_DIR=$(mktemp -d)
+SERVE_DIR=$(mktemp -d)
+trap 'rm -rf "${PERSIST_DIR}" "${SERVE_DIR}"' EXIT
+
+run cmake -B build -S .
+run cmake --build build -j "$(nproc)" --target bfhrf_generate bfhrf_cli
+run ./build/examples/bfhrf_generate --preset variable-trees -n 32 -r 24 \
+  --seed 7 -o "${SERVE_DIR}/ref.nwk"
+run ./build/examples/bfhrf_generate --preset variable-trees -n 32 -r 8 \
+  --seed 11 -o "${SERVE_DIR}/q.nwk"
+./build/examples/bfhrf_cli -r "${SERVE_DIR}/ref.nwk" \
+  --save-index "${SERVE_DIR}/ref.bfh" > /dev/null
+./build/examples/bfhrf_cli -r "${SERVE_DIR}/ref.nwk" \
+  -q "${SERVE_DIR}/q.nwk" > "${SERVE_DIR}/expected.tsv"
+
+# Loopback e2e smoke for a sanitizer-built daemon: start -> load index ->
+# query -> hot-swap (Publish opcode onto the saved index) -> query ->
+# shutdown. Both query TSVs must be byte-identical to the direct CLI
+# answers, and the daemon must exit 0 (the `wait` is the sanitizer gate).
+serve_smoke() {
+  local build_dir=$1
+  local out="${SERVE_DIR}/serve.out"
+  : > "${out}"
+  "${build_dir}/tools/bfhrf_serve" -r "${SERVE_DIR}/ref.nwk" --workers 2 \
+    > "${out}" 2>&1 &
+  local pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    port=$(sed -n 's/^READY port=\([0-9]*\).*/\1/p' "${out}")
+    [[ -n "${port}" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "${port}" ]]; then
+    echo "serve_smoke: daemon never became ready:"
+    cat "${out}"
+    kill "${pid}" 2>/dev/null || true
+    return 1
+  fi
+  local client="${build_dir}/tools/bfhrf_client"
+  "${client}" --port "${port}" ping
+  "${client}" --port "${port}" query "${SERVE_DIR}/q.nwk" \
+    2> /dev/null > "${SERVE_DIR}/got_before.tsv"
+  diff "${SERVE_DIR}/expected.tsv" "${SERVE_DIR}/got_before.tsv"
+  "${client}" --port "${port}" publish "${SERVE_DIR}/ref.bfh"
+  "${client}" --port "${port}" query "${SERVE_DIR}/q.nwk" \
+    2> /dev/null > "${SERVE_DIR}/got_after.tsv"
+  diff "${SERVE_DIR}/expected.tsv" "${SERVE_DIR}/got_after.tsv"
+  "${client}" --port "${port}" shutdown
+  wait "${pid}"
+}
+
 run cmake --preset asan-ubsan
 run cmake --build --preset asan-ubsan -j "$(nproc)"
 run ctest --preset asan-ubsan
@@ -51,6 +108,7 @@ run ./build-asan/tools/bfhrf_verify --generate ${VERIFY_ARGS}
 run ./build-asan/tools/bfhrf_verify --dynamic ${DYNAMIC_ARGS}
 # shellcheck disable=SC2086
 run ./build-asan/tools/bfhrf_verify --persist ${PERSIST_ARGS} --threads 4
+run serve_smoke ./build-asan
 
 # End-to-end index walk: build a small sharded index with the CLI,
 # persist it in the mmap-able layout, reload it zero-copy, and require
@@ -58,19 +116,13 @@ run ./build-asan/tools/bfhrf_verify --persist ${PERSIST_ARGS} --threads 4
 # presets build without examples (BFHRF_BUILD_EXAMPLES=OFF), so this
 # uses the default tree — the mmap + asan interaction itself is covered
 # by the --persist oracle above, which maps index files under ASan.
-PERSIST_DIR=$(mktemp -d)
-trap 'rm -rf "${PERSIST_DIR}"' EXIT
-run cmake -B build -S .
-run cmake --build build -j "$(nproc)" --target bfhrf_generate bfhrf_cli
-run ./build/examples/bfhrf_generate --preset variable-trees -n 32 -r 24 \
-  --seed 7 -o "${PERSIST_DIR}/ref.nwk"
 echo
 echo "=== bfhrf_cli sharded build -> mapped save -> mmap reload ==="
-./build/examples/bfhrf_cli -r "${PERSIST_DIR}/ref.nwk" -t 2 --shards 4 \
+./build/examples/bfhrf_cli -r "${SERVE_DIR}/ref.nwk" -t 2 --shards 4 \
   --save-index "${PERSIST_DIR}/ref.bfhmap" --mapped \
   > "${PERSIST_DIR}/direct.tsv"
 ./build/examples/bfhrf_cli --load-index "${PERSIST_DIR}/ref.bfhmap" \
-  -q "${PERSIST_DIR}/ref.nwk" > "${PERSIST_DIR}/mapped.tsv"
+  -q "${SERVE_DIR}/ref.nwk" > "${PERSIST_DIR}/mapped.tsv"
 run diff "${PERSIST_DIR}/direct.tsv" "${PERSIST_DIR}/mapped.tsv"
 
 run cmake --preset tsan
@@ -82,6 +134,7 @@ run ./build-tsan/tools/bfhrf_verify --generate ${VERIFY_ARGS}
 run ./build-tsan/tools/bfhrf_verify --dynamic ${DYNAMIC_ARGS} --threads 4
 # shellcheck disable=SC2086  # sharded build lanes under TSan
 run ./build-tsan/tools/bfhrf_verify --persist ${PERSIST_ARGS} --threads 4
+run serve_smoke ./build-tsan
 
 run cmake --preset obs-off
 run cmake --build --preset obs-off -j "$(nproc)"

@@ -1,0 +1,127 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace bfhrf::serve {
+
+RfClient::RfClient(const std::string& host, std::uint16_t port,
+                   std::uint32_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw Error(std::string("client: socket failed: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw InvalidArgument("client: bad address '" + host + "'");
+  }
+  int rc = 0;
+  do {
+    rc = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw Error("client: connect to " + host + ":" + std::to_string(port) +
+                " failed: " + std::strerror(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+RfClient::RfClient(RfClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      max_frame_bytes_(other.max_frame_bytes_) {}
+
+RfClient& RfClient::operator=(RfClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    max_frame_bytes_ = other.max_frame_bytes_;
+  }
+  return *this;
+}
+
+RfClient::~RfClient() { close(); }
+
+void RfClient::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Bytes RfClient::roundtrip(const Bytes& payload) {
+  if (fd_ < 0) {
+    throw Error("client: not connected");
+  }
+  write_frame(fd_, payload);
+  Bytes response;
+  if (!read_frame(fd_, response, max_frame_bytes_)) {
+    close();
+    throw Error("client: server closed the connection before responding");
+  }
+  return response;
+}
+
+Bytes RfClient::roundtrip_raw(const Bytes& payload) {
+  return roundtrip(payload);
+}
+
+namespace {
+
+/// Decode with `decoder` when Ok; otherwise throw the server's error.
+template <typename Decoder>
+auto expect_ok(const Bytes& response, Decoder&& decoder) {
+  if (response_status(response) != Status::Ok) {
+    const ErrorResult err = decode_error(response);
+    throw ServeError(err.status, err.message);
+  }
+  return decoder(response);
+}
+
+}  // namespace
+
+void RfClient::ping() {
+  expect_ok(roundtrip(encode(PingRequest{})), [](const Bytes& b) {
+    decode_ok_empty(b);
+    return 0;
+  });
+}
+
+QueryResult RfClient::query(const std::vector<std::string>& newicks) {
+  return expect_ok(roundtrip(encode(QueryRequest{newicks})),
+                   [](const Bytes& b) { return decode_query_result(b); });
+}
+
+StatsResult RfClient::stats() {
+  return expect_ok(roundtrip(encode(StatsRequest{})),
+                   [](const Bytes& b) { return decode_stats_result(b); });
+}
+
+PublishResult RfClient::publish(const std::string& index_path) {
+  return expect_ok(roundtrip(encode(PublishRequest{index_path})),
+                   [](const Bytes& b) { return decode_publish_result(b); });
+}
+
+void RfClient::shutdown_server() {
+  expect_ok(roundtrip(encode(ShutdownRequest{})), [](const Bytes& b) {
+    decode_ok_empty(b);
+    return 0;
+  });
+}
+
+}  // namespace bfhrf::serve

@@ -1,0 +1,71 @@
+// RfClient: a blocking client for the RF query daemon (serve/server.hpp).
+//
+// One connection, one request in flight at a time (the server answers each
+// connection in request order, so a synchronous call-response loop is the
+// whole protocol). Used by the CLI tools (bfhrf_client, bfhrf_loadgen) and
+// the loopback tests; concurrent load comes from many clients, each on its
+// own connection.
+//
+// Error mapping: a non-Ok response becomes a ServeError carrying the wire
+// status and message; transport problems surface as the protocol layer's
+// ParseError/Error. A client is single-threaded by contract — share
+// connections, not RfClient instances.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "util/error.hpp"
+
+namespace bfhrf::serve {
+
+/// The server answered with a non-Ok status.
+class ServeError : public Error {
+ public:
+  ServeError(Status status, const std::string& message)
+      : Error("server responded " + std::to_string(static_cast<int>(status)) +
+              ": " + message),
+        status_(status) {}
+
+  [[nodiscard]] Status status() const noexcept { return status_; }
+
+ private:
+  Status status_;
+};
+
+class RfClient {
+ public:
+  /// Connect to host:port. Throws Error if the connection fails.
+  RfClient(const std::string& host, std::uint16_t port,
+           std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+  RfClient(const RfClient&) = delete;
+  RfClient& operator=(const RfClient&) = delete;
+  RfClient(RfClient&& other) noexcept;
+  RfClient& operator=(RfClient&& other) noexcept;
+  ~RfClient();
+
+  void ping();
+  [[nodiscard]] QueryResult query(const std::vector<std::string>& newicks);
+  [[nodiscard]] StatsResult stats();
+  [[nodiscard]] PublishResult publish(const std::string& index_path);
+
+  /// Request shutdown; returns once the server acknowledged.
+  void shutdown_server();
+
+  /// Send raw payload bytes as one frame and return the raw response
+  /// payload. The conformance tests use this to probe malformed input.
+  [[nodiscard]] Bytes roundtrip_raw(const Bytes& payload);
+
+  void close() noexcept;
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+ private:
+  [[nodiscard]] Bytes roundtrip(const Bytes& payload);
+
+  int fd_ = -1;
+  std::uint32_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+}  // namespace bfhrf::serve

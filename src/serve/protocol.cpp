@@ -1,0 +1,401 @@
+#include "serve/protocol.hpp"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace bfhrf::serve {
+namespace {
+
+// --- byte-level encode/decode ----------------------------------------------
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+
+  [[nodiscard]] Bytes take() { return std::move(out_); }
+
+ private:
+  Bytes out_;
+};
+
+/// Bounds-checked reader over one frame payload. Every decode path below
+/// finishes with done(), so trailing garbage is a ParseError, not silence.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+
+  std::uint8_t u8() {
+    need(1, "u8");
+    return data_[pos_++];
+  }
+
+  std::uint32_t u32() {
+    need(4, "u32");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8, "u64");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+    }
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str() {
+    const std::uint32_t len = u32();
+    need(len, "string body");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  /// Validate a declared element count against the bytes actually present
+  /// (each element needs >= min_bytes_per), BEFORE any allocation.
+  std::uint32_t count(std::size_t min_bytes_per) {
+    const std::uint32_t n = u32();
+    if (static_cast<std::uint64_t>(n) * min_bytes_per > remaining()) {
+      throw ParseError("serve protocol: declared count " + std::to_string(n) +
+                       " exceeds payload (" + std::to_string(remaining()) +
+                       " bytes left)");
+    }
+    return n;
+  }
+
+  /// Require full consumption (decoders call this last).
+  void done() const {
+    if (remaining() != 0) {
+      throw ParseError("serve protocol: " + std::to_string(remaining()) +
+                       " trailing byte(s) after message");
+    }
+  }
+
+ private:
+  void need(std::size_t n, const char* what) const {
+    if (remaining() < n) {
+      throw ParseError(std::string("serve protocol: truncated payload (") +
+                       what + " needs " + std::to_string(n) + " byte(s), " +
+                       std::to_string(remaining()) + " left)");
+    }
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+Status checked_status(std::uint8_t raw) {
+  switch (raw) {
+    case static_cast<std::uint8_t>(Status::Ok):
+    case static_cast<std::uint8_t>(Status::BadRequest):
+    case static_cast<std::uint8_t>(Status::ServerError):
+    case static_cast<std::uint8_t>(Status::ShuttingDown):
+      return static_cast<Status>(raw);
+    default:
+      throw ParseError("serve protocol: unknown status byte " +
+                       std::to_string(raw));
+  }
+}
+
+Reader ok_body(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  const Status s = checked_status(r.u8());
+  if (s != Status::Ok) {
+    throw ParseError("serve protocol: expected Ok response, got status " +
+                     std::to_string(static_cast<int>(s)));
+  }
+  return r;
+}
+
+}  // namespace
+
+// --- requests ---------------------------------------------------------------
+
+Bytes encode(const PingRequest&) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Op::Ping));
+  return w.take();
+}
+
+Bytes encode(const QueryRequest& req) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Op::Query));
+  w.u32(static_cast<std::uint32_t>(req.newicks.size()));
+  for (const std::string& s : req.newicks) {
+    w.str(s);
+  }
+  return w.take();
+}
+
+Bytes encode(const StatsRequest&) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Op::Stats));
+  return w.take();
+}
+
+Bytes encode(const PublishRequest& req) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Op::Publish));
+  w.str(req.path);
+  return w.take();
+}
+
+Bytes encode(const ShutdownRequest&) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Op::Shutdown));
+  return w.take();
+}
+
+Request decode_request(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  const std::uint8_t op = r.u8();
+  switch (op) {
+    case static_cast<std::uint8_t>(Op::Ping): {
+      r.done();
+      return PingRequest{};
+    }
+    case static_cast<std::uint8_t>(Op::Query): {
+      QueryRequest req;
+      const std::uint32_t n = r.count(/*min_bytes_per=*/4);
+      req.newicks.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        req.newicks.push_back(r.str());
+      }
+      r.done();
+      return req;
+    }
+    case static_cast<std::uint8_t>(Op::Stats): {
+      r.done();
+      return StatsRequest{};
+    }
+    case static_cast<std::uint8_t>(Op::Publish): {
+      PublishRequest req;
+      req.path = r.str();
+      r.done();
+      return req;
+    }
+    case static_cast<std::uint8_t>(Op::Shutdown): {
+      r.done();
+      return ShutdownRequest{};
+    }
+    default:
+      throw ParseError("serve protocol: unknown opcode " + std::to_string(op));
+  }
+}
+
+// --- responses --------------------------------------------------------------
+
+Bytes encode_ok() {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Status::Ok));
+  return w.take();
+}
+
+Bytes encode(const QueryResult& res) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Status::Ok));
+  w.u64(res.snapshot_version);
+  w.u32(static_cast<std::uint32_t>(res.avg_rf.size()));
+  for (const double v : res.avg_rf) {
+    w.f64(v);
+  }
+  return w.take();
+}
+
+Bytes encode(const StatsResult& res) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Status::Ok));
+  w.u64(res.snapshot_version);
+  w.u64(res.taxa);
+  w.u64(res.reference_trees);
+  w.u64(res.unique_bipartitions);
+  w.u64(res.total_bipartitions);
+  return w.take();
+}
+
+Bytes encode(const PublishResult& res) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Status::Ok));
+  w.u64(res.snapshot_version);
+  return w.take();
+}
+
+Bytes encode(const ErrorResult& res) {
+  BFHRF_ASSERT(res.status != Status::Ok);
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(res.status));
+  w.str(res.message);
+  return w.take();
+}
+
+Status response_status(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  return checked_status(r.u8());
+}
+
+void decode_ok_empty(std::span<const std::uint8_t> payload) {
+  Reader r = ok_body(payload);
+  r.done();
+}
+
+QueryResult decode_query_result(std::span<const std::uint8_t> payload) {
+  Reader r = ok_body(payload);
+  QueryResult res;
+  res.snapshot_version = r.u64();
+  const std::uint32_t n = r.count(/*min_bytes_per=*/8);
+  res.avg_rf.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    res.avg_rf.push_back(r.f64());
+  }
+  r.done();
+  return res;
+}
+
+StatsResult decode_stats_result(std::span<const std::uint8_t> payload) {
+  Reader r = ok_body(payload);
+  StatsResult res;
+  res.snapshot_version = r.u64();
+  res.taxa = r.u64();
+  res.reference_trees = r.u64();
+  res.unique_bipartitions = r.u64();
+  res.total_bipartitions = r.u64();
+  r.done();
+  return res;
+}
+
+PublishResult decode_publish_result(std::span<const std::uint8_t> payload) {
+  Reader r = ok_body(payload);
+  PublishResult res;
+  res.snapshot_version = r.u64();
+  r.done();
+  return res;
+}
+
+ErrorResult decode_error(std::span<const std::uint8_t> payload) {
+  Reader r(payload);
+  ErrorResult res;
+  res.status = checked_status(r.u8());
+  if (res.status == Status::Ok) {
+    throw ParseError("serve protocol: decode_error on an Ok response");
+  }
+  res.message = r.str();
+  r.done();
+  return res;
+}
+
+// --- stream framing ---------------------------------------------------------
+
+namespace {
+
+/// Read exactly `n` bytes. Returns the bytes actually read (short only at
+/// EOF); throws Error on a socket error.
+std::size_t read_exact(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r == 0) {
+      return got;  // EOF
+    }
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw Error(std::string("serve: read failed: ") + std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return got;
+}
+
+}  // namespace
+
+bool read_frame(int fd, Bytes& payload, std::uint32_t max_bytes) {
+  std::uint8_t head[4];
+  const std::size_t got = read_exact(fd, head, sizeof head);
+  if (got == 0) {
+    return false;  // clean EOF at a frame boundary
+  }
+  if (got < sizeof head) {
+    throw ParseError("serve: truncated frame header (peer closed mid-frame)");
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(head[i]) << (8 * i);
+  }
+  if (len == 0) {
+    throw ParseError("serve: zero-length frame");
+  }
+  if (len > max_bytes) {
+    throw ParseError("serve: oversized frame (" + std::to_string(len) +
+                     " bytes > limit " + std::to_string(max_bytes) + ")");
+  }
+  payload.resize(len);
+  if (read_exact(fd, payload.data(), len) < len) {
+    throw ParseError("serve: truncated frame body (peer closed mid-frame)");
+  }
+  return true;
+}
+
+void write_frame(int fd, std::span<const std::uint8_t> payload) {
+  BFHRF_ASSERT(!payload.empty());
+  Bytes buf;
+  buf.reserve(4 + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    buf.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  std::size_t sent = 0;
+  while (sent < buf.size()) {
+    // MSG_NOSIGNAL: a peer that vanished mid-response is an exception on
+    // this thread, not a process-wide SIGPIPE.
+    const ssize_t r = ::send(fd, buf.data() + sent, buf.size() - sent,
+                             MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      throw Error(std::string("serve: send failed: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(r);
+  }
+}
+
+}  // namespace bfhrf::serve

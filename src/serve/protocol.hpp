@@ -1,0 +1,151 @@
+// Wire protocol for the RF query daemon (src/serve/server.hpp).
+//
+// Length-prefixed binary frames over a byte stream (TCP loopback or any
+// stream socket). Everything is little-endian; doubles travel as their
+// IEEE-754 bit pattern in a u64.
+//
+//   frame    := u32 n | payload[n]            1 <= n <= max_frame_bytes
+//   request  := u8 op | body                  (client -> server)
+//   response := u8 status | body              (server -> client)
+//
+// Request bodies by op:
+//   Ping(1)     —
+//   Query(2)    u32 count, then count x { u32 len, bytes newick }
+//   Stats(3)    —
+//   Publish(4)  u32 len, bytes index-file path     (admin)
+//   Shutdown(5) —                                  (admin)
+//
+// Ok(0) response bodies mirror the request op (the client knows what it
+// sent; responses on one connection are answered in request order):
+//   Ping/Shutdown — empty
+//   Query    u64 snapshot_version, u32 count, count x f64 avg RF
+//   Stats    u64 snapshot_version, u64 taxa, u64 reference_trees,
+//            u64 unique_bipartitions, u64 total_bipartitions
+//   Publish  u64 snapshot_version
+// Non-Ok responses carry { u32 len, bytes utf-8 message }.
+//
+// Robustness contract (tested in tests/serve/protocol_test.cpp): decoders
+// throw ParseError — never crash, never over-read — on truncated bodies,
+// unknown ops/statuses, length fields pointing past the payload, and
+// trailing garbage (every decoder must consume its payload exactly).
+// Declared element counts are validated against the bytes actually present
+// BEFORE any allocation, so a hostile count cannot balloon memory.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace bfhrf::serve {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Frames larger than this are refused by default — big enough for ~10^5
+/// query trees per request, small enough that a hostile length prefix
+/// cannot make the server buffer gigabytes.
+inline constexpr std::uint32_t kDefaultMaxFrameBytes = 8u << 20;
+
+enum class Op : std::uint8_t {
+  Ping = 1,
+  Query = 2,
+  Stats = 3,
+  Publish = 4,
+  Shutdown = 5,
+};
+
+enum class Status : std::uint8_t {
+  Ok = 0,
+  BadRequest = 1,    ///< malformed frame / unknown op / bad tree text
+  ServerError = 2,   ///< valid request, server-side failure
+  ShuttingDown = 3,  ///< request refused: daemon is stopping
+};
+
+// --- requests ---------------------------------------------------------------
+
+struct PingRequest {};
+struct QueryRequest {
+  std::vector<std::string> newicks;
+};
+struct StatsRequest {};
+struct PublishRequest {
+  std::string path;
+};
+struct ShutdownRequest {};
+
+using Request = std::variant<PingRequest, QueryRequest, StatsRequest,
+                             PublishRequest, ShutdownRequest>;
+
+[[nodiscard]] Bytes encode(const PingRequest& req);
+[[nodiscard]] Bytes encode(const QueryRequest& req);
+[[nodiscard]] Bytes encode(const StatsRequest& req);
+[[nodiscard]] Bytes encode(const PublishRequest& req);
+[[nodiscard]] Bytes encode(const ShutdownRequest& req);
+
+/// Parse a request payload (the bytes inside one frame). Throws ParseError
+/// on any malformation; never reads outside `payload`.
+[[nodiscard]] Request decode_request(std::span<const std::uint8_t> payload);
+
+// --- responses --------------------------------------------------------------
+
+struct QueryResult {
+  std::uint64_t snapshot_version = 0;
+  std::vector<double> avg_rf;
+};
+
+struct StatsResult {
+  std::uint64_t snapshot_version = 0;
+  std::uint64_t taxa = 0;
+  std::uint64_t reference_trees = 0;
+  std::uint64_t unique_bipartitions = 0;
+  std::uint64_t total_bipartitions = 0;
+};
+
+struct PublishResult {
+  std::uint64_t snapshot_version = 0;
+};
+
+struct ErrorResult {
+  Status status = Status::BadRequest;  ///< never Ok
+  std::string message;
+};
+
+/// Ok response with an empty body (Ping, Shutdown).
+[[nodiscard]] Bytes encode_ok();
+[[nodiscard]] Bytes encode(const QueryResult& res);
+[[nodiscard]] Bytes encode(const StatsResult& res);
+[[nodiscard]] Bytes encode(const PublishResult& res);
+[[nodiscard]] Bytes encode(const ErrorResult& res);
+
+/// Status byte of a response payload (throws ParseError on empty payload
+/// or an unknown status value).
+[[nodiscard]] Status response_status(std::span<const std::uint8_t> payload);
+
+/// Decoders for Ok bodies; each throws ParseError if the payload is not an
+/// exactly-consumed Ok response of the right shape.
+void decode_ok_empty(std::span<const std::uint8_t> payload);
+[[nodiscard]] QueryResult decode_query_result(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] StatsResult decode_stats_result(
+    std::span<const std::uint8_t> payload);
+[[nodiscard]] PublishResult decode_publish_result(
+    std::span<const std::uint8_t> payload);
+
+/// Decode a non-Ok response (throws ParseError if the payload is Ok or
+/// malformed).
+[[nodiscard]] ErrorResult decode_error(std::span<const std::uint8_t> payload);
+
+// --- stream framing ---------------------------------------------------------
+
+/// Read one frame from `fd` into `payload`. Returns false on clean EOF at
+/// a frame boundary (peer closed between frames). Throws ParseError when
+/// the peer closes mid-frame (truncated) or announces a length of 0 or
+/// more than `max_bytes` (oversized), and Error on socket failure.
+[[nodiscard]] bool read_frame(int fd, Bytes& payload,
+                              std::uint32_t max_bytes = kDefaultMaxFrameBytes);
+
+/// Write `payload` as one length-prefixed frame. Throws Error on failure.
+void write_frame(int fd, std::span<const std::uint8_t> payload);
+
+}  // namespace bfhrf::serve

@@ -1,0 +1,394 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+
+namespace bfhrf::serve {
+namespace {
+
+struct ServeMetrics {
+  obs::Counter connections = obs::counter("bfhrf.serve.connections");
+  obs::Counter requests = obs::counter("bfhrf.serve.requests");
+  obs::Counter query_trees = obs::counter("bfhrf.serve.query_trees");
+  obs::Counter errors = obs::counter("bfhrf.serve.errors");
+  obs::Counter swaps = obs::counter("bfhrf.serve.swaps");
+  obs::Counter rejected = obs::counter("bfhrf.serve.rejected");
+  obs::Gauge active_connections =
+      obs::gauge("bfhrf.serve.active_connections");
+  obs::Gauge snapshot_version = obs::gauge("bfhrf.serve.snapshot_version");
+  obs::Histogram request_seconds =
+      obs::histogram("bfhrf.serve.request_seconds");
+  obs::Histogram queue_seconds = obs::histogram("bfhrf.serve.queue_seconds");
+  obs::Histogram queue_depth = obs::histogram(
+      "bfhrf.serve.queue_depth", {.min = 1.0, .factor = 2.0, .buckets = 12});
+};
+
+const ServeMetrics& metrics() {
+  static const ServeMetrics m;
+  return m;
+}
+
+[[nodiscard]] std::size_t default_queue_capacity(std::size_t workers) {
+  return std::max<std::size_t>(4 * workers, 16);
+}
+
+}  // namespace
+
+RfServer::Session::~Session() {
+  if (fd >= 0) {
+    ::close(fd);
+  }
+}
+
+void RfServer::Session::finish_if_drained() noexcept {
+  if (done.load() && pending.load() == 0 && fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+RfServer::RfServer(ServeOptions opts)
+    : opts_(std::move(opts)),
+      queue_(opts_.queue_capacity != 0 ? opts_.queue_capacity
+                                       : default_queue_capacity(
+                                             std::max<std::size_t>(
+                                                 1, opts_.workers))) {
+  opts_.workers = std::max<std::size_t>(1, opts_.workers);
+}
+
+RfServer::~RfServer() { stop(); }
+
+std::uint64_t RfServer::publish(
+    std::shared_ptr<const core::IndexSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    throw InvalidArgument("RfServer::publish: null snapshot");
+  }
+  const std::uint64_t v = slot_.publish(std::move(snapshot));
+  metrics().swaps.inc();
+  metrics().snapshot_version.set(static_cast<double>(v));
+  obs::flush_thread();
+  return v;
+}
+
+std::uint64_t RfServer::publish_file(const std::string& path) {
+  const auto current = slot_.acquire();
+  if (!current) {
+    throw InvalidArgument(
+        "RfServer::publish_file: no snapshot published yet (the index file "
+        "carries no taxon labels, so the namespace must come from the "
+        "snapshot being replaced)");
+  }
+  return publish(core::IndexSnapshot::open(path, current->taxa(),
+                                           opts_.load_opts));
+}
+
+void RfServer::start() {
+  if (started_.exchange(true)) {
+    throw InvalidArgument("RfServer::start called twice");
+  }
+  if (!slot_.acquire()) {
+    throw InvalidArgument(
+        "RfServer::start: publish an initial snapshot first");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw Error(std::string("serve: socket failed: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opts_.port);
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
+    throw InvalidArgument("serve: bad bind address '" + opts_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    throw Error("serve: bind to " + opts_.host + ":" +
+                std::to_string(opts_.port) + " failed: " +
+                std::strerror(errno));
+  }
+  if (::listen(listen_fd_, SOMAXCONN) != 0) {
+    throw Error(std::string("serve: listen failed: ") + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    throw Error(std::string("serve: getsockname failed: ") +
+                std::strerror(errno));
+  }
+  port_ = ntohs(bound.sin_port);
+
+  workers_.reserve(opts_.workers);
+  for (std::size_t i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  accept_thread_ = std::jthread([this] { accept_loop(); });
+}
+
+void RfServer::wait() {
+  std::unique_lock lock(stop_mu_);
+  cv_stop_.wait(lock, [this] { return stopping_.load(); });
+}
+
+void RfServer::request_stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  // Break the accept loop (shutdown makes a blocked accept() return) and
+  // refuse new admissions. close(), not abort(): queued work DRAINS, so no
+  // admitted request is ever dropped.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  queue_.close();
+  // Stop the readers: SHUT_RD wakes a blocked read_frame with EOF while
+  // leaving the write half usable for the responses still draining.
+  {
+    const std::lock_guard lock(sessions_mu_);
+    for (const Connection& c : connections_) {
+      if (c.session->fd >= 0) {
+        ::shutdown(c.session->fd, SHUT_RD);
+      }
+    }
+  }
+  {
+    const std::lock_guard lock(stop_mu_);
+  }
+  cv_stop_.notify_all();
+}
+
+void RfServer::stop() {
+  if (!started_.load() || stopped_.exchange(true)) {
+    return;
+  }
+  request_stop();
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  {
+    const std::lock_guard lock(sessions_mu_);
+    for (Connection& c : connections_) {
+      if (c.session->fd >= 0) {
+        ::shutdown(c.session->fd, SHUT_RDWR);
+      }
+      if (c.reader.joinable()) {
+        c.reader.join();
+      }
+    }
+  }
+  for (std::jthread& w : workers_) {
+    if (w.joinable()) {
+      w.join();
+    }
+  }
+  {
+    const std::lock_guard lock(sessions_mu_);
+    connections_.clear();  // closes the fds (~Session)
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  metrics().active_connections.set(0);
+  obs::flush_thread();
+}
+
+void RfServer::prune_connections() {
+  const std::lock_guard lock(sessions_mu_);
+  std::erase_if(connections_, [](Connection& c) {
+    if (!c.session->done.load()) {
+      return false;
+    }
+    if (c.reader.joinable()) {
+      c.reader.join();
+    }
+    return true;  // fd closes when the last queued Work reference drops
+  });
+}
+
+void RfServer::accept_loop() {
+  const obs::ScopedThreadSink sink_flush;
+  while (!stopping_.load()) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof peer;
+    const int fd = ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&peer),
+                            &peer_len);
+    if (fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // listen socket shut down (stop) or broken
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    prune_connections();
+    metrics().connections.inc();
+    metrics().active_connections.set(
+        static_cast<double>(active_sessions_.fetch_add(1) + 1));
+
+    auto session = std::make_shared<Session>(fd);
+    const std::lock_guard lock(sessions_mu_);
+    connections_.push_back(Connection{
+        session, std::jthread([this, session] { session_reader(session); })});
+  }
+}
+
+void RfServer::session_reader(const std::shared_ptr<Session>& session) {
+  const obs::ScopedThreadSink sink_flush;
+  const ServeMetrics& m = metrics();
+  Bytes payload;
+  try {
+    while (read_frame(session->fd, payload, opts_.max_frame_bytes)) {
+      m.requests.inc();
+      m.queue_depth.observe(static_cast<double>(queue_.size()) + 1.0);
+      session->pending.fetch_add(1);
+      Work work{session, std::move(payload), util::WallTimer{}};
+      if (!queue_.push(std::move(work))) {
+        session->pending.fetch_sub(1);
+        // Admission refused: the daemon is draining toward shutdown.
+        m.rejected.inc();
+        send_response(*session,
+                      encode(ErrorResult{Status::ShuttingDown,
+                                         "server is shutting down"}));
+        break;
+      }
+      payload = Bytes{};
+    }
+  } catch (const ParseError& e) {
+    // The byte stream itself is unusable (oversized announcement or the
+    // peer vanished mid-frame): answer best-effort, then close
+    // deliberately — there is no trustworthy frame boundary to resync on.
+    m.errors.inc();
+    send_response(*session,
+                  encode(ErrorResult{Status::BadRequest, e.what()}));
+  } catch (const Error&) {
+    m.errors.inc();  // socket error; nothing to say to the peer
+  }
+  ::shutdown(session->fd, SHUT_RD);
+  session->done.store(true);
+  session->finish_if_drained();
+  metrics().active_connections.set(
+      static_cast<double>(active_sessions_.fetch_sub(1) - 1));
+}
+
+void RfServer::worker_loop() {
+  const obs::ScopedThreadSink sink_flush;
+  Work work;
+  while (queue_.pop(work)) {
+    process(std::move(work));
+    work = Work{};
+  }
+}
+
+void RfServer::process(Work&& work) {
+  const ServeMetrics& m = metrics();
+  m.queue_seconds.observe(work.admitted.seconds());
+
+  Bytes response;
+  bool shutdown_after = false;
+  try {
+    const Request request = decode_request(work.payload);
+    response = handle_request(request, shutdown_after);
+  } catch (const ParseError& e) {
+    m.errors.inc();
+    response = encode(ErrorResult{Status::BadRequest, e.what()});
+  } catch (const InvalidArgument& e) {
+    m.errors.inc();
+    response = encode(ErrorResult{Status::BadRequest, e.what()});
+  } catch (const std::exception& e) {
+    m.errors.inc();
+    response = encode(ErrorResult{Status::ServerError, e.what()});
+  }
+
+  send_response(*work.session, response);
+  m.request_seconds.observe(work.admitted.seconds());
+  work.session->pending.fetch_sub(1);
+  work.session->finish_if_drained();
+  if (shutdown_after) {
+    request_stop();
+  }
+}
+
+Bytes RfServer::handle_request(const Request& request, bool& shutdown_after) {
+  const ServeMetrics& m = metrics();
+  if (std::holds_alternative<PingRequest>(request)) {
+    return encode_ok();
+  }
+  if (const auto* query = std::get_if<QueryRequest>(&request)) {
+    const auto handle = slot_.acquire();
+    if (!handle) {
+      return encode(
+          ErrorResult{Status::ServerError, "no index snapshot published"});
+    }
+    QueryResult result;
+    result.snapshot_version = handle.version();
+    result.avg_rf.reserve(query->newicks.size());
+    for (const std::string& newick : query->newicks) {
+      result.avg_rf.push_back(handle->query_newick(newick));
+    }
+    m.query_trees.inc(query->newicks.size());
+    return encode(result);
+  }
+  if (std::holds_alternative<StatsRequest>(request)) {
+    const auto handle = slot_.acquire();
+    if (!handle) {
+      return encode(
+          ErrorResult{Status::ServerError, "no index snapshot published"});
+    }
+    const core::BfhrfStats stats = handle->stats();
+    StatsResult result;
+    result.snapshot_version = handle.version();
+    result.taxa = handle->taxa()->size();
+    result.reference_trees = stats.reference_trees;
+    result.unique_bipartitions = stats.unique_bipartitions;
+    result.total_bipartitions = stats.total_bipartitions;
+    return encode(result);
+  }
+  if (const auto* publish_req = std::get_if<PublishRequest>(&request)) {
+    if (!opts_.allow_admin) {
+      return encode(
+          ErrorResult{Status::BadRequest, "admin opcodes are disabled"});
+    }
+    return encode(PublishResult{publish_file(publish_req->path)});
+  }
+  if (std::holds_alternative<ShutdownRequest>(request)) {
+    if (!opts_.allow_admin) {
+      return encode(
+          ErrorResult{Status::BadRequest, "admin opcodes are disabled"});
+    }
+    shutdown_after = true;  // respond first, then initiate the drain
+    return encode_ok();
+  }
+  return encode(ErrorResult{Status::BadRequest, "unhandled request kind"});
+}
+
+void RfServer::send_response(Session& session, const Bytes& payload) noexcept {
+  try {
+    const std::lock_guard lock(session.write_mu);
+    write_frame(session.fd, payload);
+  } catch (...) {
+    // The peer is gone; its in-flight work is already done. Nothing to
+    // unwind — the reader will observe the dead socket and retire.
+    metrics().errors.inc();
+  }
+}
+
+}  // namespace bfhrf::serve

@@ -1,0 +1,196 @@
+// RfServer: a long-lived RF query daemon over hot-swappable BFH snapshots.
+//
+// The paper's two-phase design (build BFH_R once, query many times) is a
+// natural always-on service; this is the serving half. Architecture:
+//
+//   accept thread ──► per-connection reader threads
+//                        │  read_frame, then a BLOCKING push into
+//                        ▼
+//                 BoundedQueue<Work>     (admission control: the queue
+//                        │               bound is the only buffering, so a
+//                        ▼               burst backpressures the sockets
+//                 worker threads         instead of ballooning memory)
+//                        │  decode, execute against slot_.acquire(),
+//                        ▼  write response under the session write lock
+//                 responses (per-connection, in request order)
+//
+// Index versions live in a parallel::SnapshotSlot<core::IndexSnapshot>:
+// each request leases the then-current snapshot with one wait-free
+// acquire(), so publish() swaps a new version in WITHOUT blocking in-flight
+// queries, and a retired snapshot is destroyed only when its last lease
+// drains (RCU semantics; see snapshot_slot.hpp). Every query response
+// carries the snapshot version that produced it, which is what the
+// swap-stress oracle keys on.
+//
+// Protocol: length-prefixed frames (serve/protocol.hpp). Malformed frames
+// are answered with a typed error and the connection SURVIVES when the
+// frame boundary is intact (unknown op, bad body); it is closed
+// deliberately when the byte stream itself is unusable (oversized
+// announcement, peer vanished mid-frame).
+//
+// Shutdown (the Shutdown op or stop()): new work is refused with
+// ShuttingDown, queued work DRAINS (zero dropped in-flight requests),
+// workers exit when the queue is empty, and wait() unblocks.
+//
+// Observability: bfhrf.serve.* counters/gauges plus per-request latency,
+// queue-wait and queue-depth histograms (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bfhrf.hpp"
+#include "core/snapshot.hpp"
+#include "parallel/bounded_queue.hpp"
+#include "parallel/snapshot_slot.hpp"
+#include "serve/protocol.hpp"
+#include "util/timer.hpp"
+
+namespace bfhrf::serve {
+
+struct ServeOptions {
+  /// Bind address. Loopback by default: the daemon trusts its peers (the
+  /// admin opcodes carry no authentication), so exposing it wider is an
+  /// explicit decision.
+  std::string host = "127.0.0.1";
+
+  /// TCP port; 0 picks an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+
+  /// Query worker threads draining the admission queue.
+  std::size_t workers = 2;
+
+  /// Admission-queue capacity (requests); 0 = max(4·workers, 16).
+  std::size_t queue_capacity = 0;
+
+  /// Frames larger than this are refused and the connection closed.
+  std::uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// Accept the Publish/Shutdown admin opcodes. Off = queries only.
+  bool allow_admin = true;
+
+  /// Engine options for snapshots loaded via the Publish opcode (threads,
+  /// batched paths, …). Publish-time loads reuse the CURRENT snapshot's
+  /// taxon namespace — an index file stores no labels.
+  core::BfhrfOptions load_opts;
+};
+
+class RfServer {
+ public:
+  explicit RfServer(ServeOptions opts = {});
+  RfServer(const RfServer&) = delete;
+  RfServer& operator=(const RfServer&) = delete;
+  ~RfServer();
+
+  /// Swap in a new snapshot; returns its version. Safe at any time, from
+  /// any thread, including while queries are in flight (they finish on the
+  /// version they leased).
+  std::uint64_t publish(std::shared_ptr<const core::IndexSnapshot> snapshot);
+
+  /// Load an index file against the current snapshot's taxon namespace and
+  /// publish it (the in-process form of the Publish opcode). Throws if no
+  /// snapshot has ever been published.
+  std::uint64_t publish_file(const std::string& path);
+
+  /// Bind, listen, and start the accept/reader/worker threads. Requires a
+  /// published snapshot (a query server with nothing to serve is a
+  /// misconfiguration, not a state). Throws Error on socket failure.
+  void start();
+
+  /// Block until shutdown is requested (Shutdown opcode or request_stop).
+  void wait();
+
+  /// Ask the server to stop: refuse new work, drain queued work, then
+  /// unblock wait(). Idempotent, callable from any thread (including a
+  /// worker executing the Shutdown opcode).
+  void request_stop();
+
+  /// Full teardown: request_stop, join every thread, close every socket.
+  /// Idempotent; must NOT be called from a server thread.
+  void stop();
+
+  /// The bound port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  [[nodiscard]] bool running() const noexcept {
+    return started_.load() && !stopping_.load();
+  }
+
+  /// Lease the current snapshot (what a query arriving now would see).
+  [[nodiscard]] parallel::SnapshotSlot<core::IndexSnapshot>::Handle
+  current() const {
+    return slot_.acquire();
+  }
+
+  [[nodiscard]] const ServeOptions& options() const noexcept { return opts_; }
+
+ private:
+  /// One accepted connection. The reader thread lives in the server (not
+  /// here) so the session can be kept alive by queued Work items without a
+  /// shared_ptr cycle through its own thread.
+  struct Session {
+    explicit Session(int fd_in) : fd(fd_in) {}
+    ~Session();
+
+    /// Full-duplex shutdown once the reader has exited AND every admitted
+    /// request has been answered — the peer then sees EOF instead of
+    /// blocking on a connection that will never speak again. Safe to race
+    /// (shutdown(2) is idempotent here; the fd closes only in ~Session).
+    void finish_if_drained() noexcept;
+
+    int fd = -1;
+    std::mutex write_mu;             ///< responses are one frame at a time
+    std::atomic<bool> done{false};   ///< reader exited
+    std::atomic<int> pending{0};     ///< admitted, not yet responded
+  };
+
+  struct Work {
+    std::shared_ptr<Session> session;
+    Bytes payload;
+    util::WallTimer admitted;  ///< started at admission (queue-wait clock)
+  };
+
+  struct Connection {
+    std::shared_ptr<Session> session;
+    std::jthread reader;
+  };
+
+  void accept_loop();
+  void session_reader(const std::shared_ptr<Session>& session);
+  void worker_loop();
+  void process(Work&& work);
+  [[nodiscard]] Bytes handle_request(const Request& request,
+                                     bool& shutdown_after);
+  void send_response(Session& session, const Bytes& payload) noexcept;
+
+  /// Join finished readers and drop their sessions (accept-loop hygiene).
+  void prune_connections();
+
+  ServeOptions opts_;
+  parallel::SnapshotSlot<core::IndexSnapshot> slot_;
+  parallel::BoundedQueue<Work> queue_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+
+  std::mutex stop_mu_;
+  std::condition_variable cv_stop_;
+
+  std::mutex sessions_mu_;
+  std::vector<Connection> connections_;
+  std::atomic<std::size_t> active_sessions_{0};
+
+  std::jthread accept_thread_;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace bfhrf::serve

@@ -1,0 +1,31 @@
+// ThreadSanitizer default suppressions, baked into every binary that
+// links bfhrf::util so ctest, scripts/check.sh, and direct test runs
+// all agree without TSAN_OPTIONS plumbing.
+//
+// libstdc++ (GCC 12) implements std::atomic<std::shared_ptr<T>> with a
+// lock bit spliced into the control-block pointer word (_Sp_atomic).
+// load() takes the lock with an acquire CAS, copies the raw pointer,
+// then clears the lock bit with a *relaxed* store — so when a writer
+// later takes the lock and overwrites the pointer, TSan finds no
+// happens-before edge between the reader's plain read and the writer's
+// plain write and reports a race. The lock-bit RMW still guarantees the
+// two critical sections never overlap in time, so the report is a
+// false positive against the implementation's internal protocol, not
+// against SnapshotSlot. Suppress exactly that machinery and nothing
+// else: frames in our own code still fire.
+
+#if defined(__has_feature)
+#define BFHRF_HAS_FEATURE(x) __has_feature(x)
+#else
+#define BFHRF_HAS_FEATURE(x) 0
+#endif
+
+#if defined(__SANITIZE_THREAD__) || BFHRF_HAS_FEATURE(thread_sanitizer)
+
+extern "C" const char* __tsan_default_suppressions();
+
+extern "C" const char* __tsan_default_suppressions() {
+  return "race:std::_Sp_atomic\n";
+}
+
+#endif

@@ -128,6 +128,89 @@ TEST(BoundedQueueTest, AbortWhileFullUnblocksProducers) {
   EXPECT_FALSE(q.pop(out));  // aborted queues discard even queued items
 }
 
+TEST(BoundedQueueTest, CloseWhileEmptyUnblocksConsumers) {
+  // Consumers blocked on an empty queue must wake on close() and observe a
+  // failed pop (closed-and-drained), not hang.
+  BoundedQueue<int> q(4);
+  std::atomic<int> failed_pops{0};
+  std::vector<std::jthread> consumers;
+  consumers.reserve(3);
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&q, &failed_pops] {
+      int out = 0;
+      if (!q.pop(out)) {
+        failed_pops.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  consumers.clear();  // join
+  EXPECT_EQ(failed_pops.load(), 3);
+}
+
+TEST(BoundedQueueTest, AbortWhileEmptyUnblocksConsumers) {
+  BoundedQueue<int> q(4);
+  std::atomic<bool> pop_failed{false};
+  std::jthread consumer([&] {
+    int out = 0;
+    if (!q.pop(out)) {
+      pop_failed.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.abort();
+  consumer.join();
+  EXPECT_TRUE(pop_failed.load());
+}
+
+TEST(BoundedQueueTest, AbortMidStreamUnblocksBothSides) {
+  // Producers blocked on a full queue AND consumers racing pops must all
+  // come unstuck when abort() lands mid-stream, with no further
+  // successful operations afterwards.
+  BoundedQueue<int> q(2);
+  std::atomic<bool> stop_feeding{false};
+  std::atomic<int> produced{0};
+  std::atomic<int> consumed{0};
+
+  std::vector<std::jthread> producers;
+  std::vector<std::jthread> consumers;
+  producers.reserve(2);
+  consumers.reserve(2);
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&] {
+      int i = 0;
+      while (!stop_feeding.load() && q.push(int{i})) {
+        ++i;
+        produced.fetch_add(1);
+      }
+    });
+  }
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      int out = 0;
+      // Slow consumers keep the queue mostly full, so producers block.
+      while (q.pop(out)) {
+        consumed.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  q.abort();
+  stop_feeding.store(true);
+  producers.clear();
+  consumers.clear();
+
+  EXPECT_TRUE(q.aborted());
+  // Abort discards: some produced items may legitimately never be
+  // consumed, but nothing is conjured from thin air.
+  EXPECT_LE(consumed.load(), produced.load());
+  int out = 0;
+  EXPECT_FALSE(q.pop(out));
+  EXPECT_FALSE(q.push(1));
+}
+
 TEST(BoundedQueueTest, MpmcStressPreservesEveryItem) {
   // 4 producers × 4 consumers over a deliberately tiny queue: every pushed
   // value must be popped exactly once, under heavy blocking on both sides.

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace bfhrf::parallel {
@@ -53,6 +55,49 @@ TEST(ThreadPoolTest, SizeClampedToAtLeastOne) {
   pool.submit([&counter] { ++counter; });
   pool.wait_idle();
   EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedButUnstartedTasks) {
+  // Shutdown semantics contract: a destroyed pool finishes EVERY submitted
+  // task, including ones still sitting in the queue when the destructor
+  // requests stop (workers keep draining while the queue is non-empty).
+  constexpr int kTasks = 64;
+  std::atomic<int> ran{0};
+  std::atomic<bool> release{false};
+  {
+    ThreadPool pool(2);
+    // Park both workers so everything submitted after this is guaranteed
+    // to be queued-but-unstarted when the destructor runs.
+    for (int i = 0; i < 2; ++i) {
+      pool.submit([&] {
+        while (!release.load()) {
+          std::this_thread::yield();
+        }
+        ran.fetch_add(1);
+      });
+    }
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+    release.store(true);
+  }  // ~ThreadPool
+  EXPECT_EQ(ran.load(), kTasks + 2);
+}
+
+TEST(ThreadPoolTest, DestructorWithBlockedWorkersAndQueueBacklog) {
+  // Same contract under contention: the destructor is invoked while the
+  // workers are mid-task and the backlog is deep; nothing is lost.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 300; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ran.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 300);
 }
 
 TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {

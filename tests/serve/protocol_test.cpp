@@ -1,0 +1,295 @@
+// Wire-protocol conformance: golden byte layouts, encode/decode
+// roundtrips, and the robustness contract — truncated, oversized,
+// trailing-garbage, and random payloads must raise ParseError (never
+// crash, never over-read, never balloon memory on a hostile count).
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/test_util.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf::serve {
+namespace {
+
+Bytes bytes(std::initializer_list<int> vals) {
+  Bytes out;
+  for (const int v : vals) {
+    out.push_back(static_cast<std::uint8_t>(v));
+  }
+  return out;
+}
+
+// --- golden byte layouts (the on-the-wire ABI; changing these is a
+// protocol version bump, not a refactor) ------------------------------------
+
+TEST(ServeProtocolGolden, PingRequestIsOneOpcodeByte) {
+  EXPECT_EQ(encode(PingRequest{}), bytes({0x01}));
+  EXPECT_EQ(encode(StatsRequest{}), bytes({0x03}));
+  EXPECT_EQ(encode(ShutdownRequest{}), bytes({0x05}));
+}
+
+TEST(ServeProtocolGolden, QueryRequestLayout) {
+  // op=2 | count=1 | len=6 | "(a,b);"  — all u32s little-endian.
+  const Bytes got = encode(QueryRequest{{"(a,b);"}});
+  const Bytes want = bytes({0x02, 1, 0, 0, 0, 6, 0, 0, 0,
+                            '(', 'a', ',', 'b', ')', ';'});
+  EXPECT_EQ(got, want);
+}
+
+TEST(ServeProtocolGolden, PublishRequestLayout) {
+  const Bytes got = encode(PublishRequest{"/x"});
+  EXPECT_EQ(got, bytes({0x04, 2, 0, 0, 0, '/', 'x'}));
+}
+
+TEST(ServeProtocolGolden, QueryResultLayout) {
+  // status=0 | version u64 | count u32 | f64 bits. 0.5 = 0x3FE0...0.
+  QueryResult res;
+  res.snapshot_version = 3;
+  res.avg_rf = {0.5};
+  const Bytes want = bytes({0x00, 3, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0,
+                            0, 0, 0, 0, 0, 0, 0xE0, 0x3F});
+  EXPECT_EQ(encode(res), want);
+}
+
+TEST(ServeProtocolGolden, ErrorResultLayout) {
+  const Bytes got = encode(ErrorResult{Status::BadRequest, "no"});
+  EXPECT_EQ(got, bytes({0x01, 2, 0, 0, 0, 'n', 'o'}));
+}
+
+// --- roundtrips -------------------------------------------------------------
+
+TEST(ServeProtocol, RequestRoundtrips) {
+  const QueryRequest query{{"((a,b),c);", "(a,(b,c));", ""}};
+  const Request decoded = decode_request(encode(query));
+  const auto* q = std::get_if<QueryRequest>(&decoded);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->newicks, query.newicks);
+
+  EXPECT_TRUE(std::holds_alternative<PingRequest>(
+      decode_request(encode(PingRequest{}))));
+  EXPECT_TRUE(std::holds_alternative<StatsRequest>(
+      decode_request(encode(StatsRequest{}))));
+  EXPECT_TRUE(std::holds_alternative<ShutdownRequest>(
+      decode_request(encode(ShutdownRequest{}))));
+  const Request pub = decode_request(encode(PublishRequest{"/tmp/i.bfh"}));
+  ASSERT_TRUE(std::holds_alternative<PublishRequest>(pub));
+  EXPECT_EQ(std::get<PublishRequest>(pub).path, "/tmp/i.bfh");
+}
+
+TEST(ServeProtocol, ResponseRoundtrips) {
+  QueryResult query;
+  query.snapshot_version = 42;
+  query.avg_rf = {0.0, 17.25, -0.0, 1e300};
+  const QueryResult q2 = decode_query_result(encode(query));
+  EXPECT_EQ(q2.snapshot_version, 42u);
+  ASSERT_EQ(q2.avg_rf.size(), query.avg_rf.size());
+  for (std::size_t i = 0; i < q2.avg_rf.size(); ++i) {
+    // Bit-identical transport, signed zero included.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(q2.avg_rf[i]),
+              std::bit_cast<std::uint64_t>(query.avg_rf[i]));
+  }
+
+  StatsResult stats;
+  stats.snapshot_version = 7;
+  stats.taxa = 100;
+  stats.reference_trees = 20;
+  stats.unique_bipartitions = 1234;
+  stats.total_bipartitions = 5678;
+  const StatsResult s2 = decode_stats_result(encode(stats));
+  EXPECT_EQ(s2.snapshot_version, 7u);
+  EXPECT_EQ(s2.taxa, 100u);
+  EXPECT_EQ(s2.reference_trees, 20u);
+  EXPECT_EQ(s2.unique_bipartitions, 1234u);
+  EXPECT_EQ(s2.total_bipartitions, 5678u);
+
+  EXPECT_EQ(decode_publish_result(encode(PublishResult{9})).snapshot_version,
+            9u);
+  decode_ok_empty(encode_ok());
+
+  const ErrorResult err =
+      decode_error(encode(ErrorResult{Status::ShuttingDown, "bye"}));
+  EXPECT_EQ(err.status, Status::ShuttingDown);
+  EXPECT_EQ(err.message, "bye");
+}
+
+// --- malformed payloads -----------------------------------------------------
+
+TEST(ServeProtocolMalformed, EmptyAndUnknownOpcode) {
+  EXPECT_THROW((void)decode_request({}), ParseError);
+  EXPECT_THROW((void)decode_request(bytes({0x77})), ParseError);
+  EXPECT_THROW((void)decode_request(bytes({0x00})), ParseError);
+}
+
+TEST(ServeProtocolMalformed, TrailingGarbageRejected) {
+  Bytes ping = encode(PingRequest{});
+  ping.push_back(0xAB);
+  EXPECT_THROW((void)decode_request(ping), ParseError);
+
+  Bytes ok = encode_ok();
+  ok.push_back(0x00);
+  EXPECT_THROW(decode_ok_empty(ok), ParseError);
+}
+
+TEST(ServeProtocolMalformed, TruncatedBodies) {
+  // Query op with a count but no strings.
+  EXPECT_THROW((void)decode_request(bytes({0x02, 2, 0, 0, 0})), ParseError);
+  // String length pointing past the payload.
+  EXPECT_THROW((void)decode_request(
+                   bytes({0x02, 1, 0, 0, 0, 50, 0, 0, 0, 'x'})),
+               ParseError);
+  // Publish path truncated mid-length-field.
+  EXPECT_THROW((void)decode_request(bytes({0x04, 5, 0})), ParseError);
+  // Query result cut inside a double.
+  Bytes res = encode(QueryResult{1, {2.0}});
+  res.resize(res.size() - 3);
+  EXPECT_THROW((void)decode_query_result(res), ParseError);
+}
+
+TEST(ServeProtocolMalformed, HostileCountRejectedBeforeAllocation) {
+  // count = 0xFFFFFFFF with a near-empty payload must throw, not reserve
+  // 4 billion entries.
+  EXPECT_THROW((void)decode_request(bytes({0x02, 0xFF, 0xFF, 0xFF, 0xFF})),
+               ParseError);
+  EXPECT_THROW(
+      (void)decode_query_result(bytes({0x00, 1, 0, 0, 0, 0, 0, 0, 0,
+                                       0xFF, 0xFF, 0xFF, 0xFF})),
+      ParseError);
+}
+
+TEST(ServeProtocolMalformed, StatusByteValidation) {
+  EXPECT_THROW((void)response_status({}), ParseError);
+  EXPECT_THROW((void)response_status(bytes({0x09})), ParseError);
+  // decode_error on an Ok payload is a caller bug surfaced as ParseError.
+  EXPECT_THROW((void)decode_error(encode_ok()), ParseError);
+  // Ok-decoders on an error payload report the mismatch.
+  EXPECT_THROW((void)decode_query_result(
+                   encode(ErrorResult{Status::ServerError, "x"})),
+               ParseError);
+}
+
+// --- stream framing over a socketpair ---------------------------------------
+
+class FramePipe : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_), 0);
+  }
+  void TearDown() override {
+    close_writer();
+    ::close(fds_[0]);
+  }
+  void close_writer() {
+    if (fds_[1] >= 0) {
+      ::close(fds_[1]);
+      fds_[1] = -1;
+    }
+  }
+  void send_raw(const Bytes& b) {
+    ASSERT_EQ(::send(fds_[1], b.data(), b.size(), 0),
+              static_cast<ssize_t>(b.size()));
+  }
+
+  int fds_[2] = {-1, -1};
+};
+
+TEST_F(FramePipe, RoundtripThenCleanEof) {
+  const Bytes payload = encode(QueryRequest{{"(a,b);"}});
+  write_frame(fds_[1], payload);
+  close_writer();
+
+  Bytes got;
+  ASSERT_TRUE(read_frame(fds_[0], got));
+  EXPECT_EQ(got, payload);
+  EXPECT_FALSE(read_frame(fds_[0], got));  // EOF at a frame boundary
+}
+
+TEST_F(FramePipe, TruncatedHeaderIsParseError) {
+  send_raw(bytes({0x05, 0x00}));
+  close_writer();
+  Bytes got;
+  EXPECT_THROW((void)read_frame(fds_[0], got), ParseError);
+}
+
+TEST_F(FramePipe, TruncatedBodyIsParseError) {
+  send_raw(bytes({10, 0, 0, 0, 'a', 'b', 'c'}));  // announces 10, sends 3
+  close_writer();
+  Bytes got;
+  EXPECT_THROW((void)read_frame(fds_[0], got), ParseError);
+}
+
+TEST_F(FramePipe, ZeroLengthFrameIsParseError) {
+  send_raw(bytes({0, 0, 0, 0}));
+  close_writer();
+  Bytes got;
+  EXPECT_THROW((void)read_frame(fds_[0], got), ParseError);
+}
+
+TEST_F(FramePipe, OversizedFrameIsParseError) {
+  send_raw(bytes({0xFF, 0xFF, 0xFF, 0x7F}));  // ~2 GiB announcement
+  close_writer();
+  Bytes got;
+  EXPECT_THROW((void)read_frame(fds_[0], got, /*max_bytes=*/1 << 20),
+               ParseError);
+}
+
+// --- seeded fuzz ------------------------------------------------------------
+
+TEST(ServeProtocolFuzz, RandomPayloadsNeverCrash) {
+  util::Rng rng(test::fuzz_seed(0xF7A3E5));
+  SCOPED_TRACE("replay with --seed (see [fuzz] line above)");
+  for (int iter = 0; iter < 3000; ++iter) {
+    Bytes payload(rng.below(64));
+    for (auto& b : payload) {
+      b = static_cast<std::uint8_t>(rng.below(256));
+    }
+    try {
+      (void)decode_request(payload);
+    } catch (const ParseError&) {
+      // expected for almost all inputs
+    }
+    try {
+      (void)decode_query_result(payload);
+    } catch (const ParseError&) {
+    }
+    try {
+      (void)decode_error(payload);
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+TEST(ServeProtocolFuzz, MutatedValidRequestsNeverCrash) {
+  util::Rng rng(test::fuzz_seed(0xC0FFEE));
+  SCOPED_TRACE("replay with --seed (see [fuzz] line above)");
+  const Bytes base = encode(QueryRequest{{"((a,b),(c,d));", "(a,b);"}});
+  for (int iter = 0; iter < 3000; ++iter) {
+    Bytes mutated = base;
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.below(8));
+    }
+    try {
+      const Request req = decode_request(mutated);
+      // A surviving decode must still be internally consistent.
+      if (const auto* q = std::get_if<QueryRequest>(&req)) {
+        for (const std::string& s : q->newicks) {
+          EXPECT_LE(s.size(), mutated.size());
+        }
+      }
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bfhrf::serve

@@ -1,0 +1,155 @@
+// SnapshotSlot RCU semantics and the IndexSnapshot immutability contract.
+#include "core/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/serialize.hpp"
+#include "parallel/snapshot_slot.hpp"
+#include "phylo/newick.hpp"
+#include "support/test_util.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace bfhrf {
+namespace {
+
+using parallel::SnapshotSlot;
+
+TEST(SnapshotSlotTest, EmptySlotYieldsInvalidHandle) {
+  SnapshotSlot<int> slot;
+  EXPECT_EQ(slot.version(), 0u);
+  const auto h = slot.acquire();
+  EXPECT_FALSE(h.valid());
+  EXPECT_FALSE(h);
+  EXPECT_EQ(h.version(), 0u);
+}
+
+TEST(SnapshotSlotTest, PublishAssignsMonotonicVersions) {
+  SnapshotSlot<int> slot;
+  EXPECT_EQ(slot.publish(std::make_shared<const int>(10)), 1u);
+  EXPECT_EQ(slot.publish(std::make_shared<const int>(20)), 2u);
+  EXPECT_EQ(slot.version(), 2u);
+  const auto h = slot.acquire();
+  ASSERT_TRUE(h);
+  EXPECT_EQ(*h, 20);
+  EXPECT_EQ(h.version(), 2u);
+}
+
+TEST(SnapshotSlotTest, HandlePinsRetiredVersionUntilDropped) {
+  SnapshotSlot<int> slot;
+  auto first = std::make_shared<const int>(1);
+  std::weak_ptr<const int> watch = first;
+  slot.publish(std::move(first));
+
+  auto lease = slot.acquire();
+  ASSERT_TRUE(lease);
+  slot.publish(std::make_shared<const int>(2));
+
+  // The swap retired version 1, but the outstanding lease keeps it alive
+  // and bit-identical; only dropping the last lease destroys it.
+  EXPECT_FALSE(watch.expired());
+  EXPECT_EQ(*lease, 1);
+  EXPECT_EQ(lease.version(), 1u);
+  EXPECT_EQ(*slot.acquire(), 2);
+
+  lease = {};
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(SnapshotSlotTest, PublishingNullClearsTheSlot) {
+  SnapshotSlot<int> slot;
+  slot.publish(std::make_shared<const int>(5));
+  EXPECT_EQ(slot.publish(nullptr), 2u);
+  EXPECT_FALSE(slot.acquire());
+  EXPECT_EQ(slot.version(), 2u);
+}
+
+TEST(SnapshotSlotTest, HandleCopiesShareThePin) {
+  SnapshotSlot<std::string> slot;
+  slot.publish(std::make_shared<const std::string>("v1"));
+  auto a = slot.acquire();
+  auto b = a;  // NOLINT(performance-unnecessary-copy-initialization)
+  slot.publish(std::make_shared<const std::string>("v2"));
+  a = {};
+  ASSERT_TRUE(b);
+  EXPECT_EQ(*b, "v1");
+}
+
+// --- IndexSnapshot ----------------------------------------------------------
+
+class IndexSnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    taxa_ = phylo::TaxonSet::make_numbered(16);
+    util::Rng rng(0xBEEF);
+    reference_ = test::random_collection(taxa_, 12, 3, rng);
+    queries_ = test::random_collection(taxa_, 5, 6, rng);
+  }
+
+  phylo::TaxonSetPtr taxa_;
+  std::vector<phylo::Tree> reference_;
+  std::vector<phylo::Tree> queries_;
+};
+
+TEST_F(IndexSnapshotTest, BuildMatchesDirectEngine) {
+  core::Bfhrf direct(taxa_->size());
+  direct.build(reference_);
+
+  const auto snap = core::IndexSnapshot::build(taxa_, reference_);
+  EXPECT_TRUE(taxa_->frozen());
+  EXPECT_EQ(snap->source(), "inline");
+  for (const phylo::Tree& q : queries_) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(snap->query_one(q)),
+              std::bit_cast<std::uint64_t>(direct.query_one(q)));
+  }
+}
+
+TEST_F(IndexSnapshotTest, QueryNewickRoundtripsThroughText) {
+  const auto snap = core::IndexSnapshot::build(taxa_, reference_);
+  for (const phylo::Tree& q : queries_) {
+    const double via_text = snap->query_newick(phylo::write_newick(q));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(via_text),
+              std::bit_cast<std::uint64_t>(snap->query_one(q)));
+  }
+}
+
+TEST_F(IndexSnapshotTest, QueryNewickRejectsForeignTaxaAndGarbage) {
+  const auto snap = core::IndexSnapshot::build(taxa_, reference_);
+  EXPECT_THROW((void)snap->query_newick("((t0,t1),unknown_taxon);"),
+               Error);
+  EXPECT_THROW((void)snap->query_newick("((((;"), ParseError);
+}
+
+TEST_F(IndexSnapshotTest, OpenRestoresIdenticalAnswers) {
+  const auto built = core::IndexSnapshot::build(taxa_, reference_);
+  const std::string path =
+      ::testing::TempDir() + "snapshot_test_index.bfh";
+  core::save_bfhrf_file(built->engine(), path);
+
+  const auto opened = core::IndexSnapshot::open(path, taxa_);
+  EXPECT_EQ(opened->source(), path);
+  for (const phylo::Tree& q : queries_) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(opened->query_one(q)),
+              std::bit_cast<std::uint64_t>(built->query_one(q)));
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(IndexSnapshotTest, WidthMismatchIsRejected) {
+  core::Bfhrf engine(taxa_->size());
+  engine.build(reference_);
+  const auto wrong = phylo::TaxonSet::make_numbered(taxa_->size() + 3);
+  EXPECT_THROW(core::IndexSnapshot(std::move(engine), wrong, "x"),
+               InvalidArgument);
+  EXPECT_THROW((void)core::IndexSnapshot::build(nullptr, reference_),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bfhrf
