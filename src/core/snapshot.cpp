@@ -22,7 +22,15 @@ IndexSnapshot::IndexSnapshot(Bfhrf engine, phylo::TaxonSetPtr taxa,
         std::to_string(engine_.store().n_bits()) +
         " != taxon set size " + std::to_string(taxa_->size()));
   }
-  taxa_->freeze();
+  // freeze() is a plain (non-atomic) write. A snapshot is routinely built
+  // over a LIVE snapshot's shared namespace (RfServer::publish_file runs on
+  // a worker while other workers parse queries against the same TaxonSet),
+  // so re-storing `frozen_ = true` there would race with those readers.
+  // Skip the write when the set is already frozen; an unfrozen set is by
+  // construction still privately owned by the builder.
+  if (!taxa_->frozen()) {
+    taxa_->freeze();
+  }
 }
 
 std::shared_ptr<const IndexSnapshot> IndexSnapshot::build(

@@ -31,10 +31,13 @@ namespace bfhrf::core {
 
 class IndexSnapshot {
  public:
-  /// Wrap a built engine. `taxa` is frozen here (further growth would let
-  /// two concurrent parses race on the namespace); its width must equal
-  /// the engine's universe width. `source` is a human-readable origin tag
-  /// ("inline", a file path, …) surfaced by stats endpoints.
+  /// Wrap a built engine. `taxa` is frozen here if not already frozen
+  /// (further growth would let two concurrent parses race on the
+  /// namespace; the write is SKIPPED on an already-frozen set so a new
+  /// snapshot can be built over a live snapshot's shared namespace without
+  /// racing its readers); its width must equal the engine's universe
+  /// width. `source` is a human-readable origin tag ("inline", a file
+  /// path, …) surfaced by stats endpoints.
   IndexSnapshot(Bfhrf engine, phylo::TaxonSetPtr taxa, std::string source);
 
   IndexSnapshot(const IndexSnapshot&) = delete;

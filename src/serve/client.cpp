@@ -81,6 +81,25 @@ Bytes RfClient::roundtrip_raw(const Bytes& payload) {
   return roundtrip(payload);
 }
 
+void RfClient::send_frame(const Bytes& payload) {
+  if (fd_ < 0) {
+    throw Error("client: not connected");
+  }
+  write_frame(fd_, payload);
+}
+
+Bytes RfClient::recv_frame() {
+  if (fd_ < 0) {
+    throw Error("client: not connected");
+  }
+  Bytes response;
+  if (!read_frame(fd_, response, max_frame_bytes_)) {
+    close();
+    throw Error("client: server closed the connection before responding");
+  }
+  return response;
+}
+
 namespace {
 
 /// Decode with `decoder` when Ok; otherwise throw the server's error.

@@ -58,6 +58,13 @@ class RfClient {
   /// payload. The conformance tests use this to probe malformed input.
   [[nodiscard]] Bytes roundtrip_raw(const Bytes& payload);
 
+  /// Pipelining probes: send one frame without waiting for its response /
+  /// read the next response frame. The ordering-conformance tests use
+  /// these to verify that pipelined requests are answered in request
+  /// order; recv_frame throws Error if the server closes first.
+  void send_frame(const Bytes& payload);
+  [[nodiscard]] Bytes recv_frame();
+
   void close() noexcept;
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
 

@@ -245,9 +245,20 @@ void RfServer::accept_loop() {
         static_cast<double>(active_sessions_.fetch_add(1) + 1));
 
     auto session = std::make_shared<Session>(fd);
-    const std::lock_guard lock(sessions_mu_);
-    connections_.push_back(Connection{
-        session, std::jthread([this, session] { session_reader(session); })});
+    {
+      const std::lock_guard lock(sessions_mu_);
+      connections_.push_back(Connection{
+          session,
+          std::jthread([this, session] { session_reader(session); })});
+    }
+    // request_stop() sweeps connections_ under sessions_mu_ and SHUT_RDs
+    // every reader; a connection inserted after that sweep missed it and
+    // its reader would park in read_frame against an idle peer until full
+    // stop(). Inserting under the same mutex orders this load after the
+    // sweeper's stopping_ store, so re-check and deliver the missed wakeup.
+    if (stopping_.load()) {
+      ::shutdown(fd, SHUT_RD);
+    }
   }
 }
 
@@ -259,15 +270,17 @@ void RfServer::session_reader(const std::shared_ptr<Session>& session) {
     while (read_frame(session->fd, payload, opts_.max_frame_bytes)) {
       m.requests.inc();
       m.queue_depth.observe(static_cast<double>(queue_.size()) + 1.0);
+      const std::uint64_t seq = session->next_seq++;
       session->pending.fetch_add(1);
-      Work work{session, std::move(payload), util::WallTimer{}};
+      Work work{session, seq, std::move(payload), util::WallTimer{}};
       if (!queue_.push(std::move(work))) {
-        session->pending.fetch_sub(1);
-        // Admission refused: the daemon is draining toward shutdown.
+        // Admission refused: the daemon is draining toward shutdown. The
+        // refusal keeps its admission slot in the response order.
         m.rejected.inc();
-        send_response(*session,
+        send_response(*session, seq,
                       encode(ErrorResult{Status::ShuttingDown,
                                          "server is shutting down"}));
+        session->pending.fetch_sub(1);
         break;
       }
       payload = Bytes{};
@@ -277,7 +290,7 @@ void RfServer::session_reader(const std::shared_ptr<Session>& session) {
     // peer vanished mid-frame): answer best-effort, then close
     // deliberately — there is no trustworthy frame boundary to resync on.
     m.errors.inc();
-    send_response(*session,
+    send_response(*session, session->next_seq++,
                   encode(ErrorResult{Status::BadRequest, e.what()}));
   } catch (const Error&) {
     m.errors.inc();  // socket error; nothing to say to the peer
@@ -318,7 +331,7 @@ void RfServer::process(Work&& work) {
     response = encode(ErrorResult{Status::ServerError, e.what()});
   }
 
-  send_response(*work.session, response);
+  send_response(*work.session, work.seq, std::move(response));
   m.request_seconds.observe(work.admitted.seconds());
   work.session->pending.fetch_sub(1);
   work.session->finish_if_drained();
@@ -380,13 +393,32 @@ Bytes RfServer::handle_request(const Request& request, bool& shutdown_after) {
   return encode(ErrorResult{Status::BadRequest, "unhandled request kind"});
 }
 
-void RfServer::send_response(Session& session, const Bytes& payload) noexcept {
+void RfServer::send_response(Session& session, std::uint64_t seq,
+                             Bytes payload) noexcept {
+  const std::lock_guard lock(session.write_mu);
+  if (session.write_broken) {
+    return;  // the peer is gone; responses can only be dropped now
+  }
+  // Per-session FIFO: stage the completed response, then flush the longest
+  // in-order run. Workers finish pipelined requests in any order, but the
+  // wire contract (protocol.hpp) is request order per connection — a
+  // response waits here until every earlier admission has been written.
+  session.staged.emplace(seq, std::move(payload));
   try {
-    const std::lock_guard lock(session.write_mu);
-    write_frame(session.fd, payload);
+    auto it = session.staged.begin();
+    while (it != session.staged.end() &&
+           it->first == session.next_write_seq) {
+      write_frame(session.fd, it->second);
+      it = session.staged.erase(it);
+      ++session.next_write_seq;
+    }
   } catch (...) {
     // The peer is gone; its in-flight work is already done. Nothing to
-    // unwind — the reader will observe the dead socket and retire.
+    // unwind — the reader will observe the dead socket and retire, and
+    // later responses for this session are dropped (never reordered past
+    // the failed frame).
+    session.write_broken = true;
+    session.staged.clear();
     metrics().errors.inc();
   }
 }

@@ -11,8 +11,12 @@
 //                        ▼               burst backpressures the sockets
 //                 worker threads         instead of ballooning memory)
 //                        │  decode, execute against slot_.acquire(),
-//                        ▼  write response under the session write lock
-//                 responses (per-connection, in request order)
+//                        ▼  stage the response under the session write lock
+//                 responses (per-connection, in request order: each request
+//                 carries a per-session sequence number and a completed
+//                 response is flushed only once every earlier one has been
+//                 written, so pipelined requests finished out of order by
+//                 different workers still answer in order on the wire)
 //
 // Index versions live in a parallel::SnapshotSlot<core::IndexSnapshot>:
 // each request leases the then-current snapshot with one wait-free
@@ -39,6 +43,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -145,13 +150,27 @@ class RfServer {
     void finish_if_drained() noexcept;
 
     int fd = -1;
-    std::mutex write_mu;             ///< responses are one frame at a time
+
+    /// Admission-order sequence counter, advanced only by this session's
+    /// reader thread. The protocol promises responses in request order on
+    /// each connection, but several workers can finish two pipelined
+    /// requests out of order — so every request takes a sequence number at
+    /// admission and send_response() holds a completed response back until
+    /// every earlier one is on the wire.
+    std::uint64_t next_seq = 0;
+
+    std::mutex write_mu;  ///< guards fd's write half + the three fields below
+    std::uint64_t next_write_seq = 0;       ///< first seq not yet written
+    std::map<std::uint64_t, Bytes> staged;  ///< done, awaiting earlier seqs
+    bool write_broken = false;  ///< a write failed; drop later responses
+
     std::atomic<bool> done{false};   ///< reader exited
     std::atomic<int> pending{0};     ///< admitted, not yet responded
   };
 
   struct Work {
     std::shared_ptr<Session> session;
+    std::uint64_t seq = 0;  ///< per-session admission order (FIFO key)
     Bytes payload;
     util::WallTimer admitted;  ///< started at admission (queue-wait clock)
   };
@@ -167,7 +186,8 @@ class RfServer {
   void process(Work&& work);
   [[nodiscard]] Bytes handle_request(const Request& request,
                                      bool& shutdown_after);
-  void send_response(Session& session, const Bytes& payload) noexcept;
+  void send_response(Session& session, std::uint64_t seq,
+                     Bytes payload) noexcept;
 
   /// Join finished readers and drop their sessions (accept-loop hygiene).
   void prune_connections();

@@ -2,17 +2,39 @@
 // links bfhrf::util so ctest, scripts/check.sh, and direct test runs
 // all agree without TSAN_OPTIONS plumbing.
 //
-// libstdc++ (GCC 12) implements std::atomic<std::shared_ptr<T>> with a
-// lock bit spliced into the control-block pointer word (_Sp_atomic).
-// load() takes the lock with an acquire CAS, copies the raw pointer,
-// then clears the lock bit with a *relaxed* store — so when a writer
-// later takes the lock and overwrites the pointer, TSan finds no
-// happens-before edge between the reader's plain read and the writer's
-// plain write and reports a race. The lock-bit RMW still guarantees the
-// two critical sections never overlap in time, so the report is a
-// false positive against the implementation's internal protocol, not
-// against SnapshotSlot. Suppress exactly that machinery and nothing
-// else: frames in our own code still fire.
+// libstdc++ (observed on GCC 12/13) implements
+// std::atomic<std::shared_ptr<T>> with a lock bit spliced into the
+// control-block pointer word (_Sp_atomic). load() takes the lock with an
+// acquire CAS, copies the raw pointer, then clears the lock bit with a
+// *relaxed* store — so when a writer later takes the lock and overwrites
+// the pointer, TSan finds no happens-before edge between the reader's
+// plain read and the writer's plain write and reports a race. The lock-bit
+// RMW still guarantees the two critical sections never overlap in time, so
+// the report is a false positive against the implementation's internal
+// protocol, not against SnapshotSlot. Suppress exactly that machinery and
+// nothing else: frames in our own code still fire.
+//
+// Scope caveats (docs/TESTING.md):
+//  * The match is by frame, so a GENUINE race that happens to cross
+//    _Sp_atomic frames — e.g. a plain shared_ptr aliased with an atomic
+//    slot and accessed without the atomic API — would be masked too.
+//    Audit for that periodically with an unsuppressed build
+//    (-DBFHRF_TSAN_NO_DEFAULT_SUPPRESSIONS=ON, see below) and confirm
+//    every surviving _Sp_atomic report is the known lock-bit pattern
+//    (reader load() vs writer store(), both inside _Sp_atomic frames).
+//  * The false positive is a libstdc++ implementation detail and may be
+//    fixed in a future release; the suppression is compiled only for
+//    libstdc++ builds (__GLIBCXX__) so other standard libraries never
+//    inherit it. Re-run the audit after toolchain bumps.
+//
+// The audit switch is compile-time by necessity: the runtime calls
+// __tsan_default_suppressions from .preinit_array during its own
+// initialization, before libc has populated environ and before TSan's
+// shadow memory and interceptors are ready — an env-var check here either
+// crashes (instrumented access / getenv interceptor) or reads an empty
+// environment, so there is no reliable runtime hook.
+
+#include <cstdlib>
 
 #if defined(__has_feature)
 #define BFHRF_HAS_FEATURE(x) __has_feature(x)
@@ -20,11 +42,15 @@
 #define BFHRF_HAS_FEATURE(x) 0
 #endif
 
-#if defined(__SANITIZE_THREAD__) || BFHRF_HAS_FEATURE(thread_sanitizer)
+#if (defined(__SANITIZE_THREAD__) || BFHRF_HAS_FEATURE(thread_sanitizer)) && \
+    defined(__GLIBCXX__) && !defined(BFHRF_TSAN_NO_DEFAULT_SUPPRESSIONS)
 
 extern "C" const char* __tsan_default_suppressions();
 
-extern "C" const char* __tsan_default_suppressions() {
+// Runs before shadow/interceptor init (see above): must stay a plain
+// literal return, uninstrumented, with no libc calls.
+extern "C" __attribute__((no_sanitize("thread"))) const char*
+__tsan_default_suppressions() {
   return "race:std::_Sp_atomic\n";
 }
 

@@ -186,6 +186,53 @@ TEST_F(RfServerTest, InProcessPublishTagsSubsequentQueries) {
   EXPECT_EQ(server_->current().version(), 2u);
 }
 
+TEST_F(RfServerTest, PipelinedRequestsAreAnsweredInRequestOrder) {
+  // The protocol promises responses in request order per connection
+  // (protocol.hpp) — a pipelining client decodes bodies by position, so a
+  // swap would silently hand it wrong results. Fire a burst of requests
+  // without reading any responses: with several workers racing, requests
+  // routinely COMPLETE out of order, and the per-session reorder staging
+  // in send_response must put the wire back in admission order. Request i
+  // carries i+1 copies of the same query, so the response's count field
+  // identifies which request it answers.
+  ServeOptions opts;
+  opts.workers = 4;
+  start(opts);
+  RfClient client = connect();
+
+  constexpr std::size_t kPipelined = 32;
+  const std::uint64_t expected =
+      std::bit_cast<std::uint64_t>(snapshot_->query_one(queries_[0]));
+  for (std::size_t i = 0; i < kPipelined; ++i) {
+    client.send_frame(encode(
+        QueryRequest{std::vector<std::string>(i + 1, query_text_[0])}));
+  }
+  for (std::size_t i = 0; i < kPipelined; ++i) {
+    const QueryResult res = decode_query_result(client.recv_frame());
+    ASSERT_EQ(res.avg_rf.size(), i + 1)
+        << "response " << i << " answered out of request order";
+    for (const double rf : res.avg_rf) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(rf), expected);
+    }
+  }
+  client.ping();  // the connection is still in lockstep-usable shape
+}
+
+TEST_F(RfServerTest, PipelinedBadRequestKeepsItsSlotInTheResponseOrder) {
+  // A malformed-but-framed request is answered by a worker like any other;
+  // its error response must hold the same position in the wire order.
+  ServeOptions opts;
+  opts.workers = 4;
+  start(opts);
+  RfClient client = connect();
+  client.send_frame(encode(QueryRequest{{query_text_[0]}}));
+  client.send_frame({0x7E});  // unknown opcode -> BadRequest
+  client.send_frame(encode(QueryRequest{{query_text_[0], query_text_[1]}}));
+  EXPECT_EQ(decode_query_result(client.recv_frame()).avg_rf.size(), 1u);
+  EXPECT_EQ(response_status(client.recv_frame()), Status::BadRequest);
+  EXPECT_EQ(decode_query_result(client.recv_frame()).avg_rf.size(), 2u);
+}
+
 TEST_F(RfServerTest, ManySequentialConnections) {
   start();
   for (int i = 0; i < 20; ++i) {

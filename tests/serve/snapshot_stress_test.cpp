@@ -10,17 +10,20 @@
 #include <atomic>
 #include <bit>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/serialize.hpp"
 #include "core/snapshot.hpp"
 #include "parallel/snapshot_slot.hpp"
 #include "phylo/newick.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "support/test_util.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace bfhrf::serve {
@@ -97,6 +100,36 @@ TEST(SnapshotSlotStress, RetiredVersionsDrainWithTheirLastReader) {
   }
 }
 
+// --- snapshot construction over a live, shared namespace --------------------
+
+TEST(ServeSwapStress, SnapshotBuildOverLiveNamespaceSkipsTheFreezeWrite) {
+  const auto taxa = phylo::TaxonSet::make_numbered(8);
+  util::Rng rng(test::fuzz_seed(0xF0F0));
+  const std::vector<phylo::Tree> reference =
+      test::random_collection(taxa, 6, 3, rng);
+  const auto first = core::IndexSnapshot::build(taxa, reference);
+  ASSERT_TRUE(taxa->frozen());
+
+  // A reader hammers the not-found lookup path, which READS the frozen
+  // flag with no synchronization against snapshot construction — exactly
+  // what a query worker does while another worker services a Publish over
+  // the current snapshot's namespace. Building more snapshots over the
+  // already-frozen set must SKIP the freeze() write (a plain store), or
+  // TSan flags the write/read race here.
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      EXPECT_THROW((void)taxa->add_or_get("zz_unknown"), InvalidArgument);
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    const auto snap = core::IndexSnapshot::build(taxa, reference);
+    ASSERT_TRUE(taxa->frozen());
+  }
+  stop.store(true);
+  reader.join();
+}
+
 // --- full-daemon stress: concurrent clients vs a publishing writer ----------
 
 TEST(ServeSwapStress, ConcurrentClientsSeeBitIdenticalAnswersAcrossSwaps) {
@@ -132,6 +165,18 @@ TEST(ServeSwapStress, ConcurrentClientsSeeBitIdenticalAnswersAcrossSwaps) {
     }
   }
 
+  // Saved copies of each variant, so the writer can also exercise the
+  // publish_file path: IndexSnapshot::open over the LIVE snapshot's shared
+  // TaxonSet while readers parse queries against it — the freeze() write
+  // skip in IndexSnapshot's constructor is what keeps that race-free
+  // (TSan guards the contract here).
+  std::vector<std::string> paths;
+  for (std::size_t k = 0; k < kVariants; ++k) {
+    paths.push_back(::testing::TempDir() + "swap_stress_" +
+                    std::to_string(k) + ".bfh");
+    core::save_bfhrf_file(snaps[k]->engine(), paths[k]);
+  }
+
   ServeOptions opts;
   opts.workers = 3;
   RfServer server(opts);
@@ -146,6 +191,20 @@ TEST(ServeSwapStress, ConcurrentClientsSeeBitIdenticalAnswersAcrossSwaps) {
     clients.emplace_back([&] {
       RfClient client("127.0.0.1", server.port());
       for (int r = 0; r < kRequestsPerClient; ++r) {
+        if (r % 8 == 7) {
+          // An unknown taxon takes the not-found path through
+          // TaxonSet::add_or_get, which READS frozen_ — concurrently with
+          // the writer's publish_file snapshot construction over the same
+          // namespace. TSan checks that construction never re-writes the
+          // frozen flag on a live set.
+          try {
+            (void)client.query({"(t0,(zz_not_a_taxon,t1));"});
+            failed.store(true);
+            FAIL() << "unknown taxon was accepted";
+          } catch (const ServeError& e) {
+            ASSERT_EQ(e.status(), Status::BadRequest);
+          }
+        }
         const QueryResult res = client.query(query_text);
         // Versions are assigned sequentially from 1 and published
         // cyclically, so version v served variant (v-1) % kVariants.
@@ -166,9 +225,16 @@ TEST(ServeSwapStress, ConcurrentClientsSeeBitIdenticalAnswersAcrossSwaps) {
     });
   }
 
-  // Writer: publish swaps while the clients are in flight.
+  // Writer: publish swaps while the clients are in flight, alternating
+  // prebuilt snapshots with file loads over the live namespace. Loaded
+  // engines answer bit-identically to built ones (the persistence oracle's
+  // contract), so the version -> variant mapping is unchanged.
   for (std::size_t s = 1; s <= kSwaps; ++s) {
-    server.publish(snaps[s % kVariants]);  // version s+1 -> (s % kVariants)
+    if (s % 2 == 0) {
+      server.publish_file(paths[s % kVariants]);  // version s+1
+    } else {
+      server.publish(snaps[s % kVariants]);  // version s+1 -> (s % kVariants)
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
 
@@ -176,6 +242,9 @@ TEST(ServeSwapStress, ConcurrentClientsSeeBitIdenticalAnswersAcrossSwaps) {
     t.join();
   }
   server.stop();
+  for (const std::string& path : paths) {
+    std::remove(path.c_str());
+  }
 
   EXPECT_FALSE(failed.load());
   // Zero dropped: every single request came back Ok (a ShuttingDown or
