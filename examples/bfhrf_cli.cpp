@@ -9,12 +9,18 @@
 //             [--normalized | --half] [--min-size K] [--max-size K]
 //             [--include-trivial] [--compressed-keys] [--stats]
 //             [--shards N] [--save-index FILE [--mapped] | --load-index FILE]
+//             [--input-format auto|newick|nexus|vector]
+//             [--emit-vector FILE]
 //             [--matrix [--matrix-engine auto|legacy|dense|sparse]]
 //
 // With no -q, the reference collection is scored against itself (Q is R,
-// the paper's experimental setting). Input files may be Newick (streamed)
-// or NEXUS (detected by the #NEXUS header; loaded via the TREES block).
-// Output: one line per query tree, "<index>\t<avg RF>".
+// the paper's experimental setting). Input files may be Newick (streamed),
+// NEXUS (detected by the #NEXUS header; loaded via the TREES block), or a
+// phylo2vec .p2v corpus (detected by extension or the P2V1 magic; streamed
+// with bipartitions extracted directly from the vector rows — no Newick
+// parse, no Tree). --emit-vector converts the reference collection to a
+// .p2v corpus and exits. Output: one line per query tree,
+// "<index>\t<avg RF>".
 //
 // --matrix switches to the exact all-pairs product instead: the full RF
 // matrix of the reference collection (core/all_pairs bit-matrix engines)
@@ -38,17 +44,22 @@
 #include "core/variants.hpp"
 #include "phylo/nexus.hpp"
 #include "phylo/taxon_set.hpp"
+#include "phylo/vector_codec.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
 #include "util/timer.hpp"
 
 namespace {
 
+enum class TreeFormat { Auto, Newick, Nexus, Vector };
+
 struct CliOptions {
   std::string reference_path;
   std::string query_path;   // empty = Q is R
   std::string save_index;   // write the built index here
   std::string load_index;   // read a prebuilt index instead of -r
+  std::string emit_vector;  // convert -r to a .p2v corpus and exit
+  TreeFormat input_format = TreeFormat::Auto;  // applies to -r and -q
   std::size_t threads = 1;
   std::size_t shards = 1;   // 0 = auto-size from threads/hardware
   bool mapped_format = false;  // --save-index writes the mmap-able layout
@@ -91,6 +102,102 @@ bool is_nexus(const std::string& path) {
          (std::tolower(static_cast<unsigned char>(word[1])) == 'n');
 }
 
+/// Sniff a phylo2vec corpus: the .p2v extension or the P2V1 magic bytes.
+bool is_p2v(const std::string& path) {
+  if (path.size() >= 4 && path.compare(path.size() - 4, 4, ".p2v") == 0) {
+    return true;
+  }
+  std::ifstream in(path, std::ios::binary);
+  char magic[4] = {};
+  in.read(magic, sizeof magic);
+  return in.gcount() == 4 && std::memcmp(magic, "P2V1", 4) == 0;
+}
+
+TreeFormat parse_format(const std::string& name) {
+  if (name == "auto") {
+    return TreeFormat::Auto;
+  }
+  if (name == "newick") {
+    return TreeFormat::Newick;
+  }
+  if (name == "nexus") {
+    return TreeFormat::Nexus;
+  }
+  if (name == "vector") {
+    return TreeFormat::Vector;
+  }
+  throw bfhrf::InvalidArgument(
+      "--input-format must be auto, newick, nexus or vector (got '" + name +
+      "')");
+}
+
+TreeFormat resolve_format(const std::string& path, TreeFormat forced) {
+  if (forced != TreeFormat::Auto) {
+    return forced;
+  }
+  if (is_p2v(path)) {
+    return TreeFormat::Vector;
+  }
+  if (is_nexus(path)) {
+    return TreeFormat::Nexus;
+  }
+  return TreeFormat::Newick;
+}
+
+/// Taxon namespace of a .p2v corpus: its labels when it carries them,
+/// numbered otherwise.
+bfhrf::phylo::TaxonSetPtr p2v_taxa(const bfhrf::phylo::P2vHeader& header) {
+  if (header.labels.empty()) {
+    return bfhrf::phylo::TaxonSet::make_numbered(header.n_taxa);
+  }
+  return std::make_shared<bfhrf::phylo::TaxonSet>(header.labels);
+}
+
+/// Vector rows address taxa by bit index, so a labeled query corpus must
+/// agree with the reference namespace label-for-label — there is no cheap
+/// remap of bipartition bitmasks. Label-free corpora are width-checked by
+/// the engine.
+void check_p2v_labels(const bfhrf::phylo::P2vHeader& header,
+                      const bfhrf::phylo::TaxonSet& taxa) {
+  if (header.labels.empty()) {
+    return;
+  }
+  if (header.labels != taxa.labels()) {
+    throw bfhrf::InvalidArgument(
+        "query .p2v taxon labels do not match the reference namespace "
+        "(vector rows are bound to bit order; re-emit the corpus over the "
+        "reference taxon set)");
+  }
+}
+
+/// Load a whole collection into memory, in any input format. For vector
+/// input `taxa` is replaced by the corpus's own namespace.
+std::vector<bfhrf::phylo::Tree> load_trees(const std::string& path,
+                                           TreeFormat format,
+                                           bfhrf::phylo::TaxonSetPtr& taxa) {
+  namespace core = bfhrf::core;
+  namespace phylo = bfhrf::phylo;
+  if (format == TreeFormat::Nexus) {
+    return std::move(phylo::read_nexus_file(path, taxa).trees);
+  }
+  std::vector<phylo::Tree> trees;
+  phylo::Tree t;
+  if (format == TreeFormat::Vector) {
+    core::P2vFileSource rows(path);
+    taxa = p2v_taxa(rows.header());
+    core::VectorTreeSource src(rows, taxa);
+    while (src.next(t)) {
+      trees.push_back(std::move(t));
+    }
+    return trees;
+  }
+  core::FileTreeSource src(path, taxa);
+  while (src.next(t)) {
+    trees.push_back(std::move(t));
+  }
+  return trees;
+}
+
 void usage(const char* argv0) {
   std::fprintf(
       stderr,
@@ -98,13 +205,18 @@ void usage(const char* argv0) {
       "          [--normalized | --half] [--min-size K] [--max-size K]\n"
       "          [--include-trivial] [--compressed-keys] [--stats]\n"
       "          [--shards N] [--save-index FILE [--mapped] | --load-index FILE]\n"
+      "          [--input-format auto|newick|nexus|vector]\n"
+      "          [--emit-vector FILE]\n"
       "          [--matrix [--matrix-engine auto|legacy|dense|sparse]]\n"
       "\n"
       "Average Robinson-Foulds distance of each query tree against the\n"
       "reference collection, via a bipartition frequency hash (BFHRF).\n"
       "With no -q the reference collection is compared against itself.\n"
-      "--matrix instead prints the exact all-pairs RF matrix of the\n"
-      "reference collection in PHYLIP format.\n",
+      "Inputs may be Newick, NEXUS, or phylo2vec .p2v corpora (vector rows\n"
+      "stream straight into bipartition extraction — no Newick parse).\n"
+      "--emit-vector converts the reference collection to a .p2v corpus\n"
+      "and exits. --matrix instead prints the exact all-pairs RF matrix\n"
+      "of the reference collection in PHYLIP format.\n",
       argv0);
 }
 
@@ -144,6 +256,10 @@ CliOptions parse_args(int argc, char** argv) {
       o.mapped_format = true;
     } else if (arg == "--load-index") {
       o.load_index = need_value("--load-index");
+    } else if (arg == "--input-format") {
+      o.input_format = parse_format(need_value("--input-format"));
+    } else if (arg == "--emit-vector") {
+      o.emit_vector = need_value("--emit-vector");
     } else if (arg == "--stats") {
       o.stats = true;
     } else if (arg == "--matrix") {
@@ -171,6 +287,10 @@ CliOptions parse_args(int argc, char** argv) {
   if (o.matrix && !o.load_index.empty()) {
     throw bfhrf::InvalidArgument("--matrix needs the reference trees (-r); "
                                  "an index stores only the frequency hash");
+  }
+  if (!o.emit_vector.empty() && o.reference_path.empty()) {
+    throw bfhrf::InvalidArgument("--emit-vector converts the -r collection; "
+                                 "give it a reference file");
   }
   return o;
 }
@@ -202,21 +322,26 @@ int main(int argc, char** argv) {
 
     util::WallTimer timer;
 
+    // Conversion mode: materialize the reference collection (any format)
+    // and re-emit it as a .p2v corpus, labels included. No engine runs.
+    if (!cli.emit_vector.empty()) {
+      const TreeFormat fmt =
+          resolve_format(cli.reference_path, cli.input_format);
+      const auto trees = load_trees(cli.reference_path, fmt, taxa);
+      phylo::write_p2v_file(cli.emit_vector, trees);
+      std::fprintf(stderr, "# wrote %zu trees over %zu taxa to %s\n",
+                   trees.size(), taxa->size(), cli.emit_vector.c_str());
+      return 0;
+    }
+
     // Matrix mode: the exact all-pairs product instead of the averages
     // pipeline. The whole collection must be resident (the matrix is
-    // O(r²) anyway), so streamed Newick is collected into memory.
+    // O(r²) anyway), so streamed input is collected into memory.
     if (cli.matrix) {
-      std::vector<phylo::Tree> trees;
-      if (is_nexus(cli.reference_path)) {
-        trees =
-            std::move(phylo::read_nexus_file(cli.reference_path, taxa).trees);
-      } else {
-        core::FileTreeSource src(cli.reference_path, taxa);
-        phylo::Tree t;
-        while (src.next(t)) {
-          trees.push_back(std::move(t));
-        }
-      }
+      const TreeFormat fmt =
+          resolve_format(cli.reference_path, cli.input_format);
+      std::vector<phylo::Tree> trees =
+          load_trees(cli.reference_path, fmt, taxa);
       taxa->freeze();
       const core::AllPairsOptions matrix_opts{
           .threads = cli.threads,
@@ -247,7 +372,11 @@ int main(int argc, char** argv) {
       core::Bfhrf engine = core::load_bfhrf_file(cli.load_index, opts);
       util::WallTimer qtimer;
       std::vector<double> avg_rf;
-      if (is_nexus(cli.query_path)) {
+      const TreeFormat qfmt = resolve_format(cli.query_path, cli.input_format);
+      if (qfmt == TreeFormat::Vector) {
+        core::P2vFileSource queries(cli.query_path);
+        avg_rf = engine.query(queries);  // direct extraction; width-checked
+      } else if (qfmt == TreeFormat::Nexus) {
         const auto data = phylo::read_nexus_file(cli.query_path, taxa);
         avg_rf = engine.query(data.trees);
       } else {
@@ -267,7 +396,15 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
-    if (is_nexus(cli.reference_path)) {
+    std::unique_ptr<core::P2vFileSource> ref_rows;  // vector path only
+    const TreeFormat ref_format =
+        resolve_format(cli.reference_path, cli.input_format);
+    if (ref_format == TreeFormat::Vector) {
+      // .p2v corpora skip taxon discovery entirely: the header fixes the
+      // namespace, and rows stream straight into direct extraction.
+      ref_rows = std::make_unique<core::P2vFileSource>(cli.reference_path);
+      taxa = p2v_taxa(ref_rows->header());
+    } else if (ref_format == TreeFormat::Nexus) {
       ref_trees =
           std::move(phylo::read_nexus_file(cli.reference_path, taxa).trees);
     } else {
@@ -281,7 +418,9 @@ int main(int argc, char** argv) {
     taxa->freeze();
 
     core::Bfhrf engine(taxa->size(), opts);
-    if (ref_stream) {
+    if (ref_rows) {
+      engine.build(*ref_rows);
+    } else if (ref_stream) {
       engine.build(*ref_stream);
     } else {
       engine.build(ref_trees);
@@ -300,18 +439,28 @@ int main(int argc, char** argv) {
     timer.restart();
     std::vector<double> avg_rf;
     if (cli.query_path.empty()) {
-      if (ref_stream) {
+      if (ref_rows) {
+        ref_rows->reset();
+        avg_rf = engine.query(*ref_rows);
+      } else if (ref_stream) {
         ref_stream->reset();
         avg_rf = engine.query(*ref_stream);
       } else {
         avg_rf = engine.query(ref_trees);
       }
-    } else if (is_nexus(cli.query_path)) {
-      const auto data = phylo::read_nexus_file(cli.query_path, taxa);
-      avg_rf = engine.query(data.trees);
     } else {
-      core::FileTreeSource queries(cli.query_path, taxa);
-      avg_rf = engine.query(queries);
+      const TreeFormat qfmt = resolve_format(cli.query_path, cli.input_format);
+      if (qfmt == TreeFormat::Vector) {
+        core::P2vFileSource queries(cli.query_path);
+        check_p2v_labels(queries.header(), *taxa);
+        avg_rf = engine.query(queries);
+      } else if (qfmt == TreeFormat::Nexus) {
+        const auto data = phylo::read_nexus_file(cli.query_path, taxa);
+        avg_rf = engine.query(data.trees);
+      } else {
+        core::FileTreeSource queries(cli.query_path, taxa);
+        avg_rf = engine.query(queries);
+      }
     }
     const double query_seconds = timer.seconds();
 

@@ -2,17 +2,19 @@
 //
 //   bfhrf_generate --preset avian|insect|variable-trees|variable-species
 //                  [-n TAXA] [-r TREES] [--moves M] [--seed S]
-//                  [--lengths|--no-lengths] [-o out.nwk|out.nex]
+//                  [--lengths|--no-lengths] [-o out.nwk|out.nex|out.p2v]
 //
-// Writes the collection as Newick (default) or NEXUS (when -o ends in
-// .nex). These are the exact generators the benches use, exposed so users
-// can reproduce or extend the experiments with external tools.
+// Writes the collection as Newick (default), NEXUS (when -o ends in
+// .nex), or a binary phylo2vec corpus (when -o ends in .p2v). These are
+// the exact generators the benches use, exposed so users can reproduce or
+// extend the experiments with external tools.
 #include <cstdio>
 #include <optional>
 #include <string>
 
 #include "phylo/newick.hpp"
 #include "phylo/nexus.hpp"
+#include "phylo/vector_codec.hpp"
 #include "sim/datasets.hpp"
 #include "util/error.hpp"
 #include "util/string_util.hpp"
@@ -57,7 +59,7 @@ int main(int argc, char** argv) {
             stderr,
             "usage: %s --preset avian|insect|variable-trees|variable-species"
             " [-n TAXA] [-r TREES] [--moves M] [--seed S]\n"
-            "          [--lengths|--no-lengths] [-o out.nwk|out.nex]\n",
+            "          [--lengths|--no-lengths] [-o out.nwk|out.nex|out.p2v]\n",
             argv[0]);
         return arg == "-h" || arg == "--help" ? 0 : 1;
       }
@@ -101,6 +103,11 @@ int main(int argc, char** argv) {
     } else if (output.size() > 4 &&
                output.substr(output.size() - 4) == ".nex") {
       phylo::write_nexus_file(output, ds.trees, ds.taxa);
+    } else if (output.size() > 4 &&
+               output.substr(output.size() - 4) == ".p2v") {
+      // Binary phylo2vec corpus: topology-only (lengths are dropped),
+      // labels carried in the header.
+      phylo::write_p2v_file(output, ds.trees);
     } else {
       phylo::write_newick_file(output, ds.trees, wopts);
     }

@@ -6,7 +6,8 @@
 #      that builds a sharded index, saves the mmap-able layout, and
 #      reloads it zero-copy
 #   2. TSan build, concurrency-sensitive labels only (parallel, obs,
-#      serve) + bfhrf_verify differential run + the dynamic oracle with
+#      serve, codec) + bfhrf_verify differential run + the dynamic oracle
+#      with
 #      concurrent probe readers + the persistence oracle with 4 build
 #      lanes + the serve daemon loopback smoke
 #   3. BFHRF_OBS=OFF build, full suite (instrumentation compiled out)

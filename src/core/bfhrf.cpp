@@ -182,7 +182,12 @@ void Bfhrf::add_tree(const phylo::Tree& tree, FrequencyStore& target,
       opts_.reuse_scratch
           ? scratch.extractor.extract(tree, bip_opts)
           : (local = phylo::extract_bipartitions(tree, bip_opts));
+  insert_bipartitions(bips, target, scratch);
+}
 
+void Bfhrf::insert_bipartitions(const phylo::BipartitionSet& bips,
+                                FrequencyStore& target,
+                                WorkerScratch& scratch) const {
   if (auto* sharded = dynamic_cast<ShardedFrequencyHash*>(&target);
       use_batched_add() && sharded != nullptr) {
     // Inline sharded build (threads <= 1): route-and-insert through the
@@ -335,6 +340,12 @@ void Bfhrf::route_tree(
       opts_.reuse_scratch
           ? scratch.extractor.extract(tree, bip_opts)
           : (local = phylo::extract_bipartitions(tree, bip_opts));
+  route_bipartitions(bips, buckets);
+}
+
+void Bfhrf::route_bipartitions(
+    const phylo::BipartitionSet& bips,
+    std::vector<std::vector<std::uint64_t>>& buckets) const {
   const std::size_t wp = util::words_for_bits(n_bits_);
   const std::uint32_t bits = sharded_store_->shard_bits();
   const auto arena = bips.arena_view();
@@ -345,6 +356,33 @@ void Bfhrf::route_tree(
     auto& bucket = buckets[shard_of(fp, bits)];
     bucket.insert(bucket.end(), key, key + wp);
   }
+}
+
+void Bfhrf::add_vector(std::span<const std::uint32_t> row,
+                       FrequencyStore& target, WorkerScratch& scratch) const {
+  if (row.size() + 1 != n_bits_) {
+    throw InvalidArgument("Bfhrf: vector row universe width mismatch");
+  }
+  // Same sortedness rule as add_tree: classic RF skips the finalize sort;
+  // variants keep sorted order so weighted sums accumulate in the legacy
+  // order. Downstream of extraction both ingest forms share one tail.
+  const phylo::BipartitionOptions bip_opts{
+      .include_trivial = opts_.include_trivial,
+      .sorted = opts_.variant != nullptr};
+  insert_bipartitions(scratch.vec_extractor.extract(row, bip_opts), target,
+                      scratch);
+}
+
+void Bfhrf::route_vector(
+    std::span<const std::uint32_t> row, WorkerScratch& scratch,
+    std::vector<std::vector<std::uint64_t>>& buckets) const {
+  if (row.size() + 1 != n_bits_) {
+    throw InvalidArgument("Bfhrf: vector row universe width mismatch");
+  }
+  // Sharding is classic-RF only, so routing takes the unsorted arena.
+  const phylo::BipartitionOptions bip_opts{.include_trivial =
+                                               opts_.include_trivial};
+  route_bipartitions(scratch.vec_extractor.extract(row, bip_opts), buckets);
 }
 
 void Bfhrf::insert_lane(
@@ -446,6 +484,38 @@ void Bfhrf::build(TreeSource& reference) {
   }
 }
 
+void Bfhrf::build(VectorSource& reference) {
+  const obs::TraceSpan span("bfhrf.build");
+  const obs::ScopedTimer timer(g_build_seconds);
+  if (reference.n_taxa() != n_bits_) {
+    throw InvalidArgument("Bfhrf: vector source universe width mismatch");
+  }
+  if (opts_.streaming == StreamingMode::Pipelined) {
+    build_vectors_pipelined(reference);
+  } else {
+    build_vectors_barrier(reference);
+  }
+}
+
+std::size_t Bfhrf::seed_unique_hint(std::optional<std::size_t> hint) const {
+  if (opts_.expected_unique != 0 || !hint) {
+    return opts_.expected_unique;
+  }
+  // Each binary tree contributes at most n-3 non-trivial splits (n with
+  // trivial ones); most collections share heavily, so this over-estimates
+  // — the cap keeps a huge corpus hint from reserving pathological tables.
+  const std::size_t per_tree =
+      opts_.include_trivial ? n_bits_ : (n_bits_ > 3 ? n_bits_ - 3 : 1);
+  constexpr std::size_t kCap = std::size_t{1} << 20;
+  if (*hint == 0) {
+    return 0;
+  }
+  if (*hint > kCap / per_tree) {
+    return kCap;
+  }
+  return *hint * per_tree;
+}
+
 std::size_t Bfhrf::pipeline_workers() const noexcept {
   // The calling thread parses; `workers` consumers drain the queue. With
   // threads <= 1 — or on a single-hardware-thread host, where parse/hash
@@ -502,9 +572,18 @@ void Bfhrf::build_stream_pipelined(TreeSource& reference) {
   std::vector<std::unique_ptr<FrequencyStore>> partials;
   std::vector<WorkerScratch> scratch(lanes);
   if (workers > 0) {
+    // Pre-size partials from the stream's tree-count hint (exact for .p2v
+    // corpora, a semicolon-scan estimate for Newick files) when the caller
+    // gave no expected_unique of their own. Each lane drains ~1/lanes of
+    // the stream, so the hint is split before estimating.
+    std::optional<std::size_t> hint = reference.size_hint();
+    if (hint) {
+      hint = *hint / lanes + 1;
+    }
+    const std::size_t pre = seed_unique_hint(hint);
     partials.reserve(lanes);
     for (std::size_t i = 0; i < lanes; ++i) {
-      partials.push_back(make_store(opts_.expected_unique));
+      partials.push_back(make_store(pre));
     }
   }
 
@@ -559,6 +638,125 @@ void Bfhrf::build_stream_barrier(TreeSource& reference) {
         0, batch.size(), opts_.threads,
         [&](std::size_t rank, std::size_t i) {
           add_tree(batch[i], *partials[rank]);
+        });
+  }
+  {
+    const obs::ScopedTimer merge_timer(g_merge_seconds);
+    for (const auto& p : partials) {
+      store_->merge_from(*p);
+    }
+  }
+  reference_trees_ += seen;
+  publish_store_metrics();
+}
+
+void Bfhrf::build_vectors_pipelined(VectorSource& reference) {
+  const std::size_t workers = pipeline_workers();
+  const std::size_t lanes = std::max<std::size_t>(1, workers);
+
+  if (sharded_store_ != nullptr && opts_.threads > 1) {
+    // Sharded streaming build over vector rows: identical drain structure
+    // to the Tree driver — only the payload type and extractor differ.
+    const std::size_t shards = sharded_store_->shard_count();
+    std::vector<std::vector<std::vector<std::uint64_t>>> buckets(
+        lanes, std::vector<std::vector<std::uint64_t>>(shards));
+    std::vector<WorkerScratch> scratch(lanes);
+    const std::size_t insert_lanes =
+        std::max<std::size_t>(1, std::min(lanes, shards));
+    std::size_t seen = 0;
+    parallel::pipeline_run<phylo::TreeVector>(
+        workers, queue_capacity(),
+        [&](const parallel::PipelineEmit<phylo::TreeVector>& emit) {
+          phylo::TreeVector row;
+          while (reference.next(row)) {
+            ++seen;
+            if (!emit(std::move(row))) {
+              break;  // aborted; the failure rethrows after join
+            }
+          }
+        },
+        [&](std::size_t rank, phylo::TreeVector& row) {
+          route_vector(row, scratch[rank], buckets[rank]);
+        },
+        [&](std::size_t lane) {
+          if (lane < insert_lanes) {
+            insert_lane(lane, insert_lanes, buckets);
+          }
+        });
+    reference_trees_ += seen;
+    g_build_trees.inc(seen);
+    publish_store_metrics();
+    return;
+  }
+
+  std::vector<std::unique_ptr<FrequencyStore>> partials;
+  std::vector<WorkerScratch> scratch(lanes);
+  if (workers > 0) {
+    // The .p2v header makes this hint exact, so partials start at their
+    // final shape on corpus input (split per lane, as in the Tree driver).
+    std::optional<std::size_t> hint = reference.size_hint();
+    if (hint) {
+      hint = *hint / lanes + 1;
+    }
+    const std::size_t pre = seed_unique_hint(hint);
+    partials.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) {
+      partials.push_back(make_store(pre));
+    }
+  }
+
+  std::size_t seen = 0;
+  parallel::pipeline_run<phylo::TreeVector>(
+      workers, queue_capacity(),
+      [&](const parallel::PipelineEmit<phylo::TreeVector>& emit) {
+        phylo::TreeVector row;
+        while (reference.next(row)) {
+          ++seen;
+          if (!emit(std::move(row))) {
+            break;  // pipeline aborted; the failure rethrows after join
+          }
+        }
+      },
+      [&](std::size_t rank, phylo::TreeVector& row) {
+        FrequencyStore& target = workers > 0 ? *partials[rank] : *store_;
+        add_vector(row, target, scratch[rank]);
+      });
+
+  if (workers > 0) {
+    merge_partials(partials);
+  }
+  reference_trees_ += seen;
+  g_build_trees.inc(seen);
+  publish_store_metrics();
+}
+
+void Bfhrf::build_vectors_barrier(VectorSource& reference) {
+  std::vector<std::unique_ptr<FrequencyStore>> partials;
+  partials.reserve(opts_.threads);
+  for (std::size_t i = 0; i < opts_.threads; ++i) {
+    partials.push_back(make_store());
+  }
+  std::vector<WorkerScratch> scratch(std::max<std::size_t>(1, opts_.threads));
+  std::vector<phylo::TreeVector> batch;
+  batch.reserve(opts_.batch_size * opts_.threads);
+  std::size_t seen = 0;
+  while (true) {
+    batch.clear();
+    phylo::TreeVector row;
+    while (batch.size() < opts_.batch_size * opts_.threads &&
+           reference.next(row)) {
+      batch.push_back(std::move(row));
+    }
+    if (batch.empty()) {
+      break;
+    }
+    seen += batch.size();
+    g_build_batches.inc();
+    g_build_trees.inc(batch.size());
+    parallel::parallel_for_ranked(
+        0, batch.size(), opts_.threads,
+        [&](std::size_t rank, std::size_t i) {
+          add_vector(batch[i], *partials[rank], scratch[rank]);
         });
   }
   {
@@ -697,6 +895,18 @@ double Bfhrf::query_one(const phylo::Tree& tree) const {
   return query_one(tree, scratch);
 }
 
+double Bfhrf::query_row(std::span<const std::uint32_t> row,
+                        WorkerScratch& scratch) const {
+  if (row.size() + 1 != n_bits_) {
+    throw InvalidArgument("Bfhrf: vector row universe width mismatch");
+  }
+  const phylo::BipartitionOptions bip_opts{
+      .include_trivial = opts_.include_trivial,
+      .sorted = opts_.variant != nullptr};
+  return query_bipartitions(scratch.vec_extractor.extract(row, bip_opts),
+                            scratch);
+}
+
 std::vector<double> Bfhrf::query(
     std::span<const phylo::Tree> queries) const {
   const obs::TraceSpan span("bfhrf.query");
@@ -718,6 +928,19 @@ std::vector<double> Bfhrf::query(TreeSource& queries) const {
   std::vector<double> out = opts_.streaming == StreamingMode::Pipelined
                                 ? query_stream_pipelined(queries)
                                 : query_stream_barrier(queries);
+  g_query_trees.inc(out.size());
+  return out;
+}
+
+std::vector<double> Bfhrf::query(VectorSource& queries) const {
+  const obs::TraceSpan span("bfhrf.query");
+  const obs::ScopedTimer timer(g_query_seconds);
+  if (queries.n_taxa() != n_bits_) {
+    throw InvalidArgument("Bfhrf: vector source universe width mismatch");
+  }
+  std::vector<double> out = opts_.streaming == StreamingMode::Pipelined
+                                ? query_vectors_pipelined(queries)
+                                : query_vectors_barrier(queries);
   g_query_trees.inc(out.size());
   return out;
 }
@@ -794,6 +1017,84 @@ std::vector<double> Bfhrf::query_stream_barrier(TreeSource& queries) const {
     parallel::parallel_for(
         0, batch.size(), opts_.threads,
         [&](std::size_t i) { out[base + i] = query_one(batch[i]); });
+  }
+  return out;
+}
+
+std::vector<double> Bfhrf::query_vectors_pipelined(
+    VectorSource& queries) const {
+  // Same order-preserving scheme as the Tree driver: index-tagged rows,
+  // per-lane (index, value) buffers, one scatter at the end.
+  struct IndexedRow {
+    phylo::TreeVector row;
+    std::size_t index = 0;
+  };
+  const std::size_t workers = pipeline_workers();
+  const std::size_t lanes = std::max<std::size_t>(1, workers);
+
+  std::vector<WorkerScratch> scratch(lanes);
+  std::vector<std::vector<std::pair<std::size_t, double>>> lane_results(
+      lanes);
+  const std::optional<std::size_t> hint = queries.size_hint();
+  if (hint) {
+    for (auto& lane : lane_results) {
+      lane.reserve(*hint / lanes + 1);
+    }
+  }
+
+  std::size_t seen = 0;
+  parallel::pipeline_run<IndexedRow>(
+      workers, queue_capacity(),
+      [&](const parallel::PipelineEmit<IndexedRow>& emit) {
+        phylo::TreeVector row;
+        while (queries.next(row)) {
+          IndexedRow item{std::move(row), seen};
+          ++seen;
+          if (!emit(std::move(item))) {
+            break;
+          }
+        }
+      },
+      [&](std::size_t rank, IndexedRow& item) {
+        lane_results[rank].emplace_back(
+            item.index, query_row(item.row, scratch[rank]));
+      });
+
+  std::vector<double> out(seen, 0.0);
+  for (const auto& lane : lane_results) {
+    for (const auto& [index, value] : lane) {
+      out[index] = value;
+    }
+  }
+  return out;
+}
+
+std::vector<double> Bfhrf::query_vectors_barrier(VectorSource& queries) const {
+  std::vector<double> out;
+  if (const auto hint = queries.size_hint()) {
+    out.reserve(*hint);
+  }
+  std::vector<WorkerScratch> scratch(std::max<std::size_t>(1, opts_.threads));
+  std::vector<phylo::TreeVector> batch;
+  batch.reserve(opts_.batch_size * opts_.threads);
+  while (true) {
+    batch.clear();
+    phylo::TreeVector row;
+    while (batch.size() < opts_.batch_size * opts_.threads &&
+           queries.next(row)) {
+      batch.push_back(std::move(row));
+    }
+    if (batch.empty()) {
+      break;
+    }
+    g_query_batches.inc();
+    const std::size_t base = out.size();
+    out.resize(base + batch.size());
+    parallel::parallel_for_ranked(
+        0, batch.size(), opts_.threads,
+        [&](std::size_t rank, std::size_t i) {
+          out[base + i] = query_row(batch[i], scratch[rank]);
+        });
   }
   return out;
 }

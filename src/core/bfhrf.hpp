@@ -154,6 +154,12 @@ class Bfhrf {
   /// Build from a stream; at most `threads·batch_size` trees resident.
   void build(TreeSource& reference);
 
+  /// Build from a phylo2vec row stream (e.g. a .p2v corpus): bipartitions
+  /// are extracted directly from the vector form — no Tree is ever
+  /// materialized on the hot path. The source's taxon width must equal the
+  /// engine's universe width.
+  void build(VectorSource& reference);
+
   // --- Phase 2: query ------------------------------------------------------
 
   /// Average RF of each query tree against R (order preserved).
@@ -162,6 +168,9 @@ class Bfhrf {
 
   /// Streaming query; results are in stream order.
   [[nodiscard]] std::vector<double> query(TreeSource& queries) const;
+
+  /// Streaming query over phylo2vec rows (direct extraction, stream order).
+  [[nodiscard]] std::vector<double> query(VectorSource& queries) const;
 
   /// Average RF of a single tree against R. Thread-safe after build.
   [[nodiscard]] double query_one(const phylo::Tree& tree) const;
@@ -180,6 +189,7 @@ class Bfhrf {
   /// staging vectors. One per worker rank; never shared across threads.
   struct WorkerScratch {
     phylo::BipartitionExtractor extractor;
+    phylo::VectorBipartitionExtractor vec_extractor;  ///< phylo2vec rows
     std::vector<std::uint32_t> freqs;        ///< frequency_many output
     std::vector<std::uint64_t> kept_keys;    ///< variant-filtered key arena
     std::vector<double> kept_weights;        ///< weights aligned with keys
@@ -195,6 +205,25 @@ class Bfhrf {
   void add_tree(const phylo::Tree& tree, FrequencyStore& target) const;
   void add_tree(const phylo::Tree& tree, FrequencyStore& target,
                 WorkerScratch& scratch) const;
+
+  /// Shared insertion tail for an extracted bipartition set (batched
+  /// add_many when the store supports it; virtual per-split loop
+  /// otherwise). Both add_tree and add_vector funnel through this.
+  void insert_bipartitions(const phylo::BipartitionSet& bips,
+                           FrequencyStore& target,
+                           WorkerScratch& scratch) const;
+
+  /// Direct-from-vector analogues of add_tree / route_tree / query_one:
+  /// extract through scratch.vec_extractor, then reuse the same insertion,
+  /// routing, and Algorithm-2 tails, so vector and Newick ingest are
+  /// bit-identical downstream of extraction.
+  void add_vector(std::span<const std::uint32_t> row, FrequencyStore& target,
+                  WorkerScratch& scratch) const;
+  void route_vector(std::span<const std::uint32_t> row,
+                    WorkerScratch& scratch,
+                    std::vector<std::vector<std::uint64_t>>& buckets) const;
+  [[nodiscard]] double query_row(std::span<const std::uint32_t> row,
+                                 WorkerScratch& scratch) const;
 
   /// The Algorithm-2 inner loop for one query tree: legacy virtual
   /// per-split lookup, and the batched/prefetched overload.
@@ -216,6 +245,9 @@ class Bfhrf {
   void build_span_sharded(std::span<const phylo::Tree> reference);
   void route_tree(const phylo::Tree& tree, WorkerScratch& scratch,
                   std::vector<std::vector<std::uint64_t>>& buckets) const;
+  void route_bipartitions(
+      const phylo::BipartitionSet& bips,
+      std::vector<std::vector<std::uint64_t>>& buckets) const;
   void insert_lane(std::size_t lane, std::size_t lanes,
                    std::vector<std::vector<std::vector<std::uint64_t>>>&
                        buckets);
@@ -243,6 +275,22 @@ class Bfhrf {
       TreeSource& queries) const;
   [[nodiscard]] std::vector<double> query_stream_barrier(
       TreeSource& queries) const;
+
+  /// Vector-row streaming drivers (mirror the TreeSource drivers with
+  /// phylo::TreeVector payloads and direct extraction).
+  void build_vectors_pipelined(VectorSource& reference);
+  void build_vectors_barrier(VectorSource& reference);
+  [[nodiscard]] std::vector<double> query_vectors_pipelined(
+      VectorSource& queries) const;
+  [[nodiscard]] std::vector<double> query_vectors_barrier(
+      VectorSource& queries) const;
+
+  /// Pre-size estimate for per-worker partial stores when the caller gave
+  /// no expected_unique: scale the stream's tree-count hint by the splits
+  /// each binary tree contributes, capped so a wild hint cannot balloon
+  /// the tables. Returns opts_.expected_unique unchanged when it is set.
+  [[nodiscard]] std::size_t seed_unique_hint(
+      std::optional<std::size_t> hint) const;
 
   /// Fold per-worker partial stores into store_: pairwise tree reduction
   /// on the pool, with merge targets pre-sized from observed uniques.

@@ -31,4 +31,75 @@ bool FileTreeSource::next(phylo::Tree& out) {
 
 void FileTreeSource::reset() { open(); }
 
+std::optional<std::size_t> FileTreeSource::size_hint() const {
+  if (!cached_hint_) {
+    // One buffered pass over a separate descriptor (the streaming reader's
+    // position is untouched), counting tree terminators.
+    std::ifstream scan(path_, std::ios::binary);
+    if (!scan) {
+      return std::nullopt;
+    }
+    std::size_t count = 0;
+    char buf[64 * 1024];
+    while (scan.read(buf, sizeof buf) || scan.gcount() > 0) {
+      const std::streamsize got = scan.gcount();
+      for (std::streamsize i = 0; i < got; ++i) {
+        count += buf[i] == ';' ? 1 : 0;
+      }
+      if (got < static_cast<std::streamsize>(sizeof buf)) {
+        break;
+      }
+    }
+    cached_hint_ = count;
+  }
+  return cached_hint_;
+}
+
+P2vFileSource::P2vFileSource(std::string path) : path_(std::move(path)) {
+  open();
+}
+
+void P2vFileSource::open() {
+  in_.close();
+  in_.clear();
+  in_.open(path_, std::ios::binary);
+  if (!in_) {
+    throw ParseError("cannot open '" + path_ + "'");
+  }
+  reader_ = std::make_unique<phylo::P2vReader>(in_);
+}
+
+bool P2vFileSource::next(phylo::TreeVector& out) { return reader_->next(out); }
+
+void P2vFileSource::reset() { open(); }
+
+std::size_t P2vFileSource::n_taxa() const { return reader_->header().n_taxa; }
+
+std::optional<std::size_t> P2vFileSource::size_hint() const {
+  // Exact by construction: the corpus header counts its records.
+  return reader_->header().n_trees;
+}
+
+const phylo::P2vHeader& P2vFileSource::header() const {
+  return reader_->header();
+}
+
+VectorTreeSource::VectorTreeSource(VectorSource& source,
+                                   phylo::TaxonSetPtr taxa)
+    : source_(source), taxa_(std::move(taxa)) {
+  if (!taxa_ || taxa_->size() != source_.n_taxa()) {
+    throw InvalidArgument(
+        "VectorTreeSource: taxon set size does not match the source "
+        "universe");
+  }
+}
+
+bool VectorTreeSource::next(phylo::Tree& out) {
+  if (!source_.next(row_)) {
+    return false;
+  }
+  out = phylo::vector_to_tree(row_, taxa_);
+  return true;
+}
+
 }  // namespace bfhrf::core

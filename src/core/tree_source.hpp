@@ -15,6 +15,7 @@
 
 #include "phylo/newick.hpp"
 #include "phylo/tree.hpp"
+#include "phylo/vector_codec.hpp"
 
 namespace bfhrf::core {
 
@@ -70,6 +71,13 @@ class FileTreeSource final : public TreeSource {
   bool next(phylo::Tree& out) override;
   void reset() override;
 
+  /// Estimated tree count from a one-pass semicolon scan of the file,
+  /// computed lazily on first call and cached. Every Newick tree ends
+  /// with ';', so this is exact for well-formed files unless ';' also
+  /// appears inside quoted labels or [comments] — acceptable for the
+  /// reserve/pre-size consumers a hint feeds.
+  [[nodiscard]] std::optional<std::size_t> size_hint() const override;
+
  private:
   void open();
 
@@ -78,6 +86,104 @@ class FileTreeSource final : public TreeSource {
   phylo::NewickParseOptions opts_;
   std::ifstream in_;
   std::unique_ptr<phylo::NewickReader> reader_;
+  mutable std::optional<std::size_t> cached_hint_;
+};
+
+/// A resettable forward stream of phylo2vec rows — the text-free ingest
+/// path. Every row is over one shared universe of n_taxa() taxa (so
+/// rows carry n_taxa()-1 codes).
+class VectorSource {
+ public:
+  virtual ~VectorSource() = default;
+
+  /// Move the next row into `out`; false at end of stream.
+  virtual bool next(phylo::TreeVector& out) = 0;
+
+  /// Rewind to the first row.
+  virtual void reset() = 0;
+
+  /// Universe width shared by all rows.
+  [[nodiscard]] virtual std::size_t n_taxa() const = 0;
+
+  /// Total row count if cheaply known.
+  [[nodiscard]] virtual std::optional<std::size_t> size_hint() const {
+    return std::nullopt;
+  }
+};
+
+/// Adapts an in-memory vector collection.
+class SpanVectorSource final : public VectorSource {
+ public:
+  SpanVectorSource(std::span<const phylo::TreeVector> vectors,
+                   std::size_t n_taxa)
+      : vectors_(vectors), n_taxa_(n_taxa) {}
+
+  bool next(phylo::TreeVector& out) override {
+    if (pos_ >= vectors_.size()) {
+      return false;
+    }
+    out = vectors_[pos_++];
+    return true;
+  }
+
+  void reset() override { pos_ = 0; }
+
+  [[nodiscard]] std::size_t n_taxa() const override { return n_taxa_; }
+
+  [[nodiscard]] std::optional<std::size_t> size_hint() const override {
+    return vectors_.size();
+  }
+
+ private:
+  std::span<const phylo::TreeVector> vectors_;
+  std::size_t n_taxa_;
+  std::size_t pos_ = 0;
+};
+
+/// Streams records from a .p2v corpus. The counted header makes
+/// size_hint() EXACT — no scan, unlike text formats — so downstream
+/// reserves and pre-sizing never degrade on file input.
+class P2vFileSource final : public VectorSource {
+ public:
+  explicit P2vFileSource(std::string path);
+
+  bool next(phylo::TreeVector& out) override;
+  void reset() override;
+
+  [[nodiscard]] std::size_t n_taxa() const override;
+  [[nodiscard]] std::optional<std::size_t> size_hint() const override;
+
+  /// Corpus header (taxon labels, if the file carries them).
+  [[nodiscard]] const phylo::P2vHeader& header() const;
+
+ private:
+  void open();
+
+  std::string path_;
+  std::ifstream in_;
+  std::unique_ptr<phylo::P2vReader> reader_;
+};
+
+/// Adapts a VectorSource into a TreeSource by decoding each row, so every
+/// Tree-consuming engine can read vector corpora unchanged. The source's
+/// (exact, for .p2v) size_hint passes through. Non-owning: the underlying
+/// source must outlive the adapter.
+class VectorTreeSource final : public TreeSource {
+ public:
+  /// `taxa` must have exactly source.n_taxa() taxa.
+  VectorTreeSource(VectorSource& source, phylo::TaxonSetPtr taxa);
+
+  bool next(phylo::Tree& out) override;
+  void reset() override { source_.reset(); }
+
+  [[nodiscard]] std::optional<std::size_t> size_hint() const override {
+    return source_.size_hint();
+  }
+
+ private:
+  VectorSource& source_;
+  phylo::TaxonSetPtr taxa_;
+  phylo::TreeVector row_;
 };
 
 }  // namespace bfhrf::core

@@ -13,6 +13,7 @@
 #include "phylo/bipartition.hpp"
 #include "phylo/newick.hpp"
 #include "phylo/nexus.hpp"
+#include "phylo/vector_codec.hpp"
 #include "qc/tree_ops.hpp"
 #include "sim/moves.hpp"
 #include "util/bitset.hpp"
@@ -419,6 +420,67 @@ void check_saturation(std::span<const Tree> trees,
   }
 }
 
+void check_vector_codec(std::span<const Tree> trees, util::Rng& rng,
+                        const InvariantOptions& opts,
+                        InvariantReport& report) {
+  report.invariants_run.push_back("vector-codec");
+  const auto sampled = sample_indices(trees.size(), opts.samples, rng);
+
+  // Per-tree round trip: encode, decode, re-encode. The re-encoded vector
+  // must be the identity (phylo2vec is a bijection on rooted shapes) and
+  // the decoded tree must sit at distance zero from the original.
+  std::vector<Tree> originals;
+  std::vector<Tree> decoded;
+  for (const std::size_t idx : sampled) {
+    const Tree& t = trees[idx];
+    phylo::TreeVector v;
+    try {
+      v = phylo::tree_to_vector(t);
+    } catch (const InvalidArgument&) {
+      continue;  // multifurcating / partial coverage: outside codec scope
+    }
+    Tree back = phylo::vector_to_tree(v, t.taxa());
+    back.validate();
+    ++report.checks;
+    if (phylo::tree_to_vector(back) != v) {
+      fail(report, "vector-codec",
+           "vector->tree->vector is not the identity for tree " +
+               std::to_string(idx) + " (vector " + phylo::format_vector(v) +
+               ")");
+    }
+    ++report.checks;
+    if (seq_rf(t, back, opts.include_trivial) != 0) {
+      fail(report, "vector-codec",
+           "codec round trip moved tree " + std::to_string(idx));
+      continue;
+    }
+    originals.push_back(t);
+    decoded.push_back(std::move(back));
+  }
+
+  // Matrix metamorphic relation: converting a whole collection through the
+  // codec must preserve every pairwise RF value bit-for-bit (entries are
+  // integers, so "close" is not good enough).
+  if (originals.size() >= 2) {
+    const core::AllPairsOptions ap{.threads = 1,
+                                   .include_trivial = opts.include_trivial};
+    const core::RfMatrix before = core::all_pairs_rf(originals, ap);
+    const core::RfMatrix after = core::all_pairs_rf(decoded, ap);
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      for (std::size_t j = i + 1; j < before.size(); ++j) {
+        ++report.checks;
+        if (before.at(i, j) != after.at(i, j)) {
+          fail(report, "vector-codec",
+               "pairwise RF matrix changed across codec conversion at (" +
+                   std::to_string(i) + "," + std::to_string(j) + "): " +
+                   std::to_string(before.at(i, j)) + " -> " +
+                   std::to_string(after.at(i, j)));
+        }
+      }
+    }
+  }
+}
+
 InvariantReport check_invariants(std::span<const Tree> trees,
                                  const InvariantOptions& opts) {
   InvariantReport report;
@@ -435,6 +497,7 @@ InvariantReport check_invariants(std::span<const Tree> trees,
   check_add_remove_identity(trees, rng, opts, report);
   check_round_trip(trees, rng, opts, report);
   check_saturation(trees, opts, report);
+  check_vector_codec(trees, rng, opts, report);
   return report;
 }
 

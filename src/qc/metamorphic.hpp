@@ -18,6 +18,10 @@
 //                   distance-free; a Nexus TREES block re-read likewise
 //   saturation      identity-order vs riffle-order caterpillars share no
 //                   split, so RF = max = 2(n-3) exactly
+//   vector codec    tree -> phylo2vec -> tree is the identity on vectors,
+//                   distance-free per tree, and preserves the full
+//                   pairwise RF matrix bit-for-bit (binary full-coverage
+//                   trees; others are skipped — the codec rejects them)
 //
 // Failures carry the seed so any run is replayable (--seed / BFHRF_FUZZ_SEED).
 #pragma once
@@ -85,5 +89,8 @@ void check_round_trip(std::span<const phylo::Tree> trees, util::Rng& rng,
                       const InvariantOptions& opts, InvariantReport& report);
 void check_saturation(std::span<const phylo::Tree> trees,
                       const InvariantOptions& opts, InvariantReport& report);
+void check_vector_codec(std::span<const phylo::Tree> trees, util::Rng& rng,
+                        const InvariantOptions& opts,
+                        InvariantReport& report);
 
 }  // namespace bfhrf::qc

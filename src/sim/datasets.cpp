@@ -1,6 +1,7 @@
 #include "sim/datasets.hpp"
 
 #include "phylo/newick.hpp"
+#include "phylo/vector_codec.hpp"
 #include "sim/generators.hpp"
 #include "sim/moves.hpp"
 #include "util/error.hpp"
@@ -68,6 +69,11 @@ Dataset generate(const DatasetSpec& spec) {
 phylo::TaxonSetPtr generate_to_file(const DatasetSpec& spec,
                                     const std::string& path) {
   const Dataset ds = generate(spec);
+  if (path.size() > 4 && path.compare(path.size() - 4, 4, ".p2v") == 0) {
+    // Binary phylo2vec corpus (topology-only; labels in the header).
+    phylo::write_p2v_file(path, ds.trees);
+    return ds.taxa;
+  }
   const phylo::NewickWriteOptions opts{.write_lengths = spec.branch_lengths};
   phylo::write_newick_file(path, ds.trees, opts);
   return ds.taxa;

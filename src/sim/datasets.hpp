@@ -54,8 +54,9 @@ struct Dataset {
 /// Generate the collection for a spec. Deterministic in spec.seed.
 [[nodiscard]] Dataset generate(const DatasetSpec& spec);
 
-/// Generate and write to a Newick file (one tree per line); returns the
-/// taxon set. Used by the streaming-input benchmarks and CLI examples.
+/// Generate and write to a file — Newick (one tree per line) by default,
+/// a binary .p2v phylo2vec corpus when the path ends in ".p2v"; returns
+/// the taxon set. Used by the streaming-input benchmarks and CLI examples.
 phylo::TaxonSetPtr generate_to_file(const DatasetSpec& spec,
                                     const std::string& path);
 

@@ -29,8 +29,26 @@ TEST(MetamorphicTest, AllInvariantsHoldOnBinaryCollections) {
   opts.seed = seed;
   const InvariantReport report = check_invariants(trees, opts);
   EXPECT_TRUE(report.ok()) << report.summary();
-  EXPECT_EQ(report.invariants_run.size(), 8u);
+  EXPECT_EQ(report.invariants_run.size(), 9u);
   EXPECT_GT(report.checks, 0u);
+}
+
+TEST(MetamorphicTest, VectorCodecInvariantChecksBinaryCollections) {
+  const auto taxa = TaxonSet::make_numbered(13);
+  const std::uint64_t seed = test::fuzz_seed(0x3e7e);
+  SCOPED_TRACE("seed=" + test::hex_seed(seed));
+  util::Rng rng(seed);
+  const auto trees = test::random_collection(taxa, 7, 5, rng);
+
+  InvariantOptions opts;
+  opts.seed = seed;
+  opts.samples = trees.size();
+  InvariantReport report;
+  check_vector_codec(trees, rng, opts, report);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  // Two per-tree checks plus the full pairwise matrix comparison.
+  EXPECT_GE(report.checks, 2 * trees.size() +
+                               trees.size() * (trees.size() - 1) / 2);
 }
 
 TEST(MetamorphicTest, AllInvariantsHoldOnMultifurcatingCollections) {
